@@ -1,0 +1,67 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures and
+(a) exercises the relevant code path under pytest-benchmark, and
+(b) prints + persists the reproduced rows/series under ``benchmarks/out/``
+    so the paper-vs-measured comparison in EXPERIMENTS.md can be refreshed.
+
+Scale: the datasets are the synthetic stand-ins of
+:mod:`repro.workloads.datasets` (about 1/20 of the SNAP graphs); CGBE runs
+with the paper's 32-bit q/r over a 2048-bit modulus (the 32-bit q keeps
+the q-divisibility test's false-violation probability at ~2^-32 -- with a
+smaller test-size q the thousands of aggregates a full sweep decrypts
+would occasionally misfire).  Set ``REPRO_BENCH_SCALE`` /
+``REPRO_BENCH_QUERIES`` to trade fidelity for time.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.core.bf_pruning import BFConfig
+from repro.framework.prilo import PriloConfig
+from repro.workloads.datasets import Dataset, load_dataset
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Dataset scale relative to the (already scaled) registry defaults.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: Queries per workload (the paper uses 10).
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "3"))
+
+SNAP_DATASETS = ("slashdot", "dblp", "twitter")
+
+
+def bench_config(**overrides) -> PriloConfig:
+    """The benchmark engine configuration (see module docstring)."""
+    defaults = dict(
+        k_players=4,
+        modulus_bits=2048,
+        q_bits=32,
+        r_bits=32,
+        radii=(1, 2, 3, 4),
+        seed=17,
+        bf=BFConfig(eta=64, expected_trees=2_000,
+                    false_positive_rate=0.3, threshold_t=15),
+    )
+    defaults.update(overrides)
+    return PriloConfig(**defaults)
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name: str) -> Dataset:
+    return load_dataset(name, scale=SCALE)
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a reproduced table/series and persist it for EXPERIMENTS.md."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def format_row(values, widths) -> str:
+    return "  ".join(str(v).ljust(w) for v, w in zip(values, widths))

@@ -1,0 +1,52 @@
+"""Ablation: Eq. 1's bloom-filter trade-off (Sec. 4.1.2).
+
+"With Eq. 1, we can tune p to balance the data transmission cost and the
+pruning power of BF."  Sweeping the target false-positive rate p shows the
+two sides: smaller p means bigger filters (more bytes across the metered
+enclave boundary) and fewer BF false positives.
+"""
+
+from dataclasses import replace
+
+from _common import NUM_QUERIES, bench_config, dataset, emit, format_row
+
+from repro.filters.bloom import required_bits
+from repro.workloads.experiments import pruning_study
+
+P_VALUES = (0.5, 0.3, 0.05)
+
+
+def test_ablation_bloom_tradeoff(benchmark):
+    ds = dataset("slashdot")
+    queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3, seed=13)
+    base = bench_config()
+
+    def sweep():
+        outcomes = {}
+        for p in P_VALUES:
+            config = replace(
+                base, bf=replace(base.bf, false_positive_rate=p))
+            outcomes[p] = pruning_study(ds, queries, methods=("bf",),
+                                        config=config, combine=())
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = (8, 14, 12, 12, 12)
+    lines = [format_row(("p", "filter bits", "remaining", "fp", "cost(s)"),
+                        widths)]
+    remaining = {}
+    for p in P_VALUES:
+        study = outcomes[p]
+        counts = study.confusion["bf"]
+        bits = required_bits(base.bf.expected_trees, p)
+        remaining[p] = study.remaining("bf")
+        lines.append(format_row(
+            (p, bits, remaining[p], counts.fp,
+             f"{study.total_cost['bf']:.3f}"), widths))
+        assert counts.fn == 0
+    emit("abl_bloom_tradeoff", lines)
+
+    # Eq. 1 direction: tighter p never costs pruning power.
+    assert remaining[0.05] <= remaining[0.5]
+    assert (required_bits(base.bf.expected_trees, 0.05)
+            > required_bits(base.bf.expected_trees, 0.5))

@@ -1,0 +1,67 @@
+"""Ablation: CGBE parameter sizes.
+
+The paper fixes a 4096-bit public value with 32-bit q/r (Sec. 6.1).  This
+sweep measures what that costs relative to smaller moduli with identical
+semantics, and shows the chunking machinery engaging when the overflow
+budget no longer fits one Alg. 2 product per ciphertext.
+"""
+
+from _common import emit, format_row
+
+from repro.core.encoding import encrypt_query_matrix
+from repro.core.enumeration import enumerate_cmms
+from repro.core.verification import decide_ball, verification_plan, verify_ball
+from repro.crypto.cgbe import CGBE
+from repro.graph.ball import extract_ball
+from repro.graph.generators import fig3_graph, fig3_query
+
+PARAMS = ((512, 16), (1024, 32), (2048, 32), (4096, 32))
+
+
+def test_ablation_crypto_params(benchmark):
+    query = fig3_query()
+    graph = fig3_graph()
+    ball = extract_ball(graph, "v6", query.diameter, ball_id=0)
+    cmms = enumerate_cmms(query, ball).cmms
+
+    import time
+
+    rows = []
+    schemes = {}
+    for modulus_bits, q_bits in PARAMS:
+        # Key generation is a one-off cost; timed separately from the
+        # per-ball verification it gates.
+        schemes[modulus_bits] = CGBE.generate(
+            modulus_bits=modulus_bits, q_bits=q_bits, r_bits=q_bits, seed=1)
+
+    def verify_with(modulus_bits: int):
+        cgbe = schemes[modulus_bits]
+        enc = encrypt_query_matrix(cgbe, query)
+        plan = verification_plan(cgbe.params, query)
+        verdict = verify_ball(cgbe.params, enc, cgbe.encrypt_one(), ball,
+                              cmms, plan)
+        return cgbe, plan, verdict
+
+    for modulus_bits, q_bits in PARAMS:
+        start = time.perf_counter()
+        cgbe, plan, verdict = verify_with(modulus_bits)
+        elapsed = time.perf_counter() - start
+        assert decide_ball(cgbe, verdict)  # same answer at every size
+        rows.append((modulus_bits, q_bits, plan.summable,
+                     plan.chunks_per_item, elapsed))
+
+    # Benchmark the paper's exact parameter point.
+    benchmark(lambda: verify_with(4096))
+
+    widths = (10, 8, 10, 8, 12)
+    lines = [format_row(("modulus", "q bits", "summable", "chunks",
+                         "verify(s)"), widths)]
+    for modulus_bits, q_bits, summable, chunks, elapsed in rows:
+        lines.append(format_row(
+            (modulus_bits, q_bits, summable, chunks, f"{elapsed:.4f}"),
+            widths))
+    emit("abl_crypto_params", lines)
+
+    # The 512-bit point cannot hold 20 x 32-bit factors -> chunked mode.
+    assert rows[0][2] is False or rows[0][3] >= 1
+    assert rows[3][2] is True  # the paper's point sums exactly

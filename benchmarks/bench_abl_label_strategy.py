@@ -1,0 +1,55 @@
+"""Ablation: candidate-label selection strategy (Alg. 3 line 2).
+
+The paper's Player picks the query label *maximizing* the number of
+candidate balls ("opt: choose label l").  Props. 1-2 make any label
+choice correct, so the natural ablation is the opposite extreme: the
+*least* frequent label, which minimizes SP work per query.  Both must
+return identical answers; the trade-off is candidates-to-evaluate vs the
+risk of a label so rare the workload degenerates.
+"""
+
+from dataclasses import replace
+
+from _common import NUM_QUERIES, bench_config, dataset, emit, format_row
+
+from repro.framework.prilo_star import PriloStar
+
+
+def test_ablation_label_strategy(benchmark):
+    ds = dataset("slashdot")
+    queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3, seed=12)
+    base = bench_config()
+
+    def run_both():
+        outcomes = {}
+        for strategy in ("max", "min"):
+            engine = PriloStar.setup(
+                ds.graph, replace(base, label_strategy=strategy))
+            outcomes[strategy] = [engine.run(q) for q in queries]
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    widths = (10, 8, 12, 12, 12)
+    lines = [format_row(("strategy", "query", "candidates", "matches",
+                         "eval(s)"), widths)]
+    for strategy, results in outcomes.items():
+        for i, result in enumerate(results):
+            lines.append(format_row(
+                (strategy, f"q{i}", len(result.candidate_ids),
+                 result.num_matches,
+                 f"{result.metrics.timings.evaluation:.3f}"), widths))
+    emit("abl_label_strategy", lines)
+
+    # Correctness is label-choice independent (Props. 1-2): the *set of
+    # distinct matching subgraphs* is identical.  Per-ball counts may
+    # differ because the same match can appear in several balls (the
+    # paper's "duplicated matches").
+    def images(result):
+        return {frozenset(m.vertices())
+                for found in result.matches.values() for m in found}
+
+    for max_result, min_result in zip(outcomes["max"], outcomes["min"]):
+        assert images(max_result) == images(min_result)
+        # 'min' never inspects more balls than 'max'.
+        assert (len(min_result.candidate_ids)
+                <= len(max_result.candidate_ids))

@@ -1,0 +1,34 @@
+"""EXP-1 (Sec. 6.2): user-side costs.
+
+The paper reports: preprocessing always < 0.25 s, total decryption < 0.5 s,
+user -> SP messages of a few MB, SP -> user < 20 MB.  At our scale the
+byte counts shrink with the candidate-ball counts; the shape to check is
+preprocessing/decryption being a tiny fraction of the SP-side evaluation.
+"""
+
+from _common import NUM_QUERIES, bench_config, dataset, emit, format_row
+
+from repro.workloads.experiments import user_side_costs
+
+
+def test_exp1_user_side_costs(benchmark):
+    ds = dataset("slashdot")
+    queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3, seed=2)
+    config = bench_config()
+
+    records = benchmark.pedantic(user_side_costs, args=(ds, queries),
+                                 kwargs={"config": config},
+                                 rounds=1, iterations=1)
+
+    widths = (8, 16, 16, 16, 16)
+    lines = [format_row(("query", "preprocess(s)", "decrypt(s)",
+                         "user->SP(B)", "SP->user(B)"), widths)]
+    for i, record in enumerate(records):
+        lines.append(format_row(
+            (f"q{i}", f"{record.preprocessing_seconds:.4f}",
+             f"{record.decryption_seconds:.4f}",
+             record.user_to_sp_bytes, record.sp_to_user_bytes), widths))
+        # Paper shape: both user-side phases stay sub-second.
+        assert record.preprocessing_seconds < 1.0
+        assert record.decryption_seconds < 1.0
+    emit("exp1_user_side", lines)

@@ -1,0 +1,55 @@
+"""Fig. 11: total runtimes of BF15 / Twiglet3 / Path3 and SSG vs RSG.
+
+Paper shape: pruning-message runtimes are small; SSG's time for the Dealer
+to hold all positives' results is up to an order of magnitude below RSG's;
+Prilo* total (BF + Twiglet + SSG) beats Prilo (RSG).
+"""
+
+import pytest
+
+from _common import NUM_QUERIES, SNAP_DATASETS, bench_config, dataset, emit, format_row
+
+from repro.graph.query import Semantics
+from repro.workloads.experiments import pruning_study, retrieval_study
+
+
+@pytest.mark.parametrize("semantics", [Semantics.HOM, Semantics.SSIM])
+def test_fig11_runtimes(benchmark, semantics):
+    config = bench_config()
+
+    def collect():
+        rows = []
+        for name in SNAP_DATASETS:
+            ds = dataset(name)
+            queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3,
+                                        semantics=semantics, seed=6)
+            prune = pruning_study(ds, queries,
+                                  methods=("bf", "twiglet", "path"),
+                                  config=config, combine=())
+            sched = retrieval_study(ds, queries, k_values=(4,),
+                                    config=config)
+            rows.append((name, prune, sched))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    widths = (10, 10, 12, 10, 12, 12, 14, 12)
+    lines = [format_row(("dataset", "BF15(s)", "Twiglet3(s)", "Path3(s)",
+                         "SSG(s)", "RSG(s)", "Prilo*(s)", "Prilo(s)"),
+                        widths)]
+    for name, prune, sched in rows:
+        ssg = sum(r.ssg_all_positives for r in sched.records)
+        rsg = sum(r.rsg_all_positives for r in sched.records)
+        bf = prune.total_cost["bf"]
+        twiglet = prune.total_cost["twiglet"]
+        path = prune.total_cost["path"]
+        # Fig. 11's composition: Prilo* = BF + Twiglet + SSG; Prilo = RSG.
+        prilo_star = bf + twiglet + ssg
+        prilo = rsg
+        lines.append(format_row(
+            (name, f"{bf:.3f}", f"{twiglet:.3f}", f"{path:.3f}",
+             f"{ssg:.4f}", f"{rsg:.4f}", f"{prilo_star:.3f}",
+             f"{prilo:.3f}"), widths))
+        # SSG wins on aggregate (individual queries can tie when a single
+        # expensive positive dominates both schedules).
+        assert ssg <= rsg * 1.2 + 1e-9
+    emit(f"fig11_runtimes_{semantics.value}", lines)

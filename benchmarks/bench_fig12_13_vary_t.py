@@ -1,0 +1,44 @@
+"""Figs. 12-13: BF_t with t in {5, 15, 25}.
+
+Fig. 12: BF_t runtime grows with t until ~15 then saturates (fewer balls
+bypass, more filters built).  Fig. 13: a larger t prunes more negatives
+(bypassed balls are unprunable).
+"""
+
+from dataclasses import replace
+
+from _common import NUM_QUERIES, bench_config, dataset, emit, format_row
+
+from repro.workloads.experiments import pruning_study
+
+T_VALUES = (5, 15, 25)
+
+
+def test_fig12_13_vary_t(benchmark):
+    ds = dataset("slashdot")
+    queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3, seed=7)
+    base = bench_config()
+
+    def collect():
+        outcomes = {}
+        for t in T_VALUES:
+            config = replace(base, bf=replace(base.bf, threshold_t=t))
+            outcomes[t] = pruning_study(ds, queries, methods=("bf",),
+                                        config=config, combine=())
+        return outcomes
+
+    outcomes = benchmark.pedantic(collect, rounds=1, iterations=1)
+    widths = (8, 14, 14)
+    lines = [format_row(("t", "runtime(s)", "remaining"), widths)]
+    remaining = {}
+    for t in T_VALUES:
+        study = outcomes[t]
+        lines.append(format_row(
+            (t, f"{study.total_cost['bf']:.3f}", study.remaining("bf")),
+            widths))
+        remaining[t] = study.remaining("bf")
+        assert study.confusion["bf"].fn == 0
+    emit("fig12_13_bf_vary_t", lines)
+
+    # Fig. 13 shape: larger t never weakens pruning (fewer bypasses).
+    assert remaining[25] <= remaining[15] <= remaining[5]

@@ -1,0 +1,66 @@
+"""Figs. 16-17: SSG behaviour when the number of Players k varies.
+
+Fig. 16: speedup (RSG/SSG, capped at 100 as in the paper) against PPCR for
+k in {4, 8, 16} -- for small PPCRs the speedup *decreases* as k grows
+(each player's share shrinks until the single positive's own cost
+dominates), while at larger PPCRs it is insensitive to k.  Fig. 17: SSG's
+absolute time never grows with k.
+
+Both semantics run; the ssim workloads (64-label graphs, uniform per-ball
+verification cost) exhibit the paper's shape most cleanly, exactly as the
+paper's ssim panels do.
+"""
+
+from statistics import mean
+
+import pytest
+
+from _common import NUM_QUERIES, SNAP_DATASETS, bench_config, dataset, emit, format_row
+
+from repro.graph.query import Semantics
+from repro.workloads.experiments import retrieval_study
+
+K_VALUES = (4, 8, 16)
+
+
+@pytest.mark.parametrize("semantics", [Semantics.HOM, Semantics.SSIM])
+def test_fig16_17_vary_k(benchmark, semantics):
+    config = bench_config()
+
+    def collect():
+        studies = {}
+        for name in SNAP_DATASETS:
+            ds = dataset(name)
+            queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3,
+                                        semantics=semantics, seed=9)
+            studies[name] = retrieval_study(ds, queries, k_values=K_VALUES,
+                                            config=config)
+        return studies
+
+    studies = benchmark.pedantic(collect, rounds=1, iterations=1)
+    widths = (10, 6, 8, 10, 12, 12)
+    lines = [format_row(("dataset", "k", "PPCR", "speedup",
+                         "SSG(s)", "RSG(s)"), widths)]
+    speedup_by_k: dict[int, list[float]] = {k: [] for k in K_VALUES}
+    ssg_by_k: dict[int, list[float]] = {k: [] for k in K_VALUES}
+    for name, study in studies.items():
+        for record in study.records:
+            speedup = min(record.speedup, 100.0)  # the paper's cap
+            lines.append(format_row(
+                (name, record.k, f"{record.ppcr:.2f}", f"{speedup:.1f}x",
+                 f"{record.ssg_all_positives:.4f}",
+                 f"{record.rsg_all_positives:.4f}"), widths))
+            if record.ppcr < 0.3:
+                speedup_by_k[record.k].append(speedup)
+            ssg_by_k[record.k].append(record.ssg_all_positives)
+    lines.append("mean small-PPCR speedup per k: " + ", ".join(
+        f"k={k}: {mean(v):.1f}x" if v else f"k={k}: n/a"
+        for k, v in speedup_by_k.items()))
+    emit(f"fig16_17_vary_k_{semantics.value}", lines)
+
+    # Fig. 17 shape: more players never slow SSG down on average.
+    means = {k: mean(v) for k, v in ssg_by_k.items()}
+    assert means[16] <= means[4] * 1.1
+    # Fig. 16 shape (ssim panel): small-PPCR speedup shrinks with k.
+    if semantics is Semantics.SSIM and speedup_by_k[4]:
+        assert mean(speedup_by_k[4]) >= mean(speedup_by_k[16]) * 0.9

@@ -1,0 +1,66 @@
+"""Figs. 19-20: per-ball runtimes of BF15 and Twiglet3 by ball size.
+
+The paper presents boxplots of per-ball pruning cost grouped by |V_B|;
+here we emit the median per size bucket.  Shape: BF15's cost grows with
+ball size on every dataset (subtree enumeration depends on degrees);
+Twiglet3 grows mildly on the dense datasets and is flat on sparse DBLP.
+"""
+
+from _common import NUM_QUERIES, SNAP_DATASETS, bench_config, dataset, emit, format_row
+
+from repro.workloads.experiments import pruning_study
+from repro.workloads.stats import boxplot_summary
+
+
+def bucket(size: int) -> str:
+    if size < 50:
+        return "<50"
+    if size < 200:
+        return "50-200"
+    if size < 500:
+        return "200-500"
+    return ">=500"
+
+
+BUCKETS = ("<50", "50-200", "200-500", ">=500")
+
+
+def test_fig19_20_per_ball_runtimes(benchmark):
+    config = bench_config()
+
+    def collect():
+        studies = {}
+        for name in SNAP_DATASETS:
+            ds = dataset(name)
+            queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3,
+                                        seed=10)
+            studies[name] = pruning_study(ds, queries,
+                                          methods=("bf", "twiglet"),
+                                          config=config, combine=())
+        return studies
+
+    studies = benchmark.pedantic(collect, rounds=1, iterations=1)
+    # Footnote-8 boxplot series: per size bucket, the five-number summary
+    # (whisker / Q1 / median / Q3 / whisker) the paper plots.
+    widths = (10, 10, 8, 10, 30, 30)
+    lines = [format_row(("dataset", "|V_B|", "balls", "method",
+                         "box (lo/Q1/med/Q3/hi) ms", "outliers"), widths)]
+    for name, study in studies.items():
+        grouped: dict[str, list] = {b: [] for b in BUCKETS}
+        for record in study.balls:
+            grouped[bucket(record.ball_size)].append(record)
+        for b in BUCKETS:
+            records = grouped[b]
+            if not records:
+                continue
+            for method in ("bf", "twiglet"):
+                box = boxplot_summary(
+                    [r.costs[method] * 1e3 for r in records])
+                lines.append(format_row(
+                    (name, b, len(records), method,
+                     f"{box.whisker_low:.2f}/{box.q1:.2f}/"
+                     f"{box.median:.2f}/{box.q3:.2f}/"
+                     f"{box.whisker_high:.2f}",
+                     len(box.outliers)), widths))
+    emit("fig19_20_per_ball_runtimes", lines)
+    assert any(study.balls for study in studies.values())

@@ -1,0 +1,45 @@
+"""Fig. 21: BF15 and Twiglet3 runtimes on Twitter when |V_Q| varies.
+
+Paper shape: BF15's runtime increases slightly with |V_Q| (larger Sigma_Q
+means more distinct neighbor labels to enumerate); Twiglet3's increases
+clearly (both |V_Q| and |Sigma_Q| enlarge the tables Alg. 5 aggregates).
+"""
+
+from _common import NUM_QUERIES, bench_config, dataset, emit, format_row
+
+from repro.workloads.experiments import pruning_study
+
+VQ_VALUES = (6, 8, 10)
+
+
+def test_fig21_vary_vq(benchmark):
+    ds = dataset("twitter")
+    config = bench_config()
+
+    def collect():
+        outcomes = {}
+        for size in VQ_VALUES:
+            queries = ds.random_queries(NUM_QUERIES, size=size, diameter=3,
+                                        seed=11)
+            outcomes[size] = pruning_study(ds, queries,
+                                           methods=("bf", "twiglet"),
+                                           config=config, combine=())
+        return outcomes
+
+    outcomes = benchmark.pedantic(collect, rounds=1, iterations=1)
+    widths = (8, 10, 14, 18)
+    lines = [format_row(("|V_Q|", "balls", "BF15 (s)", "Twiglet3 (s)"),
+                        widths)]
+    twiglet_cost = {}
+    for size in VQ_VALUES:
+        study = outcomes[size]
+        twiglet_cost[size] = study.total_cost["twiglet"] / max(
+            study.candidates, 1)
+        lines.append(format_row(
+            (size, study.candidates,
+             f"{study.total_cost['bf']:.3f}",
+             f"{study.total_cost['twiglet']:.3f}"), widths))
+    emit("fig21_vary_vq", lines)
+
+    # Shape: per-ball twiglet cost does not shrink as queries grow.
+    assert twiglet_cost[10] >= twiglet_cost[6] * 0.5

@@ -1,0 +1,56 @@
+"""Empirical privacy games (Sec. 5 / App. B as measurements).
+
+Quantifies adversary advantages against the deployed mechanisms:
+
+* the paper's within-front SSG game (Eq. 3) -- must sit at 1/2;
+* the positional-prior enrichment a front-guesser extracts (the paper's
+  Eq. 4 tail prior made explicit) -- a documented reproduction finding;
+* CPA distinguishers against CGBE ciphertexts -- must sit at 1/2.
+"""
+
+from _common import emit, format_row
+
+from repro.analysis.adversary import (
+    CGBEDistinguisher,
+    SequenceAdversary,
+    cpa_game,
+    sequence_balanced_accuracy,
+    within_front_accuracy,
+)
+from repro.analysis.bounds import twiglet_attack_probability
+
+
+def test_privacy_games(benchmark):
+    def run_games():
+        rows = []
+        rows.append(("ssg/within-front (Eq.3)", within_front_accuracy(
+            num_balls=80, theta=0.15, k=4, rounds=60, seed=1), 0.5))
+        rows.append(("ssg/front-guess-25%", sequence_balanced_accuracy(
+            SequenceAdversary.front_guesser(0.25), num_balls=80,
+            theta=0.15, k=4, rounds=60, seed=1), None))
+        rows.append(("ssg/coin", sequence_balanced_accuracy(
+            SequenceAdversary.coin_flipper(2), num_balls=80, theta=0.15,
+            k=4, rounds=40, seed=2), 0.5))
+        for distinguisher in (CGBEDistinguisher.magnitude(),
+                              CGBEDistinguisher.parity(),
+                              CGBEDistinguisher.low_bits()):
+            outcome = cpa_game(distinguisher, trials=500, seed=5)
+            rows.append((f"cgbe/{outcome.name}", outcome.accuracy, 0.5))
+        return rows
+
+    rows = benchmark.pedantic(run_games, rounds=1, iterations=1)
+    widths = (26, 12, 22)
+    lines = [format_row(("game", "accuracy", "analytical ceiling"),
+                        widths)]
+    for name, accuracy, ceiling in rows:
+        ceiling_text = (f"{ceiling}" if ceiling is not None
+                        else "enriched prior (Eq.4)")
+        lines.append(format_row((name, f"{accuracy:.3f}", ceiling_text),
+                                widths))
+        if ceiling is not None:
+            assert abs(accuracy - ceiling) < 0.09, f"{name} leaks"
+    lines.append("")
+    lines.append("Prop. 8 reference bounds: "
+                 + ", ".join(f"n={n}: {twiglet_attack_probability(n):.2e}"
+                             for n in (1, 8, 32)))
+    emit("privacy_games", lines)

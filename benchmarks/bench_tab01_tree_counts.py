@@ -1,0 +1,64 @@
+"""Table 1: maximum numbers of 2-label binary trees per topology.
+
+Regenerates the closed-form counts for kappa = min(|Sigma_Q|, d_max) and
+cross-checks them against brute-force enumeration on a complete ball, then
+benchmarks the enumeration itself.
+"""
+
+from _common import emit, format_row
+
+from repro.core.encoding import LabelCodec
+from repro.core.trees import (
+    BF_TOPOLOGIES,
+    enumerate_center_tree_encodings,
+    max_tree_count,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def star_of_stars(kappa: int) -> tuple[LabeledGraph, int]:
+    """A depth-2 complete labeled tree realizing the Table 1 maxima:
+    a center connected to one vertex of each non-center label, each of
+    which is connected to vertices of all remaining labels."""
+    labels = {0: "L0"}
+    edges = []
+    next_id = 1
+    children = {}
+    for code in range(1, kappa):
+        labels[next_id] = f"L{code}"
+        edges.append((0, next_id))
+        children[code] = next_id
+        next_id += 1
+    for code, child in children.items():
+        for other in range(1, kappa):
+            if other == code:
+                continue
+            labels[next_id] = f"L{other}"
+            edges.append((child, next_id))
+            next_id += 1
+    return LabeledGraph.from_edges(labels, edges), 0
+
+
+def test_table1_counts(benchmark):
+    kappa = 7
+    graph, center = star_of_stars(kappa)
+    codec = LabelCodec.from_alphabet(graph.alphabet)
+
+    def enumerate_all():
+        return {
+            topology.name: enumerate_center_tree_encodings(
+                graph, center, codec, (topology,))[0]
+            for topology in BF_TOPOLOGIES
+        }
+
+    observed = benchmark(enumerate_all)
+    widths = (10, 26, 22)
+    lines = [format_row(("topology", "Table 1 formula (k=7)",
+                         "enumerated (complete)"), widths)]
+    for topology in BF_TOPOLOGIES:
+        formula = max_tree_count(topology, kappa)
+        count = len(observed[topology.name])
+        lines.append(format_row((topology.name, formula, count), widths))
+        assert count == formula, (
+            f"enumeration disagrees with Table 1 for {topology.name}")
+    emit("tab01_tree_counts", lines)

@@ -1,0 +1,40 @@
+"""Table 2: the 3-twiglet table T(u1) of the Fig. 3 query.
+
+Regenerates the table's rows (shape column + existence column) and
+benchmarks the user-side encrypted-table construction.
+"""
+
+from _common import emit, format_row
+
+from repro.core.twiglets import (
+    all_twiglet_shapes,
+    build_twiglet_tables,
+    twiglets_from,
+)
+from repro.crypto.cgbe import CGBE
+from repro.graph.generators import fig3_query
+
+
+def test_table2_twiglet_table(benchmark):
+    query = fig3_query()
+    cgbe = CGBE.generate(modulus_bits=1024, q_bits=16, r_bits=16, seed=2)
+
+    tables = benchmark(build_twiglet_tables, cgbe, query, 3)
+
+    u1_table = next(t for t in tables if t.start_label == "B")
+    present = twiglets_from(query.pattern, "u1", 3, query.alphabet)
+    widths = (22, 12, 12)
+    lines = [format_row(("3-twiglet t in T(u1)", "plaintext", "meaning"),
+                        widths)]
+    for key, ct in zip(u1_table.keys, u1_table.ciphertexts):
+        exists = key in present
+        # Table 2 encodes "exists" as plaintext 0 (the ciphertext carries
+        # the factor q); "not exists" as 1.
+        lines.append(format_row(
+            (key.render().replace("'", ""), 0 if exists else 1,
+             "exists" if exists else "not exists"), widths))
+        assert cgbe.has_factor_q(ct) == exists
+    emit("tab02_twiglet_table", lines)
+
+    shapes = all_twiglet_shapes("B", query.alphabet, 3)
+    assert len(shapes) == 9  # exactly Table 2's nine rows

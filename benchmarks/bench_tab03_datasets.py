@@ -1,0 +1,23 @@
+"""Table 3: dataset statistics (generated stand-ins vs paper figures)."""
+
+from _common import SNAP_DATASETS, dataset, emit, format_row
+
+from repro.workloads.experiments import dataset_statistics
+
+
+def test_table3_dataset_statistics(benchmark):
+    rows = benchmark(lambda: [dataset_statistics(dataset(name))
+                              for name in SNAP_DATASETS])
+    widths = (10, 10, 10, 8, 8, 14, 14)
+    lines = [format_row(("graph", "|V_G|", "|E_G|", "|S^H|", "|S^S|",
+                         "paper |V_G|", "paper |E_G|"), widths)]
+    for row in rows:
+        lines.append(format_row(
+            (row["name"], row["vertices"], row["edges"],
+             row["hom_labels"], row["ssim_labels"],
+             row["paper_vertices"], row["paper_edges"]), widths))
+        assert row["vertices"] > 0 and row["edges"] > 0
+    # Table 3 shape: Twitter is the densest, DBLP the sparsest.
+    by_name = {r["name"]: r["edge_vertex_ratio"] for r in rows}
+    assert by_name["twitter"] > by_name["slashdot"] > by_name["dblp"]
+    emit("tab03_datasets", lines)

@@ -1,0 +1,49 @@
+"""Table 4: candidate-ball statistics for random queries (default setting).
+
+One row per (dataset, label alphabet) as in the paper; Slashdot_100 vs
+Slashdot_64 etc.  The ssim variants use the 64-label graphs and produce
+more candidate balls with larger sizes -- the shape the paper reports.
+"""
+
+from _common import NUM_QUERIES, SNAP_DATASETS, bench_config, dataset, emit, format_row
+
+from repro.graph.query import Semantics
+from repro.workloads.experiments import ball_statistics
+
+
+def test_table4_ball_statistics(benchmark):
+    config = bench_config()
+
+    def collect():
+        rows = []
+        for name in SNAP_DATASETS:
+            ds = dataset(name)
+            for semantics in (Semantics.HOM, Semantics.SSIM):
+                queries = ds.random_queries(NUM_QUERIES, size=8, diameter=3,
+                                            semantics=semantics, seed=1)
+                row = ball_statistics(ds, queries, config)
+                row["variant"] = f"{name}_{row['labels']}"
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    widths = (14, 16, 10, 10, 10, 10, 10)
+    lines = [format_row(("graph", "balls/query", "avg|V_B|", "std|V_B|",
+                         "avg|E_B|", "std|E_B|", "maxdeg"), widths)]
+    for row in rows:
+        lines.append(format_row(
+            (row["variant"], f"{row['avg_balls_per_query']:.0f}",
+             f"{row['avg_ball_vertices']:.0f}",
+             f"{row['std_ball_vertices']:.0f}",
+             f"{row['avg_ball_edges']:.0f}",
+             f"{row['std_ball_edges']:.0f}", row["max_degree"]), widths))
+    emit("tab04_balls", lines)
+
+    by_variant = {r["variant"]: r for r in rows}
+    # Table 4 shape: the 64-label variants have more balls per query than
+    # the |Sigma^H| variants (fewer labels -> more centers per label).
+    for name in SNAP_DATASETS:
+        hom_variant = next(v for v in by_variant if v.startswith(name)
+                           and not v.endswith("_64"))
+        assert (by_variant[f"{name}_64"]["avg_balls_per_query"]
+                > by_variant[hom_variant]["avg_balls_per_query"])

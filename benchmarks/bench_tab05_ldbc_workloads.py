@@ -1,0 +1,27 @@
+"""Table 5: characteristics of the 20 LDBC business-intelligence workloads,
+plus instantiation of the 10 tested ones against the LDBC-like graph."""
+
+from _common import dataset, emit, format_row
+
+from repro.graph.ldbc import TESTED_WORKLOADS, WORKLOAD_SHAPES, workload_queries
+
+
+def test_table5_workloads(benchmark):
+    graph = dataset("ldbc").graph
+    queries = benchmark(workload_queries, graph)
+
+    widths = (6, 5, 5, 5, 8, 34)
+    lines = [format_row(("query", "|V|", "|S|", "d_Q", "tested", "remarks"),
+                        widths)]
+    for shape in WORKLOAD_SHAPES:
+        lines.append(format_row(
+            (shape.name, shape.num_vertices, shape.num_labels,
+             shape.diameter, "yes" if shape.tested else "no",
+             shape.remark), widths))
+    emit("tab05_ldbc_workloads", lines)
+
+    assert len(queries) == len(TESTED_WORKLOADS) == 10
+    for shape in TESTED_WORKLOADS:
+        query = queries[shape.name]
+        assert query.size == shape.num_vertices
+        assert query.diameter == shape.diameter

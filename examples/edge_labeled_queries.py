@@ -1,0 +1,74 @@
+"""Edge-labeled patterns via the paper's footnote-2 reduction.
+
+Some applications label relationships, not just entities ("phosphorylates"
+vs "binds").  Footnote 2 of the paper handles this by turning each labeled
+edge into an intermediate vertex carrying the edge's label; the whole
+privacy framework then runs unchanged.  This example queries a small
+interaction network where the *kind* of interaction matters.
+
+Run:  python examples/edge_labeled_queries.py
+"""
+
+from repro.framework import PriloConfig, PriloStar
+from repro.graph.edge_labels import (
+    EdgeLabeledGraph,
+    strip_match,
+    transform_query,
+)
+from repro.semantics.hom import find_homomorphisms
+
+
+def build_network() -> EdgeLabeledGraph:
+    """Proteins with typed interactions."""
+    vertices = {}
+    edges = {}
+    # A chain of kinases phosphorylating substrates, plus binding decoys.
+    for i in range(40):
+        vertices[f"k{i}"] = "kinase"
+        vertices[f"s{i}"] = "substrate"
+        edges[(f"k{i}", f"s{i}")] = ("phosphorylates" if i % 3 == 0
+                                     else "binds")
+        if i:
+            edges[(f"s{i - 1}", f"k{i}")] = "activates"
+    return EdgeLabeledGraph.from_edges(vertices, edges)
+
+
+def main() -> None:
+    network = build_network()
+    print(f"network: {network.num_vertices} proteins, "
+          f"{network.num_edges} typed interactions")
+
+    # Private pattern: kinase --phosphorylates--> substrate.
+    pattern = EdgeLabeledGraph.from_edges(
+        {"enzyme": "kinase", "target": "substrate"},
+        {("enzyme", "target"): "phosphorylates"})
+    query = transform_query(pattern)
+    print(f"pattern transformed to a {query.size}-vertex LGPQ "
+          f"(d_Q={query.diameter})")
+
+    transformed = network.transform()
+    engine = PriloStar.setup(
+        transformed,
+        PriloConfig(k_players=2, modulus_bits=1024, q_bits=24, r_bits=24,
+                    radii=(1, 2, 3, 4), seed=4))
+    result = engine.run(query)
+    print(f"candidates: {len(result.candidate_ids)}, "
+          f"pruned to {len(result.pm_positive_ids)}, "
+          f"matches: {result.num_matches}")
+
+    # Project matches back to original vertices.
+    sites = set()
+    for found in result.matches.values():
+        for match_graph in found:
+            for raw in find_homomorphisms(query, match_graph):
+                projected = strip_match(raw)
+                sites.add((projected["enzyme"], projected["target"]))
+    print("phosphorylation sites found:", sorted(sites)[:6], "...")
+    expected = {(f"k{i}", f"s{i}") for i in range(40) if i % 3 == 0}
+    assert sites == expected
+    print(f"exactly the {len(expected)} phosphorylates-edges -- the "
+          f"binds-typed decoys were correctly excluded")
+
+
+if __name__ == "__main__":
+    main()

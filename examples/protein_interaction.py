@@ -1,0 +1,94 @@
+"""The paper's motivating scenario (Example 1): protein-interaction search.
+
+A biotechnology company has discovered a valuable *autophagy pattern* and
+wants to find similar structures in a public protein-protein interaction
+(PPI) network hosted by a cloud service provider -- without revealing the
+pattern's structure to the provider.
+
+This example builds a synthetic PPI-like network (protein families as
+labels), expresses the autophagy pattern as an LGPQ under subgraph
+isomorphism, and shows what each party observes during processing.
+
+Run:  python examples/protein_interaction.py
+"""
+
+from repro import Semantics
+from repro.framework import PriloConfig, PriloStar
+from repro.graph import Query
+from repro.graph.generators import social_graph
+
+
+PROTEIN_FAMILIES = ["kinase", "ligase", "protease", "receptor",
+                    "chaperone", "transporter", "phosphatase", "gtpase"]
+
+
+def build_ppi_network(seed: int = 11):
+    """A synthetic PPI network: locality + hub proteins, family labels."""
+    graph = social_graph(num_vertices=900, lattice_neighbors=3,
+                         rewire_probability=0.08,
+                         num_labels=len(PROTEIN_FAMILIES), seed=seed,
+                         hubs=4, hub_degree=25)
+    # Relabel integer codes with family names for readability.
+    from repro.graph.labeled_graph import LabeledGraph
+
+    named = LabeledGraph()
+    for v in graph.vertices():
+        named.add_vertex(v, PROTEIN_FAMILIES[graph.label(v)])
+    for u, v in graph.edges():
+        named.add_edge(u, v)
+    return named
+
+
+def autophagy_pattern() -> Query:
+    """A small interaction motif: a kinase activating a ligase that
+    regulates two effectors (Fig. 1(a)'s role in the story)."""
+    return Query.from_edges(
+        labels={"k": "kinase", "l": "ligase",
+                "p": "protease", "c": "chaperone"},
+        edges=[("k", "l"), ("l", "p"), ("l", "c")],
+        semantics=Semantics.SUB_ISO,  # distinct proteins per role
+    )
+
+
+def main() -> None:
+    network = build_ppi_network()
+    pattern = autophagy_pattern()
+    print(f"public PPI network: {network}")
+    print(f"private autophagy pattern: {pattern}")
+
+    config = PriloConfig(k_players=4, modulus_bits=1024, q_bits=16,
+                         r_bits=16, seed=23)
+    engine = PriloStar.setup(network, config)
+    result = engine.run(pattern)
+
+    # ------------------------------------------------------------------
+    # What the service provider observed (public/ciphertext only):
+    # ------------------------------------------------------------------
+    print("\n-- service provider's view ------------------------------")
+    print(f"  query vertex labels: {sorted(pattern.alphabet)} "
+          f"(labels are not a privacy target, Sec. 2.3)")
+    print(f"  query diameter: {pattern.diameter}")
+    print(f"  encrypted adjacency matrix: "
+          f"{pattern.size}x{pattern.size} CGBE ciphertexts (opaque)")
+    print(f"  evaluated {result.schedule.evaluations} ball evaluations "
+          f"without learning which balls the user cares about")
+
+    # ------------------------------------------------------------------
+    # What the user obtained:
+    # ------------------------------------------------------------------
+    print("\n-- user's results ---------------------------------------")
+    print(f"  candidate balls: {len(result.candidate_ids)}, "
+          f"pruned to {len(result.pm_positive_ids)} positives, "
+          f"{len(result.verified_ids)} verified")
+    print(f"  matching interaction sites: {result.num_matches}")
+    for ball_id, matches in sorted(result.matches.items())[:5]:
+        for match in matches[:2]:
+            roles = {v: match.label(v) for v in sorted(match.vertices())}
+            print(f"    site around ball {ball_id}: {roles}")
+    if result.num_matches == 0:
+        print("    (no occurrence of the motif in this synthetic network;"
+              " try another seed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Ablation: how much does each pruning technique contribute?
+
+Runs the four oblivious pruning techniques (neighbor labels [17], paths
+[57], twiglets, and the TEE-backed bloom-filter trees) over the same
+workload and reports per-technique pruning power, cost, and the soundness
+invariant (no true positive is ever pruned).
+
+Run:  python examples/pruning_ablation.py
+"""
+
+from repro import Semantics
+from repro.framework import PriloConfig
+from repro.workloads import load_dataset, pruning_study
+
+
+def main() -> None:
+    dataset = load_dataset("slashdot", scale=0.5)
+    queries = dataset.random_queries(3, size=8, diameter=3,
+                                     semantics=Semantics.HOM, seed=2)
+    print(f"dataset: {dataset.graph}; workload: {len(queries)} "
+          f"random queries (|V_Q|=8, d_Q=3)")
+
+    config = PriloConfig(k_players=2, modulus_bits=1024, q_bits=16,
+                         r_bits=16, seed=9)
+    study = pruning_study(dataset, queries,
+                          methods=("neighbor", "path", "twiglet", "bf"),
+                          config=config, combine=("bf", "twiglet"))
+
+    print(f"\ncandidate balls: {study.candidates}")
+    print(f"{'method':<14} {'kept':>6} {'pruned':>7} {'PPCR':>6} "
+          f"{'false-neg':>9} {'cost(s)':>9}")
+    for method in ("neighbor", "path", "twiglet", "bf", "bf+twiglet"):
+        counts = study.confusion[method]
+        cost = study.total_cost.get(method, 0.0)
+        print(f"{method:<14} {counts.tp + counts.fp:>6} "
+              f"{counts.pruned:>7} {counts.ppcr:>6.2f} "
+              f"{counts.fn:>9} {cost:>9.3f}")
+        assert counts.fn == 0, "pruning must never drop a true positive"
+
+    print("\ntake-aways (mirroring Figs. 2a/10):")
+    print("  * neighbor labels are cheapest and weakest;")
+    print("  * twiglets dominate paths at similar cost;")
+    print("  * BF is weaker alone but its tree topology is orthogonal, so "
+          "BF+twiglet prunes the most.")
+
+
+if __name__ == "__main__":
+    main()

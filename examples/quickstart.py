@@ -1,0 +1,62 @@
+"""Quickstart: privacy-preserving localized graph pattern querying.
+
+Builds a small labeled data graph, outsources it (data owner -> service
+provider), encrypts a query on the user side, and retrieves the matching
+subgraphs without the service provider ever seeing the query's structure.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Semantics
+from repro.framework import PriloConfig, PriloStar
+from repro.graph import Query
+from repro.graph.generators import social_graph
+
+
+def main() -> None:
+    # --- the (public) data graph: a small labeled social network -------
+    graph = social_graph(num_vertices=600, lattice_neighbors=3,
+                         rewire_probability=0.05, num_labels=12, seed=42)
+    print(f"data graph: {graph}")
+
+    # --- the user's private pattern: a labeled twig --------------------
+    # Labels are integers 0..11 here; the *edges* below are the secret the
+    # framework protects from the service provider.
+    query = Query.from_edges(
+        labels={"boss": 3, "dev1": 7, "dev2": 5, "intern": 1},
+        edges=[("dev1", "boss"), ("dev2", "boss"), ("intern", "dev1")],
+        semantics=Semantics.HOM,
+    )
+    print(f"query: {query} (structure stays encrypted)")
+
+    # --- setup: data owner deploys balls, user gets keys ----------------
+    config = PriloConfig(k_players=4, modulus_bits=1024, q_bits=16,
+                         r_bits=16, seed=7)
+    engine = PriloStar.setup(graph, config)
+
+    # --- run: steps (1)-(9) of the protocol -----------------------------
+    result = engine.run(query)
+
+    print(f"\ncandidate balls (centers labeled {result.chosen_label!r}): "
+          f"{len(result.candidate_ids)}")
+    print(f"after pruning messages: {len(result.pm_positive_ids)} positives "
+          f"(methods: {sorted(result.pm_per_method)})")
+    print(f"balls verified to contain matches: {len(result.verified_ids)}")
+    print(f"sequence mode: {result.sequence_mode}; Dealer held all "
+          f"positives at t={result.schedule.all_positives:.4f}s "
+          f"(full evaluation ran to t={result.schedule.makespan:.4f}s)")
+
+    print(f"\nmatching subgraphs: {result.num_matches}")
+    for ball_id, matches in sorted(result.matches.items()):
+        for match in matches:
+            print(f"  ball {ball_id}: vertices "
+                  f"{sorted(match.vertices())}")
+
+    timings = result.metrics.timings
+    print(f"\nuser-side work: preprocess {timings.user_preprocessing:.3f}s, "
+          f"decrypt {timings.user_pm_decryption + timings.user_result_decryption:.3f}s, "
+          f"plaintext matching {timings.user_matching:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""LDBC-style business-intelligence workloads over an outsourced graph.
+
+Reproduces the Sec. 6.4 scenario end to end: a social-network graph with
+tag-class labels is outsourced; the analyst runs the Table 5 BI patterns
+privately and compares Prilo (baseline ordering) against Prilo* (pruning +
+secure early retrieval) per workload.
+
+Run:  python examples/social_network_bi.py
+"""
+
+from repro import Semantics
+from repro.framework import PriloConfig
+from repro.workloads import ldbc_study, load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("ldbc", scale=0.5)
+    print(f"LDBC-like social graph: {dataset.graph} "
+          f"(stand-in for SNB SF1, see DESIGN.md)")
+
+    config = PriloConfig(k_players=4, modulus_bits=1024, q_bits=16,
+                         r_bits=16, seed=5)
+    records = ldbc_study(dataset, Semantics.HOM, config=config)
+
+    print(f"\n{'query':<6} {'candidates':>10} {'PPCR':>6} {'mode':>7} "
+          f"{'SSG(s)':>9} {'RSG(s)':>9} {'speedup':>8} {'matches':>8}")
+    for record in records:
+        speedup = min(record.scheduling_speedup, 100.0)
+        print(f"{record.workload:<6} {record.candidates:>10} "
+              f"{record.ppcr:>6.2f} {record.mode:>7} "
+              f"{record.ssg_seconds:>9.4f} {record.rsg_seconds:>9.4f} "
+              f"{speedup:>7.1f}x {record.matches:>8}")
+
+    improved = sum(1 for r in records if r.scheduling_speedup > 1.25)
+    print(f"\nPrilo* clearly faster on {improved}/10 workloads; the "
+          f"high-PPCR ones tie because SSG falls back to random ordering "
+          f"(the paper observes the same 5/10 split).")
+
+
+if __name__ == "__main__":
+    main()

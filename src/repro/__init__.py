@@ -1,0 +1,44 @@
+"""Prilo / Prilo*: privacy preserving localized graph pattern query processing.
+
+A faithful Python reproduction of the SIGMOD 2023 paper "A Framework for
+Privacy Preserving Localized Graph Pattern Query Processing".
+
+Quickstart::
+
+    from repro import Semantics
+    from repro.framework import PriloStar
+    from repro.workloads import load_dataset
+
+    dataset = load_dataset("slashdot")            # scaled synthetic stand-in
+    engine = PriloStar.setup(dataset.graph, seed=1)
+    query = dataset.random_query(size=8, diameter=3,
+                                 semantics=Semantics.HOM)
+    result = engine.run(query)
+    print(result.matches)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.graph import (
+    Ball,
+    BallIndex,
+    LabeledGraph,
+    QGen,
+    Query,
+    Semantics,
+    extract_ball,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ball",
+    "BallIndex",
+    "LabeledGraph",
+    "QGen",
+    "Query",
+    "Semantics",
+    "extract_ball",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Privacy analysis as executable artifacts (Sec. 5, App. B).
+
+The paper's privacy analysis consists of probability bounds and
+obliviousness arguments.  This subpackage turns them into things you can
+*run*:
+
+* :mod:`~repro.analysis.bounds` -- the closed-form bounds: Prop. 8's
+  twiglet-attack probability, App. B.4's per-position guessing
+  probabilities for SSG (Eqs. 2-5), and the CGBE false-violation rate.
+* :mod:`~repro.analysis.adversary` -- empirical adversary games: a Player
+  that tries to pick out the positives from its SSG sequence, and a CPA
+  distinguisher against CGBE ciphertexts; both should do no better than
+  chance, which the tests assert statistically.
+* :mod:`~repro.analysis.traces` -- operation-trace recording for the SP
+  algorithms: two queries with equal label multisets must induce
+  *identical* traces (the operational meaning of query-obliviousness,
+  checked instruction-by-instruction rather than by argument).
+* :mod:`~repro.analysis.leakage` -- whole-run SP-observable profiles and
+  the audit asserting they are determined by public inputs alone.
+"""
+
+from repro.analysis.adversary import (
+    CGBEDistinguisher,
+    SequenceAdversary,
+    cpa_game,
+    sequence_guessing_game,
+    within_front_accuracy,
+)
+from repro.analysis.leakage import (
+    LeakageProfile,
+    assert_query_independent,
+    diff_profiles,
+)
+from repro.analysis.bounds import (
+    cgbe_false_violation_rate,
+    ssg_guess_probability,
+    twiglet_attack_probability,
+)
+from repro.analysis.traces import (
+    enumeration_trace,
+    traces_identical,
+    verification_trace,
+)
+
+__all__ = [
+    "CGBEDistinguisher",
+    "LeakageProfile",
+    "SequenceAdversary",
+    "assert_query_independent",
+    "cgbe_false_violation_rate",
+    "cpa_game",
+    "diff_profiles",
+    "enumeration_trace",
+    "sequence_guessing_game",
+    "ssg_guess_probability",
+    "traces_identical",
+    "twiglet_attack_probability",
+    "verification_trace",
+    "within_front_accuracy",
+]

@@ -1,0 +1,260 @@
+"""Empirical adversary games.
+
+Two attack surfaces from the security model (Sec. 2.3):
+
+* **Access-pattern attack on SSG** (:func:`sequence_guessing_game`): a
+  semi-honest Player sees only its ball-id sequence and tries to decide,
+  per ball, whether it is a positive.  App. B.4 caps the success
+  probability at 1/2 + eps; the game measures the advantage of the best
+  simple strategies (position-based, frequency-based) over many fresh
+  SSG runs.
+
+* **CPA game against CGBE** (:func:`cpa_game`): the adversary picks two
+  plaintexts, receives the encryption of one, and guesses which.  CGBE's
+  multiplicative blinding should reduce any efficient distinguisher to
+  chance.  The distinguishers implemented here are the natural ones
+  (magnitude, parity, residue tests); the game quantifies their advantage.
+
+These games cannot *prove* security, but they operationalize the paper's
+claims: the tests assert the measured advantages stay within statistical
+noise of zero, so a regression that leaks (say, sorting positives first
+without dummies, or forgetting a blinding factor) fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.retrieval import ssg_sequences
+from repro.crypto.cgbe import CGBE
+
+
+# ----------------------------------------------------------------------
+# SSG sequence-position adversary
+# ----------------------------------------------------------------------
+@dataclass
+class SequenceAdversary:
+    """A Player-side adversary guessing positives from sequence positions.
+
+    ``strategy`` maps (position, sequence_length) -> guess (True =
+    positive).  The obvious attack is "early positions are positives"
+    (front-guessing); SSG defeats it by mixing negatives into the front
+    section and duplicating every ball as a dummy elsewhere.
+    """
+
+    strategy: Callable[[int, int], bool]
+    name: str = "adversary"
+
+    @classmethod
+    def front_guesser(cls, fraction: float = 0.25) -> "SequenceAdversary":
+        """Guess positive iff the ball sits in the leading ``fraction``."""
+        return cls(strategy=lambda pos, n: pos < max(1, int(n * fraction)),
+                   name=f"front-{fraction}")
+
+    @classmethod
+    def coin_flipper(cls, seed: int = 0) -> "SequenceAdversary":
+        rng = random.Random(seed)
+        return cls(strategy=lambda pos, n: rng.random() < 0.5,
+                   name="coin")
+
+
+@dataclass
+class GameOutcome:
+    """Accuracy bookkeeping of one adversary over one game."""
+
+    name: str
+    correct: int = 0
+    trials: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.trials if self.trials else 0.0
+
+    @property
+    def advantage(self) -> float:
+        """|accuracy - 1/2|, the quantity the analysis bounds."""
+        return abs(self.accuracy - 0.5)
+
+
+def sequence_guessing_game(
+    adversaries: Sequence[SequenceAdversary],
+    num_balls: int = 60,
+    theta: float = 0.15,
+    k: int = 4,
+    rounds: int = 50,
+    seed: int = 0,
+) -> list[GameOutcome]:
+    """Run ``rounds`` fresh SSG generations and score each adversary.
+
+    Per ball occurrence the adversary guesses positive/negative from the
+    position alone; balanced scoring (equal weight on positives and
+    negatives) so "always guess negative" gains nothing from the skewed
+    base rate: accuracy = (TPR + TNR) / 2, whose ceiling for a blind
+    adversary is 1/2.
+    """
+    rng = random.Random(seed)
+    ids = list(range(num_balls))
+    num_positives = max(1, int(num_balls * theta))
+    outcomes = [GameOutcome(name=a.name) for a in adversaries]
+    for round_index in range(rounds):
+        positives = set(rng.sample(ids, num_positives))
+        sequences, mode = ssg_sequences(ids, positives, k,
+                                        seed=rng.randrange(1 << 30))
+        for adversary, outcome in zip(adversaries, outcomes):
+            tp = tn = fp = fn = 0
+            for seq in sequences:
+                n = len(seq.sequence)
+                for pos, ball in enumerate(seq.sequence):
+                    guess = adversary.strategy(pos, n)
+                    actual = ball in positives
+                    if guess and actual:
+                        tp += 1
+                    elif guess:
+                        fp += 1
+                    elif actual:
+                        fn += 1
+                    else:
+                        tn += 1
+            tpr = tp / (tp + fn) if tp + fn else 0.5
+            tnr = tn / (tn + fp) if tn + fp else 0.5
+            balanced = (tpr + tnr) / 2
+            # Score one balanced-accuracy Bernoulli trial per round.
+            outcome.trials += 1
+            outcome.correct += 1 if rng.random() < balanced else 0
+    return outcomes
+
+
+def sequence_balanced_accuracy(
+    adversary: SequenceAdversary,
+    num_balls: int = 60,
+    theta: float = 0.15,
+    k: int = 4,
+    rounds: int = 50,
+    seed: int = 0,
+) -> float:
+    """The adversary's mean balanced accuracy over fresh SSG runs.
+
+    NOTE on interpretation: App. B.4 bounds the probability of identifying
+    *which* ball is positive given its position; it does **not** claim the
+    positional *prior* is flat -- its own Eq. 4 computes a distinct tail
+    prior.  A front-guesser therefore legitimately scores above 1/2 on
+    balanced accuracy (the front section is ~50% positives, the tail ~theta/2);
+    what must stay at 1/2 is the within-front game below
+    (:func:`within_front_accuracy`).  EXPERIMENTS.md discusses this
+    reproduction finding.
+    """
+    rng = random.Random(seed)
+    ids = list(range(num_balls))
+    num_positives = max(1, int(num_balls * theta))
+    total = 0.0
+    for _ in range(rounds):
+        positives = set(rng.sample(ids, num_positives))
+        sequences, _ = ssg_sequences(ids, positives, k,
+                                     seed=rng.randrange(1 << 30))
+        tp = tn = fp = fn = 0
+        for seq in sequences:
+            n = len(seq.sequence)
+            for pos, ball in enumerate(seq.sequence):
+                guess = adversary.strategy(pos, n)
+                actual = ball in positives
+                if guess and actual:
+                    tp += 1
+                elif guess:
+                    fp += 1
+                elif actual:
+                    fn += 1
+                else:
+                    tn += 1
+        tpr = tp / (tp + fn) if tp + fn else 0.5
+        tnr = tn / (tn + fp) if tn + fp else 0.5
+        total += (tpr + tnr) / 2
+    return total / rounds
+
+
+def within_front_accuracy(
+    num_balls: int = 60,
+    theta: float = 0.15,
+    k: int = 4,
+    rounds: int = 50,
+    seed: int = 0,
+) -> float:
+    """The paper's exact Eq. 3 game: *among the balls before the SCP*,
+    guess which are positive.
+
+    The front is a random permutation of equally many positives and
+    negatives (SSG's set construction), so any position-based rule within
+    it succeeds with probability 1/2 -- this is what the tests pin down.
+    The adversary here uses the strongest positional rule available:
+    "the earliest half of the front is positive".
+    """
+    rng = random.Random(seed)
+    ids = list(range(num_balls))
+    num_positives = max(1, int(num_balls * theta))
+    correct = 0
+    scored = 0
+    for _ in range(rounds):
+        positives = set(rng.sample(ids, num_positives))
+        sequences, mode = ssg_sequences(ids, positives, k,
+                                        seed=rng.randrange(1 << 30))
+        if mode != "early":
+            continue
+        for seq in sequences:
+            front = seq.sequence[:seq.scp or 0]
+            half = len(front) // 2
+            for pos, ball in enumerate(front):
+                guess = pos < half
+                correct += 1 if guess == (ball in positives) else 0
+                scored += 1
+    return correct / scored if scored else 0.5
+
+
+# ----------------------------------------------------------------------
+# CPA game against CGBE
+# ----------------------------------------------------------------------
+@dataclass
+class CGBEDistinguisher:
+    """A ciphertext distinguisher: value -> guess of which plaintext."""
+
+    decide: Callable[[int, int], bool]  # (ciphertext value, modulus) -> m1?
+    name: str = "distinguisher"
+
+    @classmethod
+    def magnitude(cls) -> "CGBEDistinguisher":
+        """Guess the larger plaintext for larger ciphertext values."""
+        return cls(decide=lambda value, modulus: value > modulus // 2,
+                   name="magnitude")
+
+    @classmethod
+    def parity(cls) -> "CGBEDistinguisher":
+        return cls(decide=lambda value, modulus: value % 2 == 1,
+                   name="parity")
+
+    @classmethod
+    def low_bits(cls) -> "CGBEDistinguisher":
+        return cls(decide=lambda value, modulus: (value & 0xFF) > 127,
+                   name="low-bits")
+
+
+def cpa_game(distinguisher: CGBEDistinguisher,
+             trials: int = 400, seed: int = 0,
+             modulus_bits: int = 512) -> GameOutcome:
+    """The CPA indistinguishability game: E(1) vs E(q), fresh blinds.
+
+    The pair (1, q) is exactly the distinction the protocol must hide
+    (edge vs non-edge in ``M^E_Qe``, exists vs not in twiglet tables).
+    """
+    scheme = CGBE.generate(modulus_bits=modulus_bits, q_bits=24, r_bits=24,
+                           seed=seed)
+    rng = random.Random(seed + 1)
+    outcome = GameOutcome(name=distinguisher.name)
+    for _ in range(trials):
+        encrypt_q = rng.random() < 0.5
+        ciphertext = (scheme.encrypt_q() if encrypt_q
+                      else scheme.encrypt(1))
+        guess = distinguisher.decide(ciphertext.value,
+                                     scheme.params.modulus)
+        outcome.trials += 1
+        outcome.correct += 1 if guess == encrypt_q else 0
+    return outcome

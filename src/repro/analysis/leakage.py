@@ -1,0 +1,98 @@
+"""SP-observable leakage accounting.
+
+Everything the service provider can observe about a run -- counts, sizes,
+orderings, bypass flags -- gathered into one comparable record.  The
+access-pattern privacy claim (Sec. 2.3) says these observables must be a
+function of *public* inputs (graph, labels, diameter, parameters) only;
+:func:`assert_query_independent` operationalizes that as an equality check
+between runs of structurally different queries with the same public view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.prilo import QueryResult
+
+
+@dataclass(frozen=True)
+class LeakageProfile:
+    """The SP's complete observable view of one query run."""
+
+    chosen_label_repr: str
+    diameter: int
+    vertex_labels: tuple[str, ...]
+    num_candidates: int
+    sequence_lengths: tuple[int, ...]
+    evaluations: int
+    result_ciphertexts: int
+    pm_message_bytes: int
+    bypassed_balls: int
+
+    @classmethod
+    def of(cls, result: QueryResult) -> "LeakageProfile":
+        return cls(
+            chosen_label_repr=repr(result.chosen_label),
+            diameter=result.query.diameter,
+            vertex_labels=tuple(
+                repr(result.query.label(u))
+                for u in result.query.vertex_order),
+            num_candidates=len(result.candidate_ids),
+            sequence_lengths=tuple(len(s) for s in result.sequences),
+            evaluations=result.schedule.evaluations,
+            result_ciphertexts=result.metrics.sizes.ciphertext_results,
+            pm_message_bytes=result.metrics.sizes.pruning_messages,
+            bypassed_balls=result.metrics.bypassed_balls,
+        )
+
+    def public_view(self) -> dict:
+        """The fields a privacy audit compares."""
+        return {
+            "chosen_label": self.chosen_label_repr,
+            "diameter": self.diameter,
+            "vertex_labels": self.vertex_labels,
+            "num_candidates": self.num_candidates,
+            "sequence_lengths": self.sequence_lengths,
+            "evaluations": self.evaluations,
+            "result_ciphertexts": self.result_ciphertexts,
+            "pm_message_bytes": self.pm_message_bytes,
+            "bypassed_balls": self.bypassed_balls,
+        }
+
+
+def diff_profiles(a: LeakageProfile, b: LeakageProfile) -> dict[str, tuple]:
+    """The observables on which two runs differ (empty = indistinguishable
+    up to ciphertext randomness)."""
+    differences: dict[str, tuple] = {}
+    for key, value_a in a.public_view().items():
+        value_b = b.public_view()[key]
+        if value_a != value_b:
+            differences[key] = (value_a, value_b)
+    return differences
+
+
+#: Observables that legitimately vary with the user's *deliberate* step-4
+#: disclosure (the decrypted positive/negative split drives SSG's early vs
+#: normal mode, hence sequence lengths and total evaluation counts).
+DISCLOSURE_DEPENDENT = frozenset({"sequence_lengths", "evaluations"})
+
+
+def assert_query_independent(a: QueryResult, b: QueryResult,
+                             ignore: frozenset[str] = frozenset()) -> None:
+    """Raise AssertionError naming any observable that distinguishes two
+    runs whose queries share labels/diameter but differ in structure.
+
+    For the baseline Prilo (no pruning, RSG) every field must match.  For
+    Prilo\\* pass ``ignore=DISCLOSURE_DEPENDENT``: the user's step-4
+    disclosure of positive/negative bits is its own choice, not an SP
+    inference, and SSG's geometry follows from it; everything the SP
+    derives *without* that disclosure still may not differ.
+    """
+    differences = diff_profiles(LeakageProfile.of(a), LeakageProfile.of(b))
+    relevant = {key: value for key, value in differences.items()
+                if key not in ignore}
+    if relevant:
+        raise AssertionError(
+            "SP-observable difference between label-equal queries: "
+            + ", ".join(f"{key}: {va!r} != {vb!r}"
+                        for key, (va, vb) in relevant.items()))

@@ -1,0 +1,78 @@
+"""Operation-trace recording: obliviousness checked instruction-by-step.
+
+The paper's query-obliviousness proofs (App. A.2) argue that the SP-side
+algorithms "execute the same lines of code" for any two queries agreeing
+on labels.  This module makes that checkable: it replays the enumeration
+and verification algorithms while recording an abstract *trace* -- the
+sequence of data-dependent decisions an observer co-located with the SP
+could time or count -- and compares traces across queries.
+
+A trace event is a small tuple; two queries are oblivious-equivalent on a
+ball iff their traces are identical element-for-element.  The recorded
+events deliberately include everything observable (which candidate-set
+entries are touched, which matrix cells are loaded, product lengths) and
+exclude ciphertext *values* (random blinds differ by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.enumeration import candidate_vertices, iter_cmms
+from repro.graph.ball import Ball
+from repro.graph.query import Query
+
+TraceEvent = tuple[Hashable, ...]
+
+
+def enumeration_trace(query: Query, ball: Ball,
+                      limit: int | None = None) -> list[TraceEvent]:
+    """The observable event stream of Alg. 1 on one ball.
+
+    Events: the CV-set sizes probed per row, then one event per emitted
+    CMM carrying only its assignment (ball-side data).
+    """
+    trace: list[TraceEvent] = []
+    cv = candidate_vertices(query, ball)
+    for u in query.vertex_order:
+        trace.append(("cv", len(cv[u])))
+    count = 0
+    for cmm in iter_cmms(query, ball):
+        trace.append(("cmm", cmm.assignment))
+        count += 1
+        if limit is not None and count >= limit:
+            trace.append(("truncated",))
+            break
+    return trace
+
+
+def verification_trace(query: Query, ball: Ball,
+                       limit: int | None = None) -> list[TraceEvent]:
+    """The observable event stream of Alg. 2 over a ball's CMMs.
+
+    Per CMM: the sequence of (i, j, projected-bit) cell accesses in the
+    fixed row-major order, i.e. everything a memory-access observer sees.
+    The *choice* of multiplying M^E_Qe[i][j] versus c_one depends only on
+    the projected bit -- ball-side data -- so the trace is fully
+    determined by (labels, ball), never by E_Q.
+    """
+    trace: list[TraceEvent] = []
+    n = query.size
+    count = 0
+    for cmm in iter_cmms(query, ball):
+        projected = cmm.project(ball.graph)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                trace.append(("cell", i, j, int(projected[i, j])))
+        trace.append(("product", n * (n - 1)))
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return trace
+
+
+def traces_identical(a: list[TraceEvent], b: list[TraceEvent]) -> bool:
+    """Element-wise equality; trivially, but named for call-site clarity."""
+    return a == b

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats <dataset>``             -- Table 3-style statistics.
+* ``run <dataset>``               -- run one random query end to end and
+                                     report matches, pruning, and timings.
+* ``workloads``                   -- the ten LDBC BI workloads (Fig. 18).
+* ``prune <dataset>``             -- pruning-technique ablation (Fig. 2a).
+
+All commands accept ``--scale`` (dataset size multiplier) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.framework.prilo import PriloConfig
+from repro.framework.prilo_star import PriloStar
+from repro.graph.query import Semantics
+from repro.workloads.datasets import DATASET_SPECS, load_dataset
+from repro.workloads.experiments import (
+    dataset_statistics,
+    ldbc_study,
+    pruning_study,
+)
+
+
+def _config(args: argparse.Namespace) -> PriloConfig:
+    return PriloConfig(k_players=args.players, modulus_bits=args.modulus,
+                       q_bits=16 if args.modulus <= 1024 else 32,
+                       r_bits=16 if args.modulus <= 1024 else 32,
+                       seed=args.seed)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    row = dataset_statistics(load_dataset(args.dataset, scale=args.scale))
+    for key, value in row.items():
+        print(f"{key:>20}: {value}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    semantics = Semantics(args.semantics)
+    query = dataset.random_query(size=args.size, diameter=args.diameter,
+                                 semantics=semantics, seed=args.seed)
+    print(f"dataset: {dataset.graph}")
+    print(f"query:   {query}")
+    engine = PriloStar.setup(dataset.graph_for(semantics), _config(args))
+    result = engine.run(query)
+    timings = result.metrics.timings
+    print(f"candidates: {len(result.candidate_ids)}  "
+          f"PM-positives: {len(result.pm_positive_ids)}  "
+          f"verified: {len(result.verified_ids)}  "
+          f"matches: {result.num_matches}")
+    print(f"sequence mode: {result.sequence_mode}; all positives at "
+          f"t={result.schedule.all_positives:.4f}s of "
+          f"{result.schedule.makespan:.4f}s total evaluation")
+    print(f"timings: preprocess={timings.user_preprocessing:.3f}s "
+          f"pm={timings.pm_computation:.3f}s "
+          f"eval={timings.evaluation:.3f}s "
+          f"match={timings.user_matching:.3f}s")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    dataset = load_dataset("ldbc", scale=args.scale)
+    records = ldbc_study(dataset, Semantics(args.semantics),
+                         config=_config(args), seed=args.seed)
+    print(f"{'query':<6} {'cands':>6} {'PPCR':>6} {'mode':>7} "
+          f"{'SSG(s)':>9} {'RSG(s)':>9} {'speedup':>8}")
+    for r in records:
+        print(f"{r.workload:<6} {r.candidates:>6} {r.ppcr:>6.2f} "
+              f"{r.mode:>7} {r.ssg_seconds:>9.4f} {r.rsg_seconds:>9.4f} "
+              f"{min(r.scheduling_speedup, 100):>7.1f}x")
+    return 0
+
+
+def cmd_prune(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    semantics = Semantics(args.semantics)
+    queries = dataset.random_queries(args.queries, size=args.size,
+                                     diameter=args.diameter,
+                                     semantics=semantics, seed=args.seed)
+    study = pruning_study(dataset, queries,
+                          methods=("neighbor", "path", "twiglet", "bf"),
+                          config=_config(args))
+    print(f"candidates: {study.candidates}")
+    print(f"{'method':<14} {'kept':>6} {'PPCR':>6} {'cost(s)':>9}")
+    for method in study.confusion:
+        counts = study.confusion[method]
+        print(f"{method:<14} {counts.tp + counts.fp:>6} "
+              f"{counts.ppcr:>6.2f} "
+              f"{study.total_cost.get(method, 0.0):>9.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prilo/Prilo*: privacy preserving LGPQ processing")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset size multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--players", type=int, default=4,
+                        help="number of Player servers (k)")
+    parser.add_argument("--modulus", type=int, default=1024,
+                        help="CGBE modulus bits (paper: 4096)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sorted(DATASET_SPECS)
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table 3)")
+    p_stats.add_argument("dataset", choices=datasets)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_run = sub.add_parser("run", help="run one random query end to end")
+    p_run.add_argument("dataset", choices=datasets)
+    p_run.add_argument("--size", type=int, default=8)
+    p_run.add_argument("--diameter", type=int, default=3)
+    p_run.add_argument("--semantics", default="hom",
+                       choices=[s.value for s in Semantics])
+    p_run.set_defaults(func=cmd_run)
+
+    p_work = sub.add_parser("workloads",
+                            help="LDBC BI workloads (Fig. 18)")
+    p_work.add_argument("--semantics", default="hom",
+                        choices=[s.value for s in Semantics])
+    p_work.set_defaults(func=cmd_workloads)
+
+    p_prune = sub.add_parser("prune", help="pruning ablation (Fig. 2a)")
+    p_prune.add_argument("dataset", choices=datasets)
+    p_prune.add_argument("--queries", type=int, default=3)
+    p_prune.add_argument("--size", type=int, default=8)
+    p_prune.add_argument("--diameter", type=int, default=3)
+    p_prune.add_argument("--semantics", default="hom",
+                         choices=[s.value for s in Semantics])
+    p_prune.set_defaults(func=cmd_prune)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

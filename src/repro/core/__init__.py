@@ -1,0 +1,35 @@
+"""The paper's core algorithms.
+
+* :mod:`~repro.core.encoding` -- the ``M_Qe`` prime encoding (Sec. 3.2) and
+  the canonical label / tree encodings of Sec. 4.1.2.
+* :mod:`~repro.core.enumeration` -- Alg. 1, candidate enumeration (CMMs).
+* :mod:`~repro.core.verification` -- Alg. 2, query-oblivious verification,
+  plaintext and CGBE-ciphertext variants.
+* :mod:`~repro.core.trees` -- h-label binary trees (Def. 3), the ten
+  topologies of Fig. 6, and Alg. 4's subtree enumeration.
+* :mod:`~repro.core.bf_pruning` -- the BF pruning pipeline (Sec. 4.1.2).
+* :mod:`~repro.core.twiglets` -- h-twiglets, twiglet tables (Table 2), and
+  Alg. 5 ``TwigletPrune``.
+* :mod:`~repro.core.paths` -- the Path_h pruning baseline of [57].
+* :mod:`~repro.core.neighbors` -- the neighbor-label pruning baseline of [17].
+* :mod:`~repro.core.retrieval` -- SSG / RSG secure sequence generation
+  (Sec. 4.3).
+"""
+
+from repro.core.encoding import LabelCodec, encode_query_matrix, encrypt_query_matrix
+from repro.core.enumeration import CandidateEnumeration, enumerate_cmms
+from repro.core.retrieval import PlayerSequence, rsg_sequences, ssg_sequences
+from repro.core.verification import verify_ciphertext, verify_plaintext
+
+__all__ = [
+    "CandidateEnumeration",
+    "LabelCodec",
+    "PlayerSequence",
+    "encode_query_matrix",
+    "encrypt_query_matrix",
+    "enumerate_cmms",
+    "rsg_sequences",
+    "ssg_sequences",
+    "verify_ciphertext",
+    "verify_plaintext",
+]

@@ -1,0 +1,133 @@
+"""Shared CGBE aggregation machinery.
+
+Alg. 2 (verification), Alg. 5 (twiglet pruning) and the path/neighbor
+baselines all share one algebraic pattern: per *item* (a CMM, a query
+vertex's table) the SP multiplies a fixed-length list of ciphertexts --
+factor ``q`` marks a violation -- and per ball it sums the items, so that
+the decrypted sum is a multiple of ``q`` iff *every* item violated.
+
+Summing is only well-formed when each item's product fits one ciphertext
+under the overflow budget (see :class:`repro.crypto.cgbe.AggregationBudget`).
+When it does not, products are split into equal-size *chunks* and forwarded
+per item; the user then accepts a ball iff some item has every chunk free of
+the factor ``q``.  Chunk counts depend only on public parameters and
+``|V_Q|`` / ``|Sigma_Q|``, so the layout choice leaks nothing about the
+query's edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cgbe import CGBE, CGBECiphertext, CGBEPublicParams
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Layout of per-item products for one (query, parameter) combination.
+
+    ``factors`` -- the fixed product length per item;
+    ``chunk_factors`` -- factors fitting one ciphertext;
+    ``chunks_per_item`` -- resulting ciphertexts per item;
+    ``summable`` -- whether items may be summed into one ciphertext
+    (the paper's exact aggregation).
+    """
+
+    factors: int
+    chunk_factors: int
+    chunks_per_item: int
+    summable: bool
+
+    @classmethod
+    def plan(cls, params: CGBEPublicParams, factors: int,
+             expected_terms: int = 1 << 16) -> "ChunkPlan":
+        if factors < 1:
+            raise ValueError("need at least one factor per item")
+        chunk = params.budget.max_factors(terms=expected_terms)
+        if chunk < 1:
+            raise ValueError(
+                f"CGBE modulus of {params.modulus_bits} bits cannot hold a "
+                f"single {params.budget.bits_per_factor}-bit factor")
+        if chunk >= factors:
+            return cls(factors=factors, chunk_factors=factors,
+                       chunks_per_item=1, summable=True)
+        chunks = -(-factors // chunk)
+        return cls(factors=factors, chunk_factors=chunk,
+                   chunks_per_item=chunks, summable=False)
+
+
+def chunked_product(params: CGBEPublicParams,
+                    factors: list[CGBECiphertext],
+                    c_one: CGBECiphertext,
+                    plan: ChunkPlan) -> list[CGBECiphertext]:
+    """Multiply one item's factors according to ``plan``.
+
+    Short inputs are padded with ``c_one`` so every chunk has exactly
+    ``plan.chunk_factors`` factors (constant powers, constant work).
+    """
+    if len(factors) > plan.factors:
+        raise ValueError(f"item has {len(factors)} factors, plan allows "
+                         f"{plan.factors}")
+    padded = list(factors)
+    while len(padded) < plan.factors:
+        padded.append(c_one)
+    chunks: list[CGBECiphertext] = []
+    for start in range(0, plan.factors, plan.chunk_factors):
+        chunk = padded[start:start + plan.chunk_factors]
+        while len(chunk) < plan.chunk_factors:
+            chunk.append(c_one)
+        chunks.append(CGBE.product(params, chunk))
+    return chunks
+
+
+@dataclass
+class BallCiphertextResult:
+    """The per-ball ciphertext payload sent toward the user.
+
+    Exactly one of the shapes is populated:
+
+    * ``summed`` -- the paper's single aggregated ciphertext;
+    * ``per_item`` -- chunk lists per item (budget-constrained layout);
+    * ``bypassed`` -- the ball skipped this computation (footnote 6);
+    * ``empty`` -- there was nothing to aggregate (no CMM / no matching
+      table), which itself proves the ball spurious.
+    """
+
+    ball_id: int
+    summed: CGBECiphertext | None = None
+    per_item: list[list[CGBECiphertext]] | None = None
+    bypassed: bool = False
+    empty: bool = False
+
+    def ciphertext_count(self) -> int:
+        if self.summed is not None:
+            return 1
+        if self.per_item is not None:
+            return sum(len(chunks) for chunks in self.per_item)
+        return 0
+
+
+def aggregate_items(params: CGBEPublicParams, ball_id: int,
+                    item_chunk_lists: list[list[CGBECiphertext]],
+                    plan: ChunkPlan) -> BallCiphertextResult:
+    """Combine per-item chunk lists into the ball's result."""
+    if not item_chunk_lists:
+        return BallCiphertextResult(ball_id=ball_id, empty=True)
+    if plan.summable:
+        terms = [chunks[0] for chunks in item_chunk_lists]
+        return BallCiphertextResult(ball_id=ball_id,
+                                    summed=CGBE.sum_(params, terms))
+    return BallCiphertextResult(ball_id=ball_id, per_item=item_chunk_lists)
+
+
+def decide_positive(cgbe: CGBE, result: BallCiphertextResult) -> bool:
+    """User-side decryption: True = the ball survives (positive)."""
+    if result.bypassed:
+        return True
+    if result.empty:
+        return False
+    if result.summed is not None:
+        return not cgbe.has_factor_q(result.summed)
+    assert result.per_item is not None
+    return any(all(not cgbe.has_factor_q(chunk) for chunk in chunks)
+               for chunks in result.per_item)

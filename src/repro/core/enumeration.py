@@ -1,0 +1,138 @@
+"""Candidate enumeration -- Alg. 1 (``CanEnum``).
+
+Enumerates the candidate mapping matrices (CMMs, Def. 2) of a ball for a
+query.  Faithful to the paper's obliviousness contract: *everything here
+depends only on the query's vertex set and labels* (``V_Q``, ``Sigma_Q``,
+``L_Q``), never on ``E_Q``.  The Player runs this on plaintext balls while
+the query's edges stay encrypted.
+
+Two refinements the paper calls out are implemented explicitly:
+
+* ``opt()`` (Alg. 1 line 3, after [18]): ball minimization by labels --
+  vertices whose label is not in ``Sigma_Q`` can never be matched and are
+  dropped from the candidate sets.  Label-only, hence still oblivious.
+* Footnote 6's bypass: balls whose enumeration would explode are cut off at
+  ``limit`` CMMs and flagged ``truncated``; the framework treats them as
+  positives rather than spending unbounded time.  The limit is a public
+  constant, so obliviousness is unaffected.
+
+The center-containment rule (Alg. 1 lines 11-12, justified by Prop. 2) is
+enforced during the recursion with a label-based feasibility cut: a partial
+assignment that has not used the center and whose remaining rows cannot
+possibly map to it (no remaining row carries the center's label) is
+abandoned early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.graph.ball import Ball
+from repro.graph.labeled_graph import Vertex
+from repro.graph.matrix import CandidateMappingMatrix
+from repro.graph.query import Query
+
+
+@dataclass
+class CandidateEnumeration:
+    """The outcome of Alg. 1 on one ball."""
+
+    cmms: list[CandidateMappingMatrix] = field(default_factory=list)
+    truncated: bool = False
+    enumerated: int = 0
+
+    @property
+    def is_spurious(self) -> bool:
+        """No CMM and no truncation: the ball center cannot be matched."""
+        return not self.cmms and not self.truncated
+
+
+def candidate_vertices(query: Query, ball: Ball,
+                       ) -> dict[Vertex, list[Vertex]]:
+    """``CV(u)`` (Alg. 1 lines 6-9): the ball vertices sharing ``u``'s label.
+
+    Ordering is deterministic so enumeration is reproducible.
+    """
+    by_label: dict[object, list[Vertex]] = {}
+    for label in query.alphabet:
+        by_label[label] = sorted(ball.graph.vertices_with_label(label),
+                                 key=repr)
+    return {u: by_label[query.label(u)] for u in query.vertex_order}
+
+
+def iter_cmms(query: Query, ball: Ball,
+              injective: bool = False) -> Iterator[CandidateMappingMatrix]:
+    """Lazy enumeration of all CMMs of ``ball`` whose image contains the
+    ball center (Alg. 1 with Prop. 2's restriction).
+
+    ``injective`` restricts assignments to distinct ball vertices -- the
+    "minor modification" extending Alg. 1 to sub-iso (footnote 3).  It uses
+    no edge information, so obliviousness is unaffected.
+    """
+    cv = candidate_vertices(query, ball)
+    if any(not candidates for candidates in cv.values()):
+        return
+    order = query.vertex_order
+    center = ball.center
+    center_label = ball.center_label
+    # rows_with_center_label[i] = does any row >= i carry the center label?
+    suffix_has_center_label = [False] * (len(order) + 1)
+    for i in range(len(order) - 1, -1, -1):
+        suffix_has_center_label[i] = (query.label(order[i]) == center_label
+                                      or suffix_has_center_label[i + 1])
+
+    assignment: list[Vertex] = []
+    used: set[Vertex] = set()
+
+    def extend(row: int, center_used: bool) -> Iterator[CandidateMappingMatrix]:
+        if row == len(order):
+            if center_used:  # Alg. 1 lines 11-12
+                yield CandidateMappingMatrix(query_order=order,
+                                             assignment=tuple(assignment))
+            return
+        if not center_used and not suffix_has_center_label[row]:
+            return  # label-based feasibility cut (still E_Q-independent)
+        for v in cv[order[row]]:
+            if injective and v in used:
+                continue
+            assignment.append(v)
+            if injective:
+                used.add(v)
+            yield from extend(row + 1, center_used or v == center)
+            assignment.pop()
+            if injective:
+                used.discard(v)
+
+    yield from extend(0, False)
+
+
+def enumerate_cmms(query: Query, ball: Ball,
+                   limit: int | None = None,
+                   injective: bool = False) -> CandidateEnumeration:
+    """Alg. 1: the set ``R_1`` of CMMs of all candidate subgraphs of ``ball``.
+
+    ``limit`` is the footnote-6 bypass threshold; when hit, enumeration
+    stops and the result is flagged truncated.
+    """
+    result = CandidateEnumeration()
+    for cmm in iter_cmms(query, ball, injective=injective):
+        if limit is not None and result.enumerated >= limit:
+            result.truncated = True
+            break
+        result.cmms.append(cmm)
+        result.enumerated += 1
+    return result
+
+
+def count_cmm_upper_bound(query: Query, ball: Ball) -> int:
+    """The paper's complexity bound: the product of ``|CV(u)|`` sizes.
+
+    Used by the framework to decide bypassing *before* enumerating.
+    """
+    bound = 1
+    for candidates in candidate_vertices(query, ball).values():
+        bound *= len(candidates)
+        if bound > 10 ** 18:
+            return 10 ** 18
+    return bound

@@ -1,0 +1,56 @@
+"""Neighbor-label pruning -- the baseline of Fan et al. [17].
+
+Fig. 2(a) compares three oblivious pruning topologies; the weakest uses the
+"3-hop neighbor's label" information: the *set of labels* reachable within
+``hops`` undirected hops of a vertex.  If query vertex ``u`` can reach a
+label within 3 hops but the ball center cannot, the center cannot match
+``u`` -- an image of a query path of length <= 3 is a ball walk of length
+<= 3 (so the reachable-label set contracts under any match function).
+
+The feature keys are simply the labels of ``Sigma_Q``; this carries no
+distance resolution and no ordering, which is exactly why paths [57] and
+twiglets (Sec. 4.2) dominate it in pruning power.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.table_pruning import PruneTable, build_table
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.query import Query
+
+DEFAULT_HOPS = 3
+
+
+def all_neighbor_shapes(alphabet: frozenset[Label],
+                        hops: int = DEFAULT_HOPS) -> list[Hashable]:
+    """Every label feature key, deterministic order (the full ``Sigma_Q``
+    so the table shape reveals nothing about the query)."""
+    if hops < 1:
+        raise ValueError("hops must be positive")
+    return sorted(repr(l) for l in alphabet)
+
+
+def neighbor_features(graph: LabeledGraph, start: Vertex,
+                      hops: int = DEFAULT_HOPS) -> set[Hashable]:
+    """The labels present within ``hops`` undirected hops of ``start``
+    (excluding ``start`` itself, whose label is matched separately)."""
+    distances = graph.undirected_distances(start, cutoff=hops)
+    return {repr(graph.label(v)) for v in distances if v != start}
+
+
+def build_neighbor_tables(cgbe, query: Query,
+                          hops: int = DEFAULT_HOPS) -> list[PruneTable]:
+    """One encrypted reachable-label table per query vertex."""
+    shapes = all_neighbor_shapes(query.alphabet, hops)
+    tables: list[PruneTable] = []
+    for u in query.vertex_order:
+        present = neighbor_features(query.pattern, u, hops)
+        tables.append(build_table(cgbe, query.label(u), shapes, present))
+    return tables
+
+
+def neighbor_table_size(alphabet_size: int,
+                        hops: int = DEFAULT_HOPS) -> int:
+    return alphabet_size

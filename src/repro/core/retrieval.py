@@ -1,0 +1,172 @@
+"""Secure retrieval of balls -- SSG and RSG (Sec. 4.3, Fig. 9, Example 9).
+
+After the user decrypts the pruning messages, the Dealer knows which
+candidate balls are *positives* (may contain matches) and which are
+*negatives*.  SSG builds, per Player, a ball-id sequence whose front section
+provably contains all of that Player's positives while each Player remains
+unable to distinguish positives (Prop. 10):
+
+1. *Set generation*: partition the ball-id set ``S`` into ``k`` early sets
+   ``E_i`` of equal size with the positives spread evenly; the dummy set is
+   ``D_i = E_{(i+1) mod k}`` -- every ball is evaluated by exactly two
+   players, which is what masks the positive/negative boundary.
+2. *Ordering*: with positive ratio ``theta < 1/2`` (the *early case*), the
+   first ``y = ceil(2 * theta * |S| / k)`` positions (the *secure cutoff
+   point*, SCP) hold a random permutation of all of ``E_i``'s positives
+   mixed with randomly chosen negatives of ``E_i``; the remainder is a
+   random permutation of the rest.  With ``theta >= 1/2`` (the *normal
+   case*) SCP cannot land in the front half, so SSG degrades to RSG --
+   plain random balanced sequences.
+
+The Dealer has received every positive's ciphertext result once all players
+pass their SCP, long before the full evaluation finishes -- the source of
+Prilo*'s 4-8x time-to-results speedups.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class PlayerSequence:
+    """One Player's evaluation order.
+
+    ``scp`` is the secure-cutoff position (all of this player's positives
+    lie in ``sequence[:scp]``); None in the normal/RSG case.  The field is
+    Dealer-side bookkeeping only -- it is never sent to the Player.
+    """
+
+    player: int
+    sequence: tuple[int, ...]
+    scp: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _balanced_partition(items: list[int], k: int,
+                        rng: random.Random) -> list[list[int]]:
+    """Random partition into k parts with sizes differing by at most 1."""
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    parts: list[list[int]] = [[] for _ in range(k)]
+    for index, item in enumerate(shuffled):
+        parts[index % k].append(item)
+    return parts
+
+
+def rsg_sequences(ball_ids: Iterable[int], k: int,
+                  seed: int = 0) -> list[PlayerSequence]:
+    """Random sequence generation (the baseline): random balanced partition,
+    each subset in random order, no dummies, no SCP."""
+    if k < 1:
+        raise ValueError("need at least one player")
+    rng = random.Random(seed)
+    parts = _balanced_partition(sorted(ball_ids), k, rng)
+    sequences = []
+    for player, part in enumerate(parts):
+        rng.shuffle(part)
+        sequences.append(PlayerSequence(player=player,
+                                        sequence=tuple(part), scp=None))
+    return sequences
+
+
+def ssg_sequences(ball_ids: Iterable[int], positives: Iterable[int],
+                  k: int, seed: int = 0) -> tuple[list[PlayerSequence], str]:
+    """Secure sequence generation.
+
+    Returns ``(sequences, mode)`` with mode ``"early"`` or ``"normal"``.
+    The normal case (theta >= 1/2) applies RSG, exactly as Sec. 4.3
+    prescribes.  Requires ``k >= 2`` for the dummy-set construction
+    (``D_i = E_{(i+1) mod k}`` would alias ``E_i`` at k = 1).
+    """
+    all_ids = sorted(set(ball_ids))
+    positive_set = set(positives)
+    unknown = positive_set - set(all_ids)
+    if unknown:
+        raise ValueError(f"positives not in the ball-id set: {sorted(unknown)}")
+    if k < 2:
+        raise ValueError("SSG needs at least two players (Sec. 2.3: k >= 2)")
+    if not all_ids:
+        return ([PlayerSequence(player=i, sequence=(), scp=0)
+                 for i in range(k)], "early")
+
+    theta = len(positive_set) / len(all_ids)
+    if theta >= 0.5:
+        return rsg_sequences(all_ids, k, seed), "normal"
+
+    rng = random.Random(seed)
+    positives_list = sorted(positive_set)
+    negatives_list = sorted(set(all_ids) - positive_set)
+    # Set generation: positives dealt evenly, negatives fill to balance.
+    early_sets = _balanced_partition(positives_list, k, rng)
+    negative_parts = _balanced_partition(negatives_list, k, rng)
+    # Rebalance so all |E_i| differ by at most 1 overall.
+    flat_sizes = sorted(range(k), key=lambda i: len(early_sets[i]))
+    leftovers: list[int] = []
+    for part in negative_parts:
+        leftovers.extend(part)
+    rng.shuffle(leftovers)
+    target = len(all_ids) // k
+    extras = len(all_ids) % k
+    for rank, i in enumerate(flat_sizes):
+        want = target + (1 if rank < extras else 0)
+        while len(early_sets[i]) < want and leftovers:
+            early_sets[i].append(leftovers.pop())
+    # Any residue (rounding) goes round-robin.
+    i = 0
+    while leftovers:
+        early_sets[i % k].append(leftovers.pop())
+        i += 1
+
+    y = -(-2 * len(positive_set) // k)  # ceil(2 * theta * |S| / k)
+    sequences: list[PlayerSequence] = []
+    for player in range(k):
+        early = early_sets[player]
+        dummy = early_sets[(player + 1) % k]
+        early_positives = [b for b in early if b in positive_set]
+        early_negatives = [b for b in early if b not in positive_set]
+        rng.shuffle(early_negatives)
+        fill = max(0, min(len(early_negatives), y - len(early_positives)))
+        front = early_positives + early_negatives[:fill]
+        rng.shuffle(front)
+        rest = early_negatives[fill:] + list(dummy)
+        rng.shuffle(rest)
+        sequences.append(PlayerSequence(player=player,
+                                        sequence=tuple(front + rest),
+                                        scp=len(front)))
+    return sequences, "early"
+
+
+def positives_complete_positions(
+    sequences: Sequence[PlayerSequence],
+    positives: Iterable[int],
+) -> list[int]:
+    """Per player, the 1-based position after which every positive *first
+    assigned to that player* (its early copy) has been evaluated.
+
+    A positive may also appear in another player's tail as a dummy copy;
+    that copy is redundant -- the Dealer already holds the result -- so it
+    is ignored here, exactly as in Example 9 where the Dealer has all
+    positives once b8 in S1, b1 in S2 and b7 in S3 complete (all at or
+    before each sequence's SCP).
+    """
+    positive_set = set(positives)
+    # The early copy of a ball is its first occurrence across sequences in
+    # front sections; for RSG (scp None) every occurrence counts.
+    result = []
+    for seq in sequences:
+        cutoff = seq.scp if seq.scp is not None else len(seq.sequence)
+        last = 0
+        for index, ball_id in enumerate(seq.sequence[:cutoff], start=1):
+            if ball_id in positive_set:
+                last = index
+        if seq.scp is None:
+            for index, ball_id in enumerate(seq.sequence, start=1):
+                if ball_id in positive_set:
+                    last = index
+        result.append(last)
+    return result

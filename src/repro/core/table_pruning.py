@@ -1,0 +1,101 @@
+"""Generic encrypted-table pruning.
+
+Twiglet pruning (Sec. 4.2), the path baseline of [57] and the neighbor-label
+baseline of [17] all follow one scheme:
+
+* **User**: per query vertex ``u``, enumerate *all possible* feature keys
+  over the public alphabet ``Sigma_Q`` (so the table shape reveals nothing)
+  and encrypt, per key, ``q`` when the feature exists in the query at ``u``
+  ("the ball must have this too") and ``1`` otherwise.
+* **Player**: per candidate ball, compute the set of feature keys present
+  at the ball center; per table whose start label matches the center label,
+  multiply the key's ciphertext where the ball *lacks* the feature and the
+  user-chosen ``c_one`` where it has it (Alg. 5 lines 4-11); sum the
+  per-table products into the ball's pruning ciphertext.
+* **User**: a decryption holding the factor ``q`` in every table means no
+  query vertex can match the center -- the ball is spurious (Prop. 4).
+
+The feature family (twiglets / paths / distance-label pairs) is the only
+thing that differs; each technique supplies a key enumerator and a
+membership extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.aggregation import (
+    BallCiphertextResult,
+    ChunkPlan,
+    aggregate_items,
+    chunked_product,
+)
+from repro.crypto.cgbe import CGBE, CGBECiphertext, CGBEPublicParams
+from repro.graph.ball import Ball
+from repro.graph.labeled_graph import Label
+
+
+@dataclass
+class PruneTable:
+    """One query vertex's encrypted feature table (e.g. Table 2).
+
+    ``keys`` enumerates every possible feature for this start label in a
+    deterministic public order; ``ciphertexts[i]`` encrypts q (exists in
+    query) or 1 (does not).  Which is which is hidden by CGBE.
+    """
+
+    start_label: Label
+    keys: tuple[Hashable, ...]
+    ciphertexts: list[CGBECiphertext]
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.ciphertexts):
+            raise ValueError("one ciphertext per key is required")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def build_table(cgbe: CGBE, start_label: Label,
+                keys: Sequence[Hashable],
+                present: set[Hashable]) -> PruneTable:
+    """User side: encrypt the existence column of one vertex's table."""
+    ciphertexts = [cgbe.encrypt_q() if key in present else cgbe.encrypt(1)
+                   for key in keys]
+    return PruneTable(start_label=start_label, keys=tuple(keys),
+                      ciphertexts=ciphertexts)
+
+
+def table_plan(params: CGBEPublicParams, table_size: int,
+               expected_terms: int = 64) -> ChunkPlan:
+    """Chunk layout for tables of ``table_size`` keys (same size for every
+    query vertex by construction, so one plan serves the whole query)."""
+    return ChunkPlan.plan(params, table_size, expected_terms=expected_terms)
+
+
+def player_table_prune(
+    params: CGBEPublicParams,
+    tables: Sequence[PruneTable],
+    ball: Ball,
+    ball_features: set[Hashable],
+    c_one: CGBECiphertext,
+    plan: ChunkPlan,
+) -> BallCiphertextResult:
+    """Alg. 5 generalized: aggregate the violation ciphertext of one ball.
+
+    Only tables whose start label equals the ball center's label take part
+    (Alg. 5 line 4); the per-key branch (``c_one`` vs the table ciphertext)
+    depends on the *ball's* features only, never on the encrypted bits.
+    """
+    center_label = ball.center_label
+    item_chunks: list[list[CGBECiphertext]] = []
+    for table in tables:
+        if table.start_label != center_label:
+            continue
+        factors = [
+            c_one if key in ball_features else table.ciphertexts[index]
+            for index, key in enumerate(table.keys)
+        ]
+        item_chunks.append(chunked_product(params, factors, c_one, plan))
+    return aggregate_items(params, ball.ball_id, item_chunks, plan)

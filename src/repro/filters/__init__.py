@@ -1,0 +1,5 @@
+"""Probabilistic membership filters used inside the simulated enclave."""
+
+from repro.filters.bloom import BloomFilter, optimal_num_hashes, required_bits
+
+__all__ = ["BloomFilter", "optimal_num_hashes", "required_bits"]

@@ -1,0 +1,34 @@
+"""The Prilo / Prilo* frameworks: parties, protocol, and orchestration.
+
+* :mod:`~repro.framework.metrics` -- timers, message-size accounting and the
+  confusion counts behind PPCR (Sec. 6.3).
+* :mod:`~repro.framework.messages` -- the typed protocol messages of steps
+  (1)-(9) in Fig. 4.
+* :mod:`~repro.framework.roles` -- DataOwner, User, Player, Dealer.
+* :mod:`~repro.framework.simulator` -- the deterministic schedule simulator
+  turning per-ball evaluation costs + sequences into the paper's
+  time-to-results metrics.
+* :mod:`~repro.framework.prilo` / :mod:`~repro.framework.prilo_star` -- the
+  end-to-end engines (Alg. 3 and its optimized variant).
+"""
+
+from repro.framework.metrics import ConfusionCounts, PhaseTimings
+from repro.framework.prilo import Prilo, PriloConfig, QueryResult
+from repro.framework.prilo_star import PriloStar
+from repro.framework.roles import DataOwner, Dealer, Player, User
+from repro.framework.simulator import ScheduleOutcome, simulate_schedule
+
+__all__ = [
+    "ConfusionCounts",
+    "DataOwner",
+    "Dealer",
+    "PhaseTimings",
+    "Player",
+    "Prilo",
+    "PriloConfig",
+    "PriloStar",
+    "QueryResult",
+    "ScheduleOutcome",
+    "User",
+    "simulate_schedule",
+]

@@ -1,0 +1,104 @@
+"""Typed protocol messages for the steps of Fig. 4.
+
+Each dataclass is exactly what crosses one arrow of the system model; the
+role classes only ever exchange these objects, which keeps the information
+flow auditable: everything SP-visible here is either public metadata
+(labels, sizes, ball identifiers) or ciphertext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import BallCiphertextResult
+from repro.core.bf_pruning import BFPruneOutcome, BFQueryMessage
+from repro.core.ssim_verification import SsimBallVerdict
+from repro.core.table_pruning import PruneTable
+from repro.crypto.cgbe import CGBECiphertext, CGBEPublicParams
+from repro.graph.labeled_graph import Label
+from repro.graph.query import Semantics
+
+
+@dataclass
+class EncryptedQueryMessage:
+    """Step 2: the user's encrypted query.
+
+    Public parts: the semantics, diameter, vertex labels (``V_Q``,
+    ``Sigma_Q``, ``L_Q`` are not privacy targets -- Sec. 2.3 protects only
+    the adjacency structure), CGBE public parameters, and the plaintext
+    first columns of the pruning tables.  Secret parts: every CGBE
+    ciphertext and the sealed BF encodings.
+    """
+
+    semantics: Semantics
+    diameter: int
+    vertex_labels: tuple[Label, ...]
+    params: CGBEPublicParams
+    encrypted_matrix: list[list[CGBECiphertext]]
+    c_one: CGBECiphertext
+    twiglet_tables: list[PruneTable] | None = None
+    path_tables: list[PruneTable] | None = None
+    neighbor_tables: list[PruneTable] | None = None
+    bf_message: BFQueryMessage | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.vertex_labels)
+
+    @property
+    def alphabet(self) -> frozenset[Label]:
+        return frozenset(self.vertex_labels)
+
+
+@dataclass
+class PruningMessages:
+    """Step 3: per-ball pruning messages (``PM = (c_sgx, c_phe)``)."""
+
+    bf: dict[int, BFPruneOutcome] = field(default_factory=dict)
+    twiglet: dict[int, BallCiphertextResult] = field(default_factory=dict)
+    path: dict[int, BallCiphertextResult] = field(default_factory=dict)
+    neighbor: dict[int, BallCiphertextResult] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DecryptedPMs:
+    """Step 4: what the user reveals to the Dealer -- ball ids with their
+    positive/negative bits (and nothing about *why*)."""
+
+    ball_ids: tuple[int, ...]
+    positives: frozenset[int]
+
+    @property
+    def theta(self) -> float:
+        if not self.ball_ids:
+            return 0.0
+        return len(self.positives) / len(self.ball_ids)
+
+
+@dataclass
+class EvaluationResult:
+    """Step 7: one ball's ciphertext result with its measured cost.
+
+    ``verdict`` is hom/sub-iso's :class:`BallCiphertextResult` or ssim's
+    :class:`SsimBallVerdict`.  ``cost_seconds`` feeds the schedule
+    simulator; ``player`` records who produced it.
+    """
+
+    ball_id: int
+    verdict: BallCiphertextResult | SsimBallVerdict
+    cost_seconds: float
+    player: int
+    cmms: int = 0
+    bypassed: bool = False
+
+
+@dataclass(frozen=True)
+class EncryptedBallBlob:
+    """Steps 1/9: an encrypted serialized ball as stored on the Dealer."""
+
+    ball_id: int
+    blob: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.blob)

@@ -1,0 +1,135 @@
+"""Measurement helpers for the experiments.
+
+* :class:`Stopwatch` -- a tiny accumulating timer used around each protocol
+  phase.
+* :class:`PhaseTimings` -- the per-phase wall-clock record every engine run
+  returns (preprocessing, PM computation, decryption, evaluation, matching).
+* :class:`ConfusionCounts` -- TP/FP/TN/FN bookkeeping for pruning methods;
+  ``ppcr`` is the paper's *predicted positive condition rate*
+  ``(TP + FP) / (TP + TN + FP + FN)`` (Sec. 6.3), the x-axis of Figs. 16-18.
+* :class:`MessageSizes` -- byte counters for the EXP-1 message-size report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer: ``with watch: ...`` adds to total."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None
+        self.total += time.perf_counter() - self._started
+        self._started = None
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per protocol phase of one query run."""
+
+    user_preprocessing: float = 0.0
+    pm_computation: float = 0.0       # player-side BF + twiglet (sum)
+    pm_bf: float = 0.0
+    pm_twiglet: float = 0.0
+    user_pm_decryption: float = 0.0
+    sequence_generation: float = 0.0
+    evaluation: float = 0.0           # Alg. 1 + Alg. 2 over all balls (sum)
+    user_result_decryption: float = 0.0
+    user_matching: float = 0.0
+
+    def total(self) -> float:
+        return (self.user_preprocessing + self.pm_computation
+                + self.user_pm_decryption + self.sequence_generation
+                + self.evaluation + self.user_result_decryption
+                + self.user_matching)
+
+
+@dataclass
+class ConfusionCounts:
+    """Pruning-quality bookkeeping relative to ground truth.
+
+    *Positive* means "the pruning kept the ball"; *true* means "the ball
+    really contains a match".  Sound pruning has fn == 0 by construction
+    (asserted throughout the tests).
+    """
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def record(self, predicted_positive: bool, actually_positive: bool) -> None:
+        if predicted_positive and actually_positive:
+            self.tp += 1
+        elif predicted_positive:
+            self.fp += 1
+        elif actually_positive:
+            self.fn += 1
+        else:
+            self.tn += 1
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def ppcr(self) -> float:
+        """Predicted positive condition rate (== the paper's theta)."""
+        if self.total == 0:
+            return 0.0
+        return (self.tp + self.fp) / self.total
+
+    @property
+    def pruned(self) -> int:
+        """Balls the method discarded."""
+        return self.tn + self.fn
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(tp=self.tp + other.tp, fp=self.fp + other.fp,
+                               tn=self.tn + other.tn, fn=self.fn + other.fn)
+
+
+@dataclass
+class MessageSizes:
+    """Byte counters for EXP-1 (Sec. 6.2)."""
+
+    encrypted_matrix: int = 0
+    twiglet_tables: int = 0
+    bf_encodings: int = 0
+    pruning_messages: int = 0
+    ciphertext_results: int = 0
+    retrieved_balls: int = 0
+
+    def user_to_sp(self) -> int:
+        return self.encrypted_matrix + self.twiglet_tables + self.bf_encodings
+
+    def sp_to_user(self) -> int:
+        return (self.pruning_messages + self.ciphertext_results
+                + self.retrieved_balls)
+
+    def add(self, field_name: str, nbytes: int) -> None:
+        setattr(self, field_name, getattr(self, field_name) + nbytes)
+
+
+@dataclass
+class RunMetrics:
+    """Everything a single engine run measured."""
+
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    sizes: MessageSizes = field(default_factory=MessageSizes)
+    candidate_balls: int = 0
+    positives_after_pruning: int = 0
+    bypassed_balls: int = 0
+    cmms_enumerated: int = 0
+    per_ball_eval_cost: dict[int, float] = field(default_factory=dict)
+    per_ball_pm_cost: dict[int, float] = field(default_factory=dict)

@@ -1,0 +1,337 @@
+"""The Prilo engine -- Alg. 3 end to end.
+
+:class:`Prilo` wires the four parties together and runs the three generic
+steps (candidate enumeration, query verification, query matching) without
+any of the Prilo* optimizations: no pruning messages, and RSG ordering.
+:class:`repro.framework.prilo_star.PriloStar` flips the optimization
+switches on the same machinery.
+
+``run`` returns a :class:`QueryResult` holding the matches, the simulated
+schedule (the paper's time-to-results metrics), and the per-phase
+measurements that every benchmark consumes.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field, replace
+
+from repro.core.bf_pruning import BFConfig
+from repro.core.retrieval import PlayerSequence
+from repro.crypto.keys import UserKeyring
+from repro.framework.messages import (
+    DecryptedPMs,
+    EncryptedQueryMessage,
+    EvaluationResult,
+    PruningMessages,
+)
+from repro.framework.metrics import MessageSizes, RunMetrics, Stopwatch
+from repro.framework.roles import DataOwner, Dealer, Player, User
+from repro.framework.simulator import ScheduleOutcome, simulate_schedule
+from repro.graph.ball import Ball
+from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.graph.query import Query
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PriloConfig:
+    """Engine configuration (defaults follow Sec. 6.1 where practical).
+
+    The paper's CGBE uses 32-bit q/r over a 4096-bit public value; those are
+    available via :meth:`paper_crypto`, while the default 2048-bit modulus
+    keeps pure-Python arithmetic snappy with identical semantics.
+    """
+
+    k_players: int = 4
+    modulus_bits: int = 2048
+    q_bits: int = 32
+    r_bits: int = 32
+    radii: tuple[int, ...] = (1, 2, 3, 4)
+    use_bf: bool = False
+    use_twiglet: bool = False
+    use_path: bool = False
+    use_neighbor: bool = False
+    use_ssg: bool = False
+    twiglet_h: int = 3
+    bf: BFConfig = field(default_factory=BFConfig)
+    enumeration_limit: int = 2_000
+    cmm_bound_bypass: int = 2_000
+    label_strategy: str = "max"  # Alg. 3 line 2 ("max") or ablation "min"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k_players < 1:
+            raise ValueError("k_players must be positive")
+        if self.use_ssg and self.k_players < 2:
+            raise ValueError("SSG requires at least two players (Sec. 2.3)")
+        if not 3 <= self.twiglet_h <= 5:
+            raise ValueError("twiglet_h must be in 3..5 (Sec. 4.2)")
+        if self.enumeration_limit < 1 or self.cmm_bound_bypass < 1:
+            raise ValueError("enumeration bounds must be positive")
+        if not self.radii:
+            raise ValueError("at least one ball radius is required")
+
+    def paper_crypto(self) -> "PriloConfig":
+        """The exact Sec. 6.1 CGBE parameters (slower in pure Python)."""
+        return replace(self, modulus_bits=4096, q_bits=32, r_bits=32)
+
+    @property
+    def any_pruning(self) -> bool:
+        return (self.use_bf or self.use_twiglet or self.use_path
+                or self.use_neighbor)
+
+
+@dataclass
+class QueryResult:
+    """Everything one engine run produced."""
+
+    query: Query
+    chosen_label: Label
+    candidate_ids: tuple[int, ...]
+    pm_positive_ids: frozenset[int]
+    pm_per_method: dict[str, dict[int, bool]]
+    verified_ids: frozenset[int]
+    matches: dict[int, list[LabeledGraph]]
+    sequences: list[PlayerSequence]
+    sequence_mode: str
+    schedule: ScheduleOutcome
+    metrics: RunMetrics
+
+    @property
+    def num_matches(self) -> int:
+        return sum(len(found) for found in self.matches.values())
+
+    @property
+    def match_ball_ids(self) -> frozenset[int]:
+        return frozenset(self.matches)
+
+    def stream_matches(self):
+        """Matches in the order the user could have computed them.
+
+        Prilo*'s selling point is early results: positives' ciphertext
+        results reach the Dealer (and hence the user) at their schedule
+        completion times, long before the full evaluation ends.  Yields
+        ``(completion_seconds, ball_id, matching_subgraphs)`` sorted by
+        completion time; the first tuple's time is the paper's
+        time-to-first-results metric (Fig. 2(b)).
+        """
+        ordered = sorted(
+            ((self.schedule.completion[ball_id], ball_id)
+             for ball_id in self.matches
+             if ball_id in self.schedule.completion))
+        for when, ball_id in ordered:
+            yield when, ball_id, self.matches[ball_id]
+
+    def time_to_first_match(self) -> float | None:
+        """When the earliest match-containing ball's result was available
+        (None if the query has no matches)."""
+        for when, _, _ in self.stream_matches():
+            return when
+        return None
+
+
+class Prilo:
+    """The baseline framework: Alg. 3 with RSG ordering and no pruning."""
+
+    #: Optimization switches applied by ``setup`` on top of user config.
+    _OVERRIDES = dict(use_bf=False, use_twiglet=False, use_ssg=False)
+
+    def __init__(self, graph: LabeledGraph, config: PriloConfig,
+                 keyring: UserKeyring | None = None) -> None:
+        self.graph = graph
+        self.config = config
+        self.owner = DataOwner(graph, config.radii, seed=config.seed)
+        if keyring is None:
+            keyring = UserKeyring.generate(modulus_bits=config.modulus_bits,
+                                           seed=config.seed)
+            # Regenerate with the configured q/r sizes.
+            from repro.crypto.cgbe import CGBE
+
+            keyring.cgbe = CGBE.generate(modulus_bits=config.modulus_bits,
+                                         q_bits=config.q_bits,
+                                         r_bits=config.r_bits,
+                                         seed=config.seed)
+        self.user = User(keyring)
+        self.owner.grant_key(self.user)
+        index = self.owner.player_store()
+        self.players = [Player(i, index)
+                        for i in range(config.k_players)]
+        self.dealer = Dealer(self.owner.dealer_store())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def setup(cls, graph: LabeledGraph, config: PriloConfig | None = None,
+              **overrides: object) -> "Prilo":
+        """Build an engine; keyword overrides patch the default config."""
+        if config is None:
+            config = PriloConfig()
+        merged = {**cls._OVERRIDES, **overrides}
+        config = replace(config, **merged)  # type: ignore[arg-type]
+        return cls(graph, config)
+
+    # ------------------------------------------------------------------
+    def candidate_balls(self, query: Query) -> tuple[Label, list[Ball]]:
+        """Alg. 3 lines 2-4: pick the label and collect candidate balls."""
+        if self.config.label_strategy == "max":
+            label = query.most_frequent_label(self.graph)
+        elif self.config.label_strategy == "min":
+            label = query.least_frequent_label(self.graph)
+        else:
+            raise ValueError(
+                f"unknown label strategy {self.config.label_strategy!r}")
+        if query.diameter not in self.config.radii:
+            raise ValueError(
+                f"query diameter {query.diameter} is not covered by the "
+                f"precomputed ball radii {self.config.radii}")
+        index = self.owner.player_store()
+        return label, list(index.candidate_balls(label, query.diameter))
+
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        config = self.config
+        metrics = RunMetrics()
+        timings = metrics.timings
+        sizes = metrics.sizes
+
+        label, candidates = self.candidate_balls(query)
+        metrics.candidate_balls = len(candidates)
+        candidate_ids = tuple(ball.ball_id for ball in candidates)
+        by_id = {ball.ball_id: ball for ball in candidates}
+        logger.info("run %s: label=%r, %d candidate balls",
+                    query, label, len(candidates))
+
+        # Step 2: the user encrypts the query.
+        message, state = self.user.prepare_query(
+            query,
+            use_bf=config.use_bf,
+            use_twiglet=config.use_twiglet,
+            use_path=config.use_path,
+            use_neighbor=config.use_neighbor,
+            twiglet_h=config.twiglet_h,
+            bf_config=config.bf,
+            enclaves=[p.enclave for p in self.players],
+            sizes=sizes,
+            timings=timings,
+        )
+
+        # Steps 2-4: pruning messages (Prilo* only).
+        pms = PruningMessages()
+        pm_per_method: dict[str, dict[int, bool]] = {}
+        if config.any_pruning:
+            self._compute_pms(message, candidates, pms, metrics)
+            decrypted, pm_per_method = self.user.decrypt_pms(
+                pms, candidate_ids, state, timings)
+            self._account_pm_sizes(message, pms, sizes)
+        else:
+            decrypted = DecryptedPMs(ball_ids=tuple(sorted(candidate_ids)),
+                                     positives=frozenset(candidate_ids))
+        metrics.positives_after_pruning = len(decrypted.positives)
+        if config.any_pruning:
+            logger.info("pruning kept %d/%d balls (theta=%.3f)",
+                        len(decrypted.positives), len(candidate_ids),
+                        decrypted.theta)
+
+        # Steps 5-6: the Dealer orders the balls.
+        with Stopwatch() as watch:
+            sequences, mode = self.dealer.generate_sequences(
+                decrypted, config.k_players, use_ssg=config.use_ssg,
+                seed=config.seed)
+        timings.sequence_generation += watch.total
+
+        # Step 7: Players evaluate (each unique ball once; dummies reuse
+        # the measured cost in the schedule replay).
+        results = self._evaluate(message, sequences, by_id, metrics)
+        sizes.add("ciphertext_results",
+                  sum(self._verdict_bytes(r) for r in results.values()))
+
+        # Schedule replay: the paper's time-to-results metrics.
+        schedule = simulate_schedule(sequences, metrics.per_ball_eval_cost,
+                                     decrypted.positives)
+
+        # Steps 8-9: decrypt, retrieve, match.
+        verified = self.user.decrypt_results(results.values(), timings)
+        verified &= set(decrypted.positives)
+        matches = self.user.retrieve_and_match(
+            verified, self.dealer, query, sizes, timings)
+        logger.info("verified %d balls, %d contain matches "
+                    "(%s mode, all positives by t=%.4fs of %.4fs)",
+                    len(verified), len(matches), mode,
+                    schedule.all_positives, schedule.makespan)
+
+        return QueryResult(
+            query=query,
+            chosen_label=label,
+            candidate_ids=candidate_ids,
+            pm_positive_ids=frozenset(decrypted.positives),
+            pm_per_method=pm_per_method,
+            verified_ids=frozenset(verified),
+            matches=matches,
+            sequences=sequences,
+            sequence_mode=mode,
+            schedule=schedule,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def _compute_pms(self, message: EncryptedQueryMessage,
+                     candidates: list[Ball], pms: PruningMessages,
+                     metrics: RunMetrics) -> None:
+        """Partition the candidates round-robin over the players."""
+        shares: list[list[Ball]] = [[] for _ in self.players]
+        for index, ball in enumerate(candidates):
+            shares[index % len(self.players)].append(ball)
+        for player, share in zip(self.players, shares):
+            player.compute_pms(
+                message, share,
+                bf_config=self.config.bf,
+                twiglet_h=self.config.twiglet_h,
+                pms=pms,
+                pm_costs=metrics.per_ball_pm_cost,
+                timings=metrics.timings,
+            )
+
+    def _evaluate(self, message: EncryptedQueryMessage,
+                  sequences: list[PlayerSequence],
+                  by_id: dict[int, Ball],
+                  metrics: RunMetrics) -> dict[int, EvaluationResult]:
+        results: dict[int, EvaluationResult] = {}
+        for seq in sequences:
+            player = self.players[seq.player % len(self.players)]
+            for ball_id in seq.sequence:
+                if ball_id in results:
+                    continue
+                result = player.evaluate_ball(
+                    message, by_id[ball_id],
+                    enumeration_limit=self.config.enumeration_limit,
+                    cmm_bound_bypass=self.config.cmm_bound_bypass)
+                results[ball_id] = result
+                metrics.per_ball_eval_cost[ball_id] = result.cost_seconds
+                metrics.timings.evaluation += result.cost_seconds
+                metrics.cmms_enumerated += result.cmms
+                if result.bypassed:
+                    metrics.bypassed_balls += 1
+        return results
+
+    # ------------------------------------------------------------------
+    def _account_pm_sizes(self, message: EncryptedQueryMessage,
+                          pms: PruningMessages, sizes: MessageSizes) -> None:
+        ct_bytes = self.user.keyring.cgbe.ciphertext_bytes()
+        total = 0
+        for outcome in pms.bf.values():
+            total += len(outcome.c_sgx) if outcome.c_sgx else 1
+        for batch in (pms.twiglet, pms.path, pms.neighbor):
+            for result in batch.values():
+                total += result.ciphertext_count() * ct_bytes
+        sizes.add("pruning_messages", total)
+
+    def _verdict_bytes(self, result: EvaluationResult) -> int:
+        ct_bytes = self.user.keyring.cgbe.ciphertext_bytes()
+        verdict = result.verdict
+        if hasattr(verdict, "per_vertex"):
+            count = sum(r.ciphertext_count() for r in verdict.per_vertex)
+            count += verdict.center.ciphertext_count()
+        else:
+            count = verdict.ciphertext_count()
+        return max(count, 1) * ct_bytes

@@ -1,0 +1,24 @@
+"""Prilo* -- the optimized framework (Sec. 4).
+
+Same machinery as :class:`repro.framework.prilo.Prilo` with the three
+optimizations enabled by default:
+
+* BF pruning in the simulated enclaves (Sec. 4.1),
+* query-oblivious twiglet pruning under CGBE (Sec. 4.2),
+* SSG secure ball retrieval (Sec. 4.3).
+
+Each can be toggled independently for the ablation experiments
+(e.g. ``PriloStar.setup(graph, use_bf=False)`` isolates the twiglet
+contribution; ``use_path=True, use_twiglet=False`` swaps in the [57]
+baseline for the Fig. 10/11 comparisons).
+"""
+
+from __future__ import annotations
+
+from repro.framework.prilo import Prilo
+
+
+class PriloStar(Prilo):
+    """Prilo with BF + twiglet pruning and SSG retrieval on by default."""
+
+    _OVERRIDES = dict(use_bf=True, use_twiglet=True, use_ssg=True)

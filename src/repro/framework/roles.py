@@ -1,0 +1,410 @@
+"""The four parties of the system model (Sec. 2.3, Fig. 4).
+
+* :class:`DataOwner` -- generates ``sk``, extracts all balls offline, ships
+  plaintext balls to the Players (the data graph is public; only the query
+  is protected) and encrypted balls to the Dealer (so the Dealer cannot
+  correlate retrievals with content it can read).
+* :class:`User` -- encrypts queries, decrypts pruning messages and results,
+  retrieves and decrypts target balls, computes final matches on plaintext.
+* :class:`Player` -- computes pruning messages (BF inside its enclave,
+  twiglets under CGBE) and evaluates balls in its Dealer-given order.
+* :class:`Dealer` -- stores encrypted balls, runs SSG/RSG, relays results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.aggregation import decide_positive
+from repro.core.bf_pruning import (
+    BFConfig,
+    player_bf_prune,
+    user_decode_outcome,
+    user_prepare_encodings,
+)
+from repro.core.encoding import LabelCodec, encrypt_query_matrix
+from repro.core.enumeration import count_cmm_upper_bound, enumerate_cmms
+from repro.core.neighbors import build_neighbor_tables, neighbor_features
+from repro.core.paths import build_path_tables, paths_from
+from repro.core.retrieval import PlayerSequence, rsg_sequences, ssg_sequences
+from repro.core.ssim_verification import (
+    decide_ssim_ball,
+    ssim_plan,
+    ssim_verify_ball,
+)
+from repro.core.table_pruning import player_table_prune, table_plan
+from repro.core.twiglets import build_twiglet_tables, twiglets_from
+from repro.core.verification import verification_plan, verify_ball
+from repro.crypto.keys import DataOwnerKey, UserKeyring
+from repro.framework.messages import (
+    DecryptedPMs,
+    EncryptedBallBlob,
+    EncryptedQueryMessage,
+    EvaluationResult,
+    PruningMessages,
+)
+from repro.framework.metrics import MessageSizes, PhaseTimings, Stopwatch
+from repro.graph.ball import Ball, BallIndex
+from repro.graph.io import ball_from_bytes, ball_to_bytes
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query import Query, QueryLabelView, Semantics
+from repro.semantics.evaluate import find_matches
+from repro.tee.channel import SecureChannel
+from repro.tee.enclave import Enclave
+
+
+# ----------------------------------------------------------------------
+# Data owner
+# ----------------------------------------------------------------------
+class DataOwner:
+    """Owns the graph, the ball index, and the ball-encryption key ``sk``."""
+
+    def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
+                 seed: int = 0) -> None:
+        self.key = DataOwnerKey.generate(seed)
+        self.index = BallIndex(graph, radii)
+
+    def player_store(self) -> BallIndex:
+        """Step 1a: plaintext balls for the Players."""
+        return self.index
+
+    def dealer_store(self) -> "EncryptedBallStore":
+        """Step 1b: encrypted balls for the Dealer."""
+        return EncryptedBallStore(self.index, self.key)
+
+    def grant_key(self, user: "User") -> None:
+        """Out-of-band ``sk`` delivery to an authorized user."""
+        user.keyring.grant_owner_key(self.key)
+
+    def export_archive(self, root, radii: tuple[int, ...] | None = None):
+        """Persist the encrypted balls to disk (the durable step-1 hand-off
+        to the Dealer); returns the created
+        :class:`repro.storage.EncryptedBallArchive`."""
+        from repro.storage import EncryptedBallArchive
+
+        return EncryptedBallArchive.create(root, self.index, self.key,
+                                           radii=radii)
+
+
+class EncryptedBallStore:
+    """Lazy (memoized) encrypted-ball storage, as held by the Dealer."""
+
+    def __init__(self, index: BallIndex, key: DataOwnerKey) -> None:
+        self._index = index
+        self._cipher = key.cipher()
+        self._cache: dict[int, EncryptedBallBlob] = {}
+
+    def get(self, ball_id: int) -> EncryptedBallBlob:
+        blob = self._cache.get(ball_id)
+        if blob is None:
+            ball = self._index.ball_by_id(ball_id)
+            blob = EncryptedBallBlob(
+                ball_id=ball_id,
+                blob=self._cipher.encrypt(ball_to_bytes(ball)))
+            self._cache[ball_id] = blob
+        return blob
+
+
+# ----------------------------------------------------------------------
+# User
+# ----------------------------------------------------------------------
+@dataclass
+class UserQueryState:
+    """The user's private per-query state (never leaves the user)."""
+
+    query: Query
+    codec: LabelCodec
+    channels: list[SecureChannel] = field(default_factory=list)
+
+
+class User:
+    """The query user: holds the CGBE key, the enclave session key and
+    (once granted) the data owner's ``sk``."""
+
+    def __init__(self, keyring: UserKeyring) -> None:
+        self.keyring = keyring
+
+    # -- step 2: encrypt the query -----------------------------------
+    def prepare_query(
+        self,
+        query: Query,
+        *,
+        use_bf: bool,
+        use_twiglet: bool,
+        use_path: bool,
+        use_neighbor: bool,
+        twiglet_h: int,
+        bf_config: BFConfig,
+        enclaves: list[Enclave],
+        sizes: MessageSizes,
+        timings: PhaseTimings,
+    ) -> tuple[EncryptedQueryMessage, UserQueryState]:
+        cgbe = self.keyring.cgbe
+        state = UserQueryState(query=query,
+                               codec=LabelCodec.from_alphabet(query.alphabet))
+        with Stopwatch() as watch:
+            message = EncryptedQueryMessage(
+                semantics=query.semantics,
+                diameter=query.diameter,
+                vertex_labels=tuple(query.label(u)
+                                    for u in query.vertex_order),
+                params=cgbe.public_params(),
+                encrypted_matrix=encrypt_query_matrix(cgbe, query),
+                c_one=cgbe.encrypt_one(),
+            )
+            ct_bytes = cgbe.ciphertext_bytes()
+            sizes.add("encrypted_matrix", query.size ** 2 * ct_bytes)
+            if use_twiglet:
+                tables = build_twiglet_tables(cgbe, query, twiglet_h)
+                # Queries with |Sigma_Q| < 3 admit no twiglets at all --
+                # the technique is inapplicable, not "prunes everything".
+                if tables and len(tables[0]) > 0:
+                    message.twiglet_tables = tables
+                    sizes.add("twiglet_tables",
+                              sum(len(t) for t in tables) * ct_bytes)
+            if use_path:
+                tables = build_path_tables(cgbe, query, twiglet_h)
+                if tables and len(tables[0]) > 0:
+                    message.path_tables = tables
+                    sizes.add("twiglet_tables",
+                              sum(len(t) for t in tables) * ct_bytes)
+            if use_neighbor:
+                message.neighbor_tables = build_neighbor_tables(cgbe, query)
+                sizes.add("twiglet_tables",
+                          sum(len(t) for t in message.neighbor_tables)
+                          * ct_bytes)
+            if use_bf:
+                if not enclaves:
+                    raise ValueError("BF pruning needs at least one enclave")
+                for enclave in enclaves:
+                    state.channels.append(SecureChannel.establish(
+                        enclave, self.keyring.enclave_key))
+                message.bf_message = user_prepare_encodings(
+                    query, state.codec, state.channels[0], bf_config)
+                sizes.add("bf_encodings",
+                          len(message.bf_message.sealed_blob))
+        timings.user_preprocessing += watch.total
+        return message, state
+
+    # -- step 4: decrypt pruning messages ----------------------------
+    def decrypt_pms(
+        self,
+        pms: PruningMessages,
+        ball_ids: Iterable[int],
+        state: UserQueryState,
+        timings: PhaseTimings,
+    ) -> tuple[DecryptedPMs, dict[str, dict[int, bool]]]:
+        """Combine every active method's verdicts; a ball is positive only
+        when no method proved it spurious.  Returns the per-method verdict
+        maps as well (the experiments compare methods individually)."""
+        cgbe = self.keyring.cgbe
+        ordered = tuple(sorted(ball_ids))
+        per_method: dict[str, dict[int, bool]] = {}
+        with Stopwatch() as watch:
+            if pms.bf:
+                channel = state.channels[0]
+                per_method["bf"] = {
+                    bid: user_decode_outcome(channel, outcome)
+                    for bid, outcome in pms.bf.items()}
+            for name, results in (("twiglet", pms.twiglet),
+                                  ("path", pms.path),
+                                  ("neighbor", pms.neighbor)):
+                if results:
+                    per_method[name] = {
+                        bid: decide_positive(cgbe, result)
+                        for bid, result in results.items()}
+            positives = frozenset(
+                bid for bid in ordered
+                if all(verdicts.get(bid, True)
+                       for verdicts in per_method.values()))
+        timings.user_pm_decryption += watch.total
+        return DecryptedPMs(ball_ids=ordered, positives=positives), per_method
+
+    # -- step 8: decrypt ciphertext results --------------------------
+    def decrypt_results(self, results: Iterable[EvaluationResult],
+                        timings: PhaseTimings) -> set[int]:
+        """Ball ids whose ciphertext result proves a surviving candidate."""
+        cgbe = self.keyring.cgbe
+        verified: set[int] = set()
+        with Stopwatch() as watch:
+            for result in results:
+                if result.ball_id in verified:
+                    continue
+                verdict = result.verdict
+                if hasattr(verdict, "per_vertex"):  # SsimBallVerdict
+                    positive = decide_ssim_ball(cgbe, verdict)
+                else:
+                    positive = decide_positive(cgbe, verdict)
+                if positive:
+                    verified.add(result.ball_id)
+        timings.user_result_decryption += watch.total
+        return verified
+
+    # -- step 9: retrieve balls and match ----------------------------
+    def retrieve_and_match(
+        self,
+        verified_ids: Iterable[int],
+        dealer: "Dealer",
+        query: Query,
+        sizes: MessageSizes,
+        timings: PhaseTimings,
+    ) -> dict[int, list[LabeledGraph]]:
+        cipher = self.keyring.ball_cipher()
+        matches: dict[int, list[LabeledGraph]] = {}
+        with Stopwatch() as watch:
+            for ball_id in sorted(verified_ids):
+                blob = dealer.fetch_encrypted_ball(ball_id)
+                sizes.add("retrieved_balls", blob.size)
+                ball = ball_from_bytes(cipher.decrypt(blob.blob))
+                found = find_matches(query, ball)
+                if found:
+                    matches[ball_id] = found
+        timings.user_matching += watch.total
+        return matches
+
+
+# ----------------------------------------------------------------------
+# Player
+# ----------------------------------------------------------------------
+class Player:
+    """One Player server: plaintext balls + an SGX enclave."""
+
+    def __init__(self, player_id: int, index: BallIndex,
+                 enclave: Enclave | None = None) -> None:
+        self.player_id = player_id
+        self.index = index
+        self.enclave = enclave if enclave is not None else Enclave()
+
+    # -- pruning-message computation (Secs. 4.1-4.2) -----------------
+    def compute_pms(
+        self,
+        message: EncryptedQueryMessage,
+        balls: list[Ball],
+        *,
+        bf_config: BFConfig,
+        twiglet_h: int,
+        pms: PruningMessages,
+        pm_costs: dict[int, float],
+        timings: PhaseTimings,
+    ) -> None:
+        """Compute this player's share of the PMs, appending into ``pms``."""
+        codec = LabelCodec.from_alphabet(message.alphabet)
+        params = message.params
+        if message.bf_message is not None:
+            self.enclave.load_query_encodings(message.bf_message.sealed_blob)
+        twiglet_plan = None
+        if message.twiglet_tables:
+            twiglet_plan = table_plan(params, len(message.twiglet_tables[0]))
+        path_plan = None
+        if message.path_tables:
+            path_plan = table_plan(params, len(message.path_tables[0]))
+        neighbor_plan = None
+        if message.neighbor_tables:
+            neighbor_plan = table_plan(params,
+                                       len(message.neighbor_tables[0]))
+        for ball in balls:
+            started = time.perf_counter()
+            if message.bf_message is not None:
+                bf_start = time.perf_counter()
+                pms.bf[ball.ball_id] = player_bf_prune(
+                    self.enclave, ball, codec, bf_config)
+                timings.pm_bf += time.perf_counter() - bf_start
+            if message.twiglet_tables:
+                t_start = time.perf_counter()
+                features = twiglets_from(ball.graph, ball.center, twiglet_h,
+                                         message.alphabet)
+                pms.twiglet[ball.ball_id] = player_table_prune(
+                    params, message.twiglet_tables, ball, features,
+                    message.c_one, twiglet_plan)
+                timings.pm_twiglet += time.perf_counter() - t_start
+            if message.path_tables:
+                features = paths_from(ball.graph, ball.center, twiglet_h,
+                                      message.alphabet)
+                pms.path[ball.ball_id] = player_table_prune(
+                    params, message.path_tables, ball, features,
+                    message.c_one, path_plan)
+            if message.neighbor_tables:
+                features = neighbor_features(ball.graph, ball.center)
+                pms.neighbor[ball.ball_id] = player_table_prune(
+                    params, message.neighbor_tables, ball, features,
+                    message.c_one, neighbor_plan)
+            elapsed = time.perf_counter() - started
+            pm_costs[ball.ball_id] = elapsed
+            timings.pm_computation += elapsed
+
+    # -- ball evaluation (Secs. 3.1-3.2) ------------------------------
+    def evaluate_ball(
+        self,
+        message: EncryptedQueryMessage,
+        ball: Ball,
+        *,
+        enumeration_limit: int,
+        cmm_bound_bypass: int,
+    ) -> EvaluationResult:
+        """Alg. 3 lines 3-8 for one ball, using only the label view of the
+        query (the edges stay encrypted)."""
+        view = QueryLabelView(labels=message.vertex_labels,
+                              diameter=message.diameter,
+                              semantics=message.semantics)
+        params = message.params
+        started = time.perf_counter()
+        if message.semantics is Semantics.SSIM:
+            plan = ssim_plan(params, view)
+            verdict = ssim_verify_ball(params, message.encrypted_matrix,
+                                       message.c_one, view, ball, plan)
+            cost = time.perf_counter() - started
+            return EvaluationResult(ball_id=ball.ball_id, verdict=verdict,
+                                    cost_seconds=cost,
+                                    player=self.player_id)
+        injective = message.semantics is Semantics.SUB_ISO
+        plan = verification_plan(params, view)
+        bypass = count_cmm_upper_bound(view, ball) > cmm_bound_bypass
+        if bypass:
+            enumeration = None
+            verdict = verify_ball(params, message.encrypted_matrix,
+                                  message.c_one, ball, [], plan,
+                                  bypassed=True)
+        else:
+            enumeration = enumerate_cmms(view, ball,
+                                         limit=enumeration_limit,
+                                         injective=injective)
+            verdict = verify_ball(params, message.encrypted_matrix,
+                                  message.c_one, ball, enumeration.cmms,
+                                  plan, bypassed=enumeration.truncated)
+        cost = time.perf_counter() - started
+        return EvaluationResult(
+            ball_id=ball.ball_id, verdict=verdict, cost_seconds=cost,
+            player=self.player_id,
+            cmms=0 if enumeration is None else enumeration.enumerated,
+            bypassed=verdict.bypassed)
+
+
+# ----------------------------------------------------------------------
+# Dealer
+# ----------------------------------------------------------------------
+class Dealer:
+    """The Dealer server: encrypted balls, sequence generation, relaying."""
+
+    def __init__(self, store: EncryptedBallStore) -> None:
+        self._store = store
+
+    def generate_sequences(
+        self,
+        decrypted: DecryptedPMs,
+        k: int,
+        *,
+        use_ssg: bool,
+        seed: int = 0,
+    ) -> tuple[list[PlayerSequence], str]:
+        """Step 5: SSG when enabled (falling back to the normal case at
+        theta >= 1/2 internally), plain RSG otherwise."""
+        if use_ssg:
+            return ssg_sequences(decrypted.ball_ids, decrypted.positives,
+                                 k, seed=seed)
+        return rsg_sequences(decrypted.ball_ids, k, seed=seed), "rsg"
+
+    def fetch_encrypted_ball(self, ball_id: int) -> EncryptedBallBlob:
+        """Step 9: serve one encrypted ball."""
+        return self._store.get(ball_id)

@@ -1,0 +1,43 @@
+"""Graph substrate: labeled directed graphs, balls, generators, and queries.
+
+This subpackage implements everything the Prilo framework needs from the data
+graph side:
+
+* :class:`~repro.graph.labeled_graph.LabeledGraph` -- the directed,
+  vertex-labeled graph used for both data graphs and query patterns.
+* :class:`~repro.graph.ball.Ball` and :class:`~repro.graph.ball.BallIndex` --
+  the ball ``G[u, r]`` abstraction of Ma et al. that localizes LGPQ answers.
+* :mod:`~repro.graph.generators` -- synthetic dataset generators standing in
+  for the SNAP datasets used in the paper (no network access is available).
+* :mod:`~repro.graph.qgen` -- the ``QGen`` random query generator of [57].
+* :mod:`~repro.graph.ldbc` -- an LDBC-SNB-like social graph plus the ten
+  business-intelligence workload patterns of Table 5.
+"""
+
+from repro.graph.ball import Ball, BallIndex, extract_ball
+from repro.graph.generators import (
+    fig3_graph,
+    fig3_query,
+    power_law_graph,
+    uniform_random_graph,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.matrix import CandidateMappingMatrix, adjacency_matrix
+from repro.graph.qgen import QGen
+from repro.graph.query import Query, Semantics
+
+__all__ = [
+    "Ball",
+    "BallIndex",
+    "CandidateMappingMatrix",
+    "LabeledGraph",
+    "QGen",
+    "Query",
+    "Semantics",
+    "adjacency_matrix",
+    "extract_ball",
+    "fig3_graph",
+    "fig3_query",
+    "power_law_graph",
+    "uniform_random_graph",
+]

@@ -1,0 +1,102 @@
+"""Serialization of labeled graphs.
+
+Two formats:
+
+* SNAP-style labeled edge list -- a ``# vertex <id> <label>`` header section
+  followed by ``<src> <dst>`` lines; round-trips the datasets the paper
+  downloads from SNAP (plus the labels the paper adds).
+* JSON -- used as the plaintext payload of encrypted balls (the data owner
+  encrypts serialized ball data before shipping it to the SP, Sec. 2.3).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graph.ball import Ball
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def dump_edge_list(graph: LabeledGraph, path: str | Path) -> None:
+    """Write ``graph`` as a labeled edge list."""
+    lines = [f"# vertex {v!r} {graph.label(v)!r}"
+             for v in sorted(graph.vertices(), key=repr)]
+    lines.extend(f"{u!r} {v!r}" for u, v in
+                 sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_edge_list(path: str | Path) -> LabeledGraph:
+    """Read a labeled edge list written by :func:`dump_edge_list`.
+
+    Vertex ids and labels are parsed with ``ast.literal_eval`` so ints and
+    strings round-trip exactly.
+    """
+    import ast
+
+    graph = LabeledGraph()
+    edges: list[tuple[object, object]] = []
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# vertex "):
+            v_repr, label_repr = line[len("# vertex "):].split(" ", 1)
+            graph.add_vertex(ast.literal_eval(v_repr),
+                             ast.literal_eval(label_repr))
+        elif line.startswith("#"):
+            continue
+        else:
+            u_repr, v_repr = line.split(" ", 1)
+            edges.append((ast.literal_eval(u_repr),
+                          ast.literal_eval(v_repr)))
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def graph_to_json(graph: LabeledGraph) -> str:
+    """Canonical JSON form (deterministic ordering) of a labeled graph."""
+    payload = {
+        "vertices": [[repr(v), repr(graph.label(v))]
+                     for v in sorted(graph.vertices(), key=repr)],
+        "edges": [[repr(u), repr(v)] for u, v in
+                  sorted(graph.edges(),
+                         key=lambda e: (repr(e[0]), repr(e[1])))],
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def graph_from_json(text: str) -> LabeledGraph:
+    import ast
+
+    payload = json.loads(text)
+    graph = LabeledGraph()
+    for v_repr, label_repr in payload["vertices"]:
+        graph.add_vertex(ast.literal_eval(v_repr),
+                         ast.literal_eval(label_repr))
+    for u_repr, v_repr in payload["edges"]:
+        graph.add_edge(ast.literal_eval(u_repr), ast.literal_eval(v_repr))
+    return graph
+
+
+def ball_to_bytes(ball: Ball) -> bytes:
+    """The plaintext the data owner encrypts per ball (Sec. 2.3, step 1)."""
+    payload = {
+        "ball_id": ball.ball_id,
+        "center": repr(ball.center),
+        "radius": ball.radius,
+        "graph": graph_to_json(ball.graph),
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def ball_from_bytes(data: bytes) -> Ball:
+    import ast
+
+    payload = json.loads(data.decode("utf-8"))
+    return Ball(graph=graph_from_json(payload["graph"]),
+                center=ast.literal_eval(payload["center"]),
+                radius=payload["radius"],
+                ball_id=payload["ball_id"])

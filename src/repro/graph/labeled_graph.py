@@ -1,0 +1,246 @@
+"""Directed vertex-labeled graphs.
+
+The paper (Sec. 2.1) models a graph as ``G = (V_G, E_G, Sigma_G, L_G)`` with
+directed edges and a labeling function.  Distances and diameters are measured
+on the *undirected* version of the graph, which is what makes balls connected
+supersets of localized matches.
+
+Vertices are arbitrary hashable identifiers (the datasets use ``int``).
+Labels are arbitrary hashable values (the datasets use small ``int`` codes,
+the worked examples use single-letter strings).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Vertex = Hashable
+Label = Hashable
+
+
+class LabeledGraph:
+    """A directed graph with a label on every vertex.
+
+    The structure keeps successor and predecessor sets per vertex plus a
+    label index (label -> set of vertices), so the common Prilo operations
+    (Prop. 1 label filtering, ``CV(u)`` construction in Alg. 1, neighbor
+    walks in Alg. 4/5) are O(1) lookups.
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[Vertex, set[Vertex]] = {}
+        self._pred: dict[Vertex, set[Vertex]] = {}
+        self._labels: dict[Vertex, Label] = {}
+        self._label_index: dict[Label, set[Vertex]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex, label: Label) -> None:
+        """Add vertex ``v`` with ``label``; relabeling an existing vertex is
+        an error (the paper's graphs are static)."""
+        if v in self._labels:
+            if self._labels[v] != label:
+                raise ValueError(f"vertex {v!r} already exists with label "
+                                 f"{self._labels[v]!r}, cannot relabel to {label!r}")
+            return
+        self._labels[v] = label
+        self._succ[v] = set()
+        self._pred[v] = set()
+        self._label_index.setdefault(label, set()).add(v)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the directed edge ``(u, v)``.  Both endpoints must exist.
+
+        Parallel edges collapse (the adjacency matrix is boolean); self loops
+        are rejected because neither balls nor the paper's semantics use them.
+        """
+        if u == v:
+            raise ValueError(f"self loop on {u!r} is not supported")
+        if u not in self._labels:
+            raise KeyError(f"unknown vertex {u!r}")
+        if v not in self._labels:
+            raise KeyError(f"unknown vertex {v!r}")
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._num_edges += 1
+
+    @classmethod
+    def from_edges(
+        cls,
+        labels: Mapping[Vertex, Label],
+        edges: Iterable[tuple[Vertex, Vertex]],
+    ) -> "LabeledGraph":
+        """Build a graph from a label mapping and an edge iterable."""
+        graph = cls()
+        for v, label in labels.items():
+            graph.add_vertex(v, label)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        for u, succ in self._succ.items():
+            for v in succ:
+                yield (u, v)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def label(self, v: Vertex) -> Label:
+        return self._labels[v]
+
+    def labels(self) -> Mapping[Vertex, Label]:
+        """Read-only view of the vertex -> label mapping."""
+        return dict(self._labels)
+
+    @property
+    def alphabet(self) -> frozenset[Label]:
+        """``Sigma_G``: the set of labels that occur in the graph."""
+        return frozenset(self._label_index)
+
+    def vertices_with_label(self, label: Label) -> frozenset[Vertex]:
+        return frozenset(self._label_index.get(label, frozenset()))
+
+    def label_frequency(self, label: Label) -> int:
+        return len(self._label_index.get(label, ()))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        succ = self._succ.get(u)
+        return succ is not None and v in succ
+
+    def successors(self, v: Vertex) -> frozenset[Vertex]:
+        return frozenset(self._succ[v])
+
+    def predecessors(self, v: Vertex) -> frozenset[Vertex]:
+        return frozenset(self._pred[v])
+
+    def neighbors(self, v: Vertex) -> frozenset[Vertex]:
+        """Undirected neighborhood: successors union predecessors."""
+        return frozenset(self._succ[v] | self._pred[v])
+
+    def out_degree(self, v: Vertex) -> int:
+        return len(self._succ[v])
+
+    def in_degree(self, v: Vertex) -> int:
+        return len(self._pred[v])
+
+    def degree(self, v: Vertex) -> int:
+        """Undirected degree (distinct neighbors)."""
+        return len(self._succ[v] | self._pred[v])
+
+    def max_degree(self) -> int:
+        """``d_max``: largest undirected degree, 0 for the empty graph."""
+        return max((self.degree(v) for v in self._labels), default=0)
+
+    # ------------------------------------------------------------------
+    # traversal and metric structure
+    # ------------------------------------------------------------------
+    def undirected_distances(
+        self, source: Vertex, cutoff: int | None = None
+    ) -> dict[Vertex, int]:
+        """BFS distances from ``source`` in the undirected graph.
+
+        ``cutoff`` bounds the radius (used for ball extraction); vertices
+        farther than ``cutoff`` are omitted.
+        """
+        if source not in self._labels:
+            raise KeyError(f"unknown vertex {source!r}")
+        distances = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            d = distances[u]
+            if cutoff is not None and d >= cutoff:
+                continue
+            for w in self._succ[u]:
+                if w not in distances:
+                    distances[w] = d + 1
+                    frontier.append(w)
+            for w in self._pred[u]:
+                if w not in distances:
+                    distances[w] = d + 1
+                    frontier.append(w)
+        return distances
+
+    def eccentricity(self, v: Vertex) -> int:
+        """Largest undirected distance from ``v`` to any reachable vertex."""
+        return max(self.undirected_distances(v).values(), default=0)
+
+    def diameter(self) -> int:
+        """Undirected diameter ``d_G`` (Sec. 2.1).
+
+        Raises :class:`ValueError` when the undirected graph is disconnected,
+        because the paper's distance (and hence the diameter) is undefined
+        across components.  Intended for small graphs (queries, balls).
+        """
+        if not self._labels:
+            return 0
+        worst = 0
+        for v in self._labels:
+            distances = self.undirected_distances(v)
+            if len(distances) != len(self._labels):
+                raise ValueError("diameter undefined: graph is disconnected")
+            worst = max(worst, max(distances.values()))
+        return worst
+
+    def is_connected(self) -> bool:
+        """Whether the undirected version of the graph is connected."""
+        if not self._labels:
+            return True
+        start = next(iter(self._labels))
+        return len(self.undirected_distances(start)) == len(self._labels)
+
+    # ------------------------------------------------------------------
+    # subgraphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "LabeledGraph":
+        """Induced subgraph over ``vertices`` keeping original identifiers."""
+        keep = set(vertices)
+        missing = keep - self._labels.keys()
+        if missing:
+            raise KeyError(f"unknown vertices {sorted(map(repr, missing))}")
+        sub = LabeledGraph()
+        for v in keep:
+            sub.add_vertex(v, self._labels[v])
+        for u in keep:
+            for v in self._succ[u]:
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "LabeledGraph":
+        return self.induced_subgraph(self._labels)
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return (self._labels == other._labels
+                and self._succ == other._succ)
+
+    def __repr__(self) -> str:
+        return (f"LabeledGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+                f"|Sigma|={len(self._label_index)})")

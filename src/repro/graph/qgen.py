@@ -1,0 +1,105 @@
+"""QGen: the random query generator of Xu et al. [57] (Sec. 6.1).
+
+"Taking a query size |V_Q|, a diameter d_Q and a graph G as inputs, QGen
+returned random subgraphs of G as output queries."
+
+The generator grows a connected induced subgraph of the data graph by a
+randomized neighborhood expansion, then accepts it when its undirected
+diameter matches the request.  Because an induced subgraph of a labeled
+graph always admits at least one match (itself), queries produced this way
+are guaranteed non-empty workloads for hom and sub-iso.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.query import Query, Semantics
+
+
+class QGen:
+    """Random connected-subgraph query generator.
+
+    Parameters
+    ----------
+    graph:
+        The data graph to sample patterns from.
+    seed:
+        RNG seed; every generated query is deterministic in (seed, call #).
+    max_attempts:
+        How many sampled subgraphs to try before relaxing the diameter
+        requirement from ``== d_Q`` to ``<= d_Q`` (QGen in the paper is
+        best-effort as well; degenerate graphs may not contain an induced
+        subgraph of the exact requested diameter).
+    """
+
+    def __init__(self, graph: LabeledGraph, seed: int = 0,
+                 max_attempts: int = 200) -> None:
+        if graph.num_vertices == 0:
+            raise ValueError("cannot sample queries from an empty graph")
+        self._graph = graph
+        self._rng = random.Random(seed)
+        self._max_attempts = max_attempts
+        self._vertices = sorted(graph.vertices(), key=repr)
+
+    # ------------------------------------------------------------------
+    def _sample_connected(self, size: int) -> LabeledGraph | None:
+        """One randomized expansion producing a connected induced subgraph."""
+        start = self._rng.choice(self._vertices)
+        chosen: list[Vertex] = [start]
+        frontier = set(self._graph.neighbors(start))
+        while len(chosen) < size and frontier:
+            v = self._rng.choice(sorted(frontier, key=repr))
+            chosen.append(v)
+            frontier.discard(v)
+            frontier |= (self._graph.neighbors(v) - set(chosen))
+        if len(chosen) < size:
+            return None
+        return self._graph.induced_subgraph(chosen)
+
+    def generate(
+        self,
+        size: int,
+        diameter: int,
+        semantics: Semantics = Semantics.HOM,
+    ) -> Query:
+        """A random connected query with ``|V_Q| = size``.
+
+        Prefers an exact undirected diameter of ``diameter``; falls back to
+        the largest achievable diameter ``<= diameter`` after
+        ``max_attempts`` samples.  Raises :class:`RuntimeError` when the
+        graph contains no connected induced subgraph of the requested size.
+        """
+        if size < 1:
+            raise ValueError("query size must be positive")
+        if diameter < 0:
+            raise ValueError("diameter must be non-negative")
+        best: LabeledGraph | None = None
+        best_diameter = -1
+        for _ in range(self._max_attempts):
+            pattern = self._sample_connected(size)
+            if pattern is None:
+                continue
+            d = pattern.diameter()
+            if d == diameter:
+                return Query(pattern=pattern, semantics=semantics)
+            if d < diameter and d > best_diameter:
+                best, best_diameter = pattern, d
+        if best is None:
+            raise RuntimeError(
+                f"no connected induced subgraph of size {size} with diameter "
+                f"<= {diameter} found in {self._max_attempts} attempts")
+        return Query(pattern=best, semantics=semantics)
+
+    def generate_batch(
+        self,
+        count: int,
+        size: int,
+        diameter: int,
+        semantics: Semantics = Semantics.HOM,
+    ) -> list[Query]:
+        """The paper's per-experiment workload: ``count`` random queries
+        (10 in Sec. 6.1) of the same size/diameter."""
+        return [self.generate(size, diameter, semantics)
+                for _ in range(count)]

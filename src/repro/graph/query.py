@@ -1,0 +1,135 @@
+"""LGPQ queries.
+
+A localized graph pattern query (Sec. 2.1) is a connected labeled pattern
+``Q`` together with a semantics ``F`` in {hom, sub-iso, ssim}.  The query
+diameter ``d_Q`` fixes the radius of the candidate balls (Prop. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+
+
+class Semantics(str, Enum):
+    """The three LGPQ semantics handled by the framework."""
+
+    HOM = "hom"
+    SUB_ISO = "sub-iso"
+    SSIM = "ssim"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A connected LGPQ query pattern with a fixed vertex order.
+
+    ``vertex_order`` fixes the CMM row order once so that every component
+    (user, players, tests) agrees on matrix positions.  Construction computes
+    and caches ``d_Q``.
+    """
+
+    pattern: LabeledGraph
+    semantics: Semantics = Semantics.HOM
+    vertex_order: tuple[Vertex, ...] = field(default=())
+    diameter: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.pattern.num_vertices == 0:
+            raise ValueError("query pattern must be non-empty")
+        if not self.pattern.is_connected():
+            raise ValueError("query pattern must be connected (Def. 1)")
+        if not self.vertex_order:
+            object.__setattr__(
+                self, "vertex_order",
+                tuple(sorted(self.pattern.vertices(), key=repr)))
+        elif set(self.vertex_order) != set(self.pattern.vertices()):
+            raise ValueError("vertex_order must enumerate the pattern's "
+                             "vertices exactly once")
+        if self.diameter < 0:
+            object.__setattr__(self, "diameter", self.pattern.diameter())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        labels: Mapping[Vertex, Label],
+        edges: Iterable[tuple[Vertex, Vertex]],
+        semantics: Semantics = Semantics.HOM,
+        vertex_order: tuple[Vertex, ...] = (),
+    ) -> "Query":
+        return cls(pattern=LabeledGraph.from_edges(labels, edges),
+                   semantics=semantics, vertex_order=vertex_order)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|V_Q|``."""
+        return self.pattern.num_vertices
+
+    @property
+    def alphabet(self) -> frozenset[Label]:
+        """``Sigma_Q``."""
+        return self.pattern.alphabet
+
+    def label(self, u: Vertex) -> Label:
+        return self.pattern.label(u)
+
+    def row_of(self, u: Vertex) -> int:
+        return self.vertex_order.index(u)
+
+    def most_frequent_label(self, data_graph: LabeledGraph) -> Label:
+        """Alg. 3 line 2: the query label maximizing the number of candidate
+        balls in the data graph (ties broken deterministically)."""
+        return max(sorted(self.alphabet, key=repr),
+                   key=lambda l: data_graph.label_frequency(l))
+
+    def least_frequent_label(self, data_graph: LabeledGraph) -> Label:
+        """The opposite selectivity choice, exposed for ablations: fewer
+        candidate balls means less SP work at the same answer set
+        (Props. 1-2 hold for any label choice)."""
+        return min(sorted(self.alphabet, key=repr),
+                   key=lambda l: data_graph.label_frequency(l))
+
+    def __repr__(self) -> str:
+        return (f"Query({self.semantics.value}, |V|={self.size}, "
+                f"|Sigma|={len(self.alphabet)}, d_Q={self.diameter})")
+
+
+@dataclass(frozen=True)
+class QueryLabelView:
+    """The SP-visible projection of a query: vertices, labels, diameter.
+
+    The Player side must never hold the query's edges (they are the privacy
+    target); every label-only algorithm (Alg. 1's enumeration, the ssim
+    candidate step) is written against this duck-typed view, which the
+    Player reconstructs from the public fields of the encrypted query
+    message.  Vertex identifiers are the row indices ``0..n-1``, matching
+    the encrypted matrix layout.
+    """
+
+    labels: tuple[Label, ...]
+    diameter: int
+    semantics: Semantics = Semantics.HOM
+
+    @property
+    def vertex_order(self) -> tuple[int, ...]:
+        return tuple(range(len(self.labels)))
+
+    @property
+    def size(self) -> int:
+        return len(self.labels)
+
+    @property
+    def alphabet(self) -> frozenset[Label]:
+        return frozenset(self.labels)
+
+    def label(self, u: int) -> Label:
+        return self.labels[u]
+
+    @classmethod
+    def of(cls, query: Query) -> "QueryLabelView":
+        return cls(labels=tuple(query.label(u) for u in query.vertex_order),
+                   diameter=query.diameter, semantics=query.semantics)

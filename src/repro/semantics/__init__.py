@@ -1,0 +1,25 @@
+"""Plaintext LGPQ semantics: hom, sub-iso, and strong simulation.
+
+These matchers implement the definitions of Sec. 2.1 / App. A.1 directly.
+They serve two roles in the reproduction:
+
+* the user's final *query matching* step (Alg. 3 line 15 runs "any current
+  state-of-the-art algorithm on plaintext" over retrieved balls), and
+* ground truth for the tests and for classifying balls as true/false
+  positives in the PPCR experiments (Sec. 6.3).
+"""
+
+from repro.semantics.evaluate import ball_contains_match, find_matches
+from repro.semantics.hom import find_homomorphisms, has_homomorphism
+from repro.semantics.ssim import strong_simulation
+from repro.semantics.subiso import find_isomorphisms, has_isomorphism
+
+__all__ = [
+    "ball_contains_match",
+    "find_homomorphisms",
+    "find_isomorphisms",
+    "find_matches",
+    "has_homomorphism",
+    "has_isomorphism",
+    "strong_simulation",
+]

@@ -1,0 +1,10 @@
+"""Re-export of the semantics enum.
+
+:class:`repro.graph.query.Semantics` lives next to :class:`Query` to avoid
+an import cycle; this module keeps the name importable from the semantics
+package as well.
+"""
+
+from repro.graph.query import Semantics
+
+__all__ = ["Semantics"]

@@ -1,0 +1,84 @@
+"""Strong simulation on balls (Def. 4, App. A.1).
+
+Strong simulation requires, for a ball ``B = G[v_s, d_Q]``, a binary
+relation ``S`` over ``V_Q x V_B`` such that (1) every query vertex has a
+match, (2) some query vertex matches the ball center, and (3) every pair is
+label-consistent and child/parent-closed (the *dual simulation* conditions).
+
+There is a unique maximal relation satisfying (3a-c): the greatest fixpoint
+of the dual-simulation refinement operator, computed here by iterated
+pruning.  Conditions (1)-(2) are then checked on that maximal relation --
+if it fails them, no sub-relation can satisfy them either, because adding
+pairs is impossible and every satisfying relation is contained in the
+maximal one.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ball import Ball
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.query import Query
+
+
+def maximal_dual_simulation(query: Query, graph: LabeledGraph,
+                            ) -> dict[Vertex, set[Vertex]]:
+    """The greatest relation satisfying Def. 4 condition (3).
+
+    Returned as ``sim[u] = set of graph vertices simulating u``.  Empty sets
+    mean condition (1) fails for that query vertex.
+    """
+    sim: dict[Vertex, set[Vertex]] = {
+        u: set(graph.vertices_with_label(query.label(u)))
+        for u in query.vertex_order
+    }
+    changed = True
+    while changed:
+        changed = False
+        for u in query.vertex_order:
+            survivors = set()
+            for v in sim[u]:
+                ok = True
+                # (3b) every query child of u needs a simulated graph child.
+                for u_child in query.pattern.successors(u):
+                    if not (graph.successors(v) & sim[u_child]):
+                        ok = False
+                        break
+                # (3c) every query parent of u needs a simulated graph parent.
+                if ok:
+                    for u_parent in query.pattern.predecessors(u):
+                        if not (graph.predecessors(v) & sim[u_parent]):
+                            ok = False
+                            break
+                if ok:
+                    survivors.add(v)
+            if survivors != sim[u]:
+                sim[u] = survivors
+                changed = True
+    return sim
+
+
+def strong_simulation(query: Query, ball: Ball,
+                      ) -> dict[Vertex, set[Vertex]] | None:
+    """The maximal strong-simulation relation of ``query`` in ``ball``.
+
+    Returns None when the ball does not strongly simulate the query (some
+    query vertex unmatched, or the center matched by no query vertex).
+    """
+    sim = maximal_dual_simulation(query, ball.graph)
+    if any(not matches for matches in sim.values()):
+        return None  # condition (1) fails
+    if not any(ball.center in matches for matches in sim.values()):
+        return None  # condition (2) fails
+    return sim
+
+
+def match_graph(query: Query, ball: Ball) -> LabeledGraph | None:
+    """The matching subgraph under ssim: the induced subgraph of the ball
+    over the image of the maximal relation (Ma et al.'s match graph)."""
+    sim = strong_simulation(query, ball)
+    if sim is None:
+        return None
+    image: set[Vertex] = set()
+    for matches in sim.values():
+        image |= matches
+    return ball.graph.induced_subgraph(image)

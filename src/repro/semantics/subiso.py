@@ -1,0 +1,45 @@
+"""Subgraph isomorphism: Def. 1 with an injective match function.
+
+The paper treats sub-iso as hom plus injectivity (Sec. 2.1, footnote 2) --
+exactly how it is implemented here, sharing the backtracking engine of
+:mod:`repro.semantics.hom` with injective bookkeeping and the degree filters
+that injectivity makes sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.query import Query
+from repro.semantics.hom import _candidate_sets, _search
+
+
+def iter_isomorphisms(query: Query, graph: LabeledGraph,
+                      require_vertex: Vertex | None = None,
+                      ) -> Iterator[dict[Vertex, Vertex]]:
+    """All injective matches of ``query`` in ``graph`` (subgraph, not
+    induced-subgraph, isomorphism: extra graph edges are allowed)."""
+    candidates = _candidate_sets(query, graph, injective=True)
+    if candidates is None:
+        return
+    for match in _search(query, graph, candidates, injective=True):
+        if require_vertex is None or require_vertex in match.values():
+            yield match
+
+
+def find_isomorphisms(query: Query, graph: LabeledGraph,
+                      require_vertex: Vertex | None = None,
+                      limit: int | None = None,
+                      ) -> list[dict[Vertex, Vertex]]:
+    matches: list[dict[Vertex, Vertex]] = []
+    for match in iter_isomorphisms(query, graph, require_vertex):
+        matches.append(match)
+        if limit is not None and len(matches) >= limit:
+            break
+    return matches
+
+
+def has_isomorphism(query: Query, graph: LabeledGraph,
+                    require_vertex: Vertex | None = None) -> bool:
+    return bool(find_isomorphisms(query, graph, require_vertex, limit=1))

@@ -1,0 +1,16 @@
+"""Persistent storage for the data owner's offline artifacts.
+
+Sec. 2.3: the data owner "generates ... all balls of graph G with various
+diameters offline" and ships the encrypted copies to the Dealer.  This
+subpackage provides the durable form of that hand-off: a directory-based
+:class:`~repro.storage.archive.EncryptedBallArchive` holding one
+authenticated ciphertext per ball plus a plaintext manifest of public
+metadata (ball ids, centers, radii, sizes) -- exactly what the Dealer may
+know.  The archive satisfies the same ``get(ball_id)`` protocol as the
+in-memory store, so a :class:`repro.framework.roles.Dealer` can be backed
+by either.
+"""
+
+from repro.storage.archive import ArchiveError, EncryptedBallArchive
+
+__all__ = ["ArchiveError", "EncryptedBallArchive"]

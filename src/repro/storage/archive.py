@@ -1,0 +1,142 @@
+"""Directory-based encrypted ball archive.
+
+Layout::
+
+    <root>/
+      manifest.json        # public metadata: version, ball entries
+      balls/<ball_id>.bin  # StreamCipher blob of the serialized ball
+
+The manifest contains only Dealer-visible information (identifiers,
+centers by repr, radii, blob sizes); ball contents are authenticated
+ciphertext under the data owner's ``sk``.  Reads are lazy and memoized.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.crypto.keys import DataOwnerKey
+from repro.framework.messages import EncryptedBallBlob
+from repro.graph.ball import BallIndex
+from repro.graph.io import ball_to_bytes
+
+_MANIFEST = "manifest.json"
+_BALL_DIR = "balls"
+_VERSION = 1
+
+
+class ArchiveError(RuntimeError):
+    """Archive is missing, malformed, or inconsistent."""
+
+
+class EncryptedBallArchive:
+    """An on-disk encrypted ball store with the Dealer's ``get`` protocol."""
+
+    def __init__(self, root: Path, manifest: dict) -> None:
+        self._root = root
+        self._manifest = manifest
+        self._cache: dict[int, EncryptedBallBlob] = {}
+
+    # ------------------------------------------------------------------
+    # creation (data owner side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str | Path, index: BallIndex, key: DataOwnerKey,
+               radii: tuple[int, ...] | None = None,
+               ) -> "EncryptedBallArchive":
+        """Materialize and encrypt every indexed ball into ``root``.
+
+        ``radii`` restricts the export to a subset of the index's radii
+        (a data owner may stage per-diameter archives).
+        """
+        root = Path(root)
+        if root.exists() and any(root.iterdir()):
+            raise ArchiveError(f"refusing to overwrite non-empty {root}")
+        (root / _BALL_DIR).mkdir(parents=True, exist_ok=True)
+        cipher = key.cipher()
+        wanted = set(radii if radii is not None else index.radii)
+        unknown = wanted - set(index.radii)
+        if unknown:
+            raise ArchiveError(f"radii {sorted(unknown)} not in the index")
+        entries = []
+        for center in index.graph.vertices():
+            for radius in sorted(wanted):
+                ball = index.ball(center, radius)
+                blob = cipher.encrypt(ball_to_bytes(ball))
+                path = root / _BALL_DIR / f"{ball.ball_id}.bin"
+                path.write_bytes(blob)
+                entries.append({
+                    "ball_id": ball.ball_id,
+                    "center": repr(center),
+                    "radius": radius,
+                    "vertices": ball.size,
+                    "bytes": len(blob),
+                })
+        manifest = {"version": _VERSION, "balls": entries}
+        (root / _MANIFEST).write_text(
+            json.dumps(manifest, indent=1, sort_keys=True),
+            encoding="utf-8")
+        return cls(root, manifest)
+
+    # ------------------------------------------------------------------
+    # opening (dealer side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, root: str | Path) -> "EncryptedBallArchive":
+        root = Path(root)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.is_file():
+            raise ArchiveError(f"no manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ArchiveError(f"malformed manifest: {exc}") from exc
+        if manifest.get("version") != _VERSION:
+            raise ArchiveError(
+                f"unsupported archive version {manifest.get('version')!r}")
+        return cls(root, manifest)
+
+    # ------------------------------------------------------------------
+    @property
+    def ball_ids(self) -> list[int]:
+        return [entry["ball_id"] for entry in self._manifest["balls"]]
+
+    def __len__(self) -> int:
+        return len(self._manifest["balls"])
+
+    def entries(self) -> Iterator[dict]:
+        """Public per-ball metadata (what the Dealer legitimately sees)."""
+        return iter(self._manifest["balls"])
+
+    def get(self, ball_id: int) -> EncryptedBallBlob:
+        """The Dealer protocol: fetch one encrypted ball."""
+        cached = self._cache.get(ball_id)
+        if cached is not None:
+            return cached
+        path = self._root / _BALL_DIR / f"{ball_id}.bin"
+        if not path.is_file():
+            raise ArchiveError(f"ball {ball_id} not in archive")
+        blob = EncryptedBallBlob(ball_id=ball_id, blob=path.read_bytes())
+        self._cache[ball_id] = blob
+        return blob
+
+    def verify(self, key: DataOwnerKey) -> int:
+        """Data-owner integrity sweep: decrypt-authenticate every blob.
+
+        Returns the number of verified balls; raises
+        :class:`ArchiveError` on the first tampered/corrupt one.
+        """
+        cipher = key.cipher()
+        checked = 0
+        for entry in self._manifest["balls"]:
+            blob = self.get(entry["ball_id"])
+            try:
+                cipher.decrypt(blob.blob)
+            except Exception as exc:
+                raise ArchiveError(
+                    f"ball {entry['ball_id']} failed verification: "
+                    f"{exc}") from exc
+            checked += 1
+        return checked

@@ -1,0 +1,31 @@
+"""Simulated trusted execution environment (Intel SGX stand-in).
+
+No SGX hardware or SDK is available, so this subpackage provides a
+*behavioural* simulation (see DESIGN.md):
+
+* :class:`~repro.tee.enclave.Enclave` -- an isolated container object with a
+  bounded protected-memory budget (the ~128 MB EPC of Sec. 2.2), metered
+  ecall/ocall boundary crossings (the paper stresses that "the cost of
+  interaction with the enclave is huge"), and sealed per-session state.
+* :class:`~repro.tee.channel.SecureChannel` -- the user <-> enclave session
+  key establishment.
+* :mod:`~repro.tee.attestation` -- a measurement/report stub so the user can
+  check which trusted application it is talking to.
+
+This is NOT a security boundary: everything runs in one address space.  It
+exists so the algorithms, data flows, and cost trade-offs of the paper's BF
+pruning are executed faithfully and measurably.
+"""
+
+from repro.tee.attestation import AttestationReport, measure
+from repro.tee.channel import SecureChannel
+from repro.tee.enclave import Enclave, EnclaveMemoryError, EnclaveMetrics
+
+__all__ = [
+    "AttestationReport",
+    "Enclave",
+    "EnclaveMemoryError",
+    "EnclaveMetrics",
+    "SecureChannel",
+    "measure",
+]

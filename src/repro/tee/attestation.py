@@ -1,0 +1,31 @@
+"""Attestation stub for the simulated enclave.
+
+Real SGX remote attestation proves to the user that a specific enclave
+binary (identified by its measurement, MRENCLAVE) runs on genuine hardware.
+The simulation reduces this to a measurement hash over the trusted
+application's identity string, carried in a report the user verifies before
+provisioning the session key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def measure(app_identity: str) -> bytes:
+    """The simulated MRENCLAVE of a trusted application."""
+    return hashlib.sha256(f"mrenclave:{app_identity}"
+                          .encode("utf-8")).digest()
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """A (simulated) quote: measurement + enclave instance id."""
+
+    measurement: bytes
+    enclave_id: int
+
+    def verify(self, expected_app_identity: str) -> bool:
+        """User-side check that the report names the expected application."""
+        return self.measurement == measure(expected_app_identity)

@@ -1,0 +1,52 @@
+"""User <-> enclave secure channel (Sec. 2.2: "a secure channel is
+established between users and the enclave").
+
+Establishment simulates remote attestation followed by key provisioning:
+the user verifies the enclave's report names the expected trusted
+application, then installs a session key.  Afterwards the user seals
+payloads with :meth:`SecureChannel.seal`; only the enclave can open them.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.stream_cipher import StreamCipher
+from repro.tee.enclave import Enclave
+
+
+class AttestationFailure(PermissionError):
+    """The enclave's report did not match the expected application."""
+
+
+class SecureChannel:
+    """The user's end of an attested session with one enclave."""
+
+    def __init__(self, cipher: StreamCipher, enclave_id: int) -> None:
+        self._cipher = cipher
+        self._enclave_id = enclave_id
+        self.bytes_sealed = 0
+
+    @classmethod
+    def establish(cls, enclave: Enclave, session_key: bytes,
+                  expected_identity: str = Enclave.APP_IDENTITY,
+                  ) -> "SecureChannel":
+        """Attest ``enclave`` and provision ``session_key`` into it."""
+        report = enclave.attest()
+        if not report.verify(expected_identity):
+            raise AttestationFailure(
+                f"enclave measurement does not match {expected_identity!r}")
+        enclave._install_session_key(session_key)
+        return cls(StreamCipher(session_key), report.enclave_id)
+
+    @property
+    def enclave_id(self) -> int:
+        return self._enclave_id
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt a payload for the enclave."""
+        blob = self._cipher.encrypt(plaintext)
+        self.bytes_sealed += len(blob)
+        return blob
+
+    def open(self, blob: bytes) -> bytes:
+        """Decrypt an enclave-produced payload (e.g. ``c_sgx``)."""
+        return self._cipher.decrypt(blob)

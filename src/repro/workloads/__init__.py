@@ -1,0 +1,42 @@
+"""Datasets and experiment harnesses.
+
+:func:`~repro.workloads.datasets.load_dataset` provides scaled synthetic
+stand-ins for the paper's SNAP datasets (Table 3) and the LDBC-like graph of
+Sec. 6.4; :mod:`~repro.workloads.experiments` holds one reusable harness per
+family of paper figures (pruning power, per-ball runtimes, retrieval
+scheduling, LDBC workloads, user-side costs).
+"""
+
+from repro.workloads.datasets import (
+    DATASET_SPECS,
+    Dataset,
+    DatasetSpec,
+    load_dataset,
+)
+from repro.workloads.experiments import (
+    PruningStudy,
+    RetrievalStudy,
+    ball_statistics,
+    dataset_statistics,
+    ground_truth_positive_ids,
+    ldbc_study,
+    pruning_study,
+    retrieval_study,
+    user_side_costs,
+)
+
+__all__ = [
+    "DATASET_SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "PruningStudy",
+    "RetrievalStudy",
+    "ball_statistics",
+    "dataset_statistics",
+    "ground_truth_positive_ids",
+    "ldbc_study",
+    "load_dataset",
+    "pruning_study",
+    "retrieval_study",
+    "user_side_costs",
+]

@@ -1,0 +1,439 @@
+"""Experiment harnesses -- one reusable function per family of figures.
+
+Each harness returns plain dataclasses/dicts that the benchmark scripts
+format into the paper's rows and series.  Everything is deterministic given
+the seeds, and every harness works at any dataset scale.
+
+Figure coverage:
+
+* :func:`pruning_study` -- Fig. 2(a), Fig. 10, Figs. 12-15, Figs. 19-21
+  (pruning power and per-ball pruning runtimes for BF_t / Twiglet_h /
+  Path_h / neighbor labels, with ground-truth confusion counts).
+* :func:`retrieval_study` -- Fig. 2(b), Fig. 11, Figs. 16-17 (SSG vs RSG
+  time-to-results across k).
+* :func:`ldbc_study` -- Fig. 18 (per-workload Prilo vs Prilo* + PPCR).
+* :func:`user_side_costs` -- EXP-1 of Sec. 6.2.
+* :func:`dataset_statistics` / :func:`ball_statistics` -- Tables 3-4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from statistics import mean, pstdev
+
+from repro.framework.messages import PruningMessages
+from repro.framework.metrics import ConfusionCounts, PhaseTimings
+from repro.framework.prilo import Prilo, PriloConfig
+from repro.framework.prilo_star import PriloStar
+from repro.framework.simulator import simulate_schedule
+from repro.core.retrieval import rsg_sequences, ssg_sequences
+from repro.graph.ball import Ball
+from repro.graph.ldbc import TESTED_WORKLOADS, instantiate_workload
+from repro.graph.query import Query, Semantics
+from repro.semantics.evaluate import ball_contains_match
+from repro.workloads.datasets import Dataset
+
+
+def ground_truth_positive_ids(query: Query,
+                              candidates: list[Ball]) -> frozenset[int]:
+    """Which candidate balls really contain a match (plaintext evaluation)."""
+    return frozenset(ball.ball_id for ball in candidates
+                     if ball_contains_match(query, ball))
+
+
+# ----------------------------------------------------------------------
+# Pruning power / per-ball pruning runtime studies
+# ----------------------------------------------------------------------
+@dataclass
+class BallPruneRecord:
+    """Per-ball measurements feeding the boxplot figures (12, 14, 19-21)."""
+
+    ball_id: int
+    ball_size: int
+    truth_positive: bool
+    verdicts: dict[str, bool] = field(default_factory=dict)
+    costs: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class PruningStudy:
+    """Aggregated outcome of running the pruning methods over a workload."""
+
+    dataset: str
+    semantics: Semantics
+    methods: tuple[str, ...]
+    candidates: int = 0
+    confusion: dict[str, ConfusionCounts] = field(default_factory=dict)
+    total_cost: dict[str, float] = field(default_factory=dict)
+    balls: list[BallPruneRecord] = field(default_factory=list)
+
+    def remaining(self, method: str) -> int:
+        """Candidate balls left after this method's pruning (Fig. 10's
+        y-axis; 'all' maps to the unpruned count)."""
+        if method == "all":
+            return self.candidates
+        counts = self.confusion[method]
+        return counts.tp + counts.fp
+
+    def ppcr(self, method: str) -> float:
+        return self.confusion[method].ppcr
+
+
+_METHOD_FLAGS = {
+    "bf": "use_bf",
+    "twiglet": "use_twiglet",
+    "path": "use_path",
+    "neighbor": "use_neighbor",
+}
+
+
+def pruning_study(
+    dataset: Dataset,
+    queries: list[Query],
+    methods: tuple[str, ...] = ("neighbor", "path", "twiglet", "bf"),
+    config: PriloConfig | None = None,
+    combine: tuple[str, ...] = ("bf", "twiglet"),
+) -> PruningStudy:
+    """Run every requested pruning method over the queries' candidate balls.
+
+    All methods are computed in one pass per ball so their per-ball costs
+    are measured under identical conditions.  ``combine`` adds a synthetic
+    AND-combined method (Fig. 10's "BF + Twiglet" bars) when both parts ran.
+    """
+    if not queries:
+        raise ValueError("need at least one query")
+    semantics = queries[0].semantics
+    graph = dataset.graph_for(semantics)
+    if config is None:
+        config = PriloConfig()
+    flags = {flag: (name in methods)
+             for name, flag in _METHOD_FLAGS.items()}
+    config = replace(config, **flags)
+    engine = Prilo(graph, config)
+
+    study = PruningStudy(dataset=dataset.name, semantics=semantics,
+                         methods=methods)
+    for name in methods:
+        study.confusion[name] = ConfusionCounts()
+        study.total_cost[name] = 0.0
+    combined_name = "+".join(combine)
+    do_combined = combine and all(name in methods for name in combine)
+    if do_combined:
+        study.confusion[combined_name] = ConfusionCounts()
+
+    for query in queries:
+        label, candidates = engine.candidate_balls(query)
+        study.candidates += len(candidates)
+        truth = ground_truth_positive_ids(query, candidates)
+        timings = PhaseTimings()
+        message, state = engine.user.prepare_query(
+            query, use_bf=config.use_bf, use_twiglet=config.use_twiglet,
+            use_path=config.use_path, use_neighbor=config.use_neighbor,
+            twiglet_h=config.twiglet_h, bf_config=config.bf,
+            enclaves=[p.enclave for p in engine.players],
+            sizes=engine_sizes(), timings=timings)
+        pms = PruningMessages()
+        pm_costs: dict[int, float] = {}
+        per_ball_costs: dict[str, dict[int, float]] = {m: {} for m in methods}
+        # Measure each method's per-ball cost separately: run them one
+        # method at a time through the same player.
+        for method in methods:
+            solo = _single_method_message(message, method)
+            solo_pms = PruningMessages()
+            before = dict(pm_costs)
+            for i, ball in enumerate(candidates):
+                player = engine.players[i % len(engine.players)]
+                start = time.perf_counter()
+                player.compute_pms(solo, [ball], bf_config=config.bf,
+                                   twiglet_h=config.twiglet_h, pms=solo_pms,
+                                   pm_costs=pm_costs, timings=timings)
+                per_ball_costs[method][ball.ball_id] = (
+                    time.perf_counter() - start)
+            pm_costs.update(before)
+            _merge_pms(pms, solo_pms)
+        decrypted, per_method = engine.user.decrypt_pms(
+            pms, [b.ball_id for b in candidates], state, timings)
+
+        for ball in candidates:
+            record = BallPruneRecord(ball_id=ball.ball_id,
+                                     ball_size=ball.size,
+                                     truth_positive=ball.ball_id in truth)
+            for method in methods:
+                verdict = per_method.get(method, {}).get(ball.ball_id, True)
+                record.verdicts[method] = verdict
+                record.costs[method] = per_ball_costs[method][ball.ball_id]
+                study.confusion[method].record(verdict, record.truth_positive)
+                study.total_cost[method] += record.costs[method]
+            if do_combined:
+                verdict = all(record.verdicts[name] for name in combine)
+                record.verdicts[combined_name] = verdict
+                study.confusion[combined_name].record(
+                    verdict, record.truth_positive)
+            study.balls.append(record)
+    return study
+
+
+def engine_sizes():
+    from repro.framework.metrics import MessageSizes
+
+    return MessageSizes()
+
+
+def _single_method_message(message, method: str):
+    """A copy of the encrypted query message with one method's payload."""
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(
+        message,
+        twiglet_tables=message.twiglet_tables if method == "twiglet" else None,
+        path_tables=message.path_tables if method == "path" else None,
+        neighbor_tables=(message.neighbor_tables
+                         if method == "neighbor" else None),
+        bf_message=message.bf_message if method == "bf" else None,
+    )
+
+
+def _merge_pms(into: PruningMessages, from_: PruningMessages) -> None:
+    into.bf.update(from_.bf)
+    into.twiglet.update(from_.twiglet)
+    into.path.update(from_.path)
+    into.neighbor.update(from_.neighbor)
+
+
+# ----------------------------------------------------------------------
+# Retrieval scheduling studies (SSG vs RSG)
+# ----------------------------------------------------------------------
+@dataclass
+class RetrievalRecord:
+    """One (query, k) scheduling comparison."""
+
+    dataset: str
+    semantics: Semantics
+    k: int
+    candidates: int
+    positives: int
+    ppcr: float
+    mode: str
+    ssg_all_positives: float
+    rsg_all_positives: float
+    ssg_first_positive: float
+    rsg_first_positive: float
+    pm_seconds: float
+    evaluation_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.ssg_all_positives <= 0:
+            return float("inf") if self.rsg_all_positives > 0 else 1.0
+        return self.rsg_all_positives / self.ssg_all_positives
+
+
+@dataclass
+class RetrievalStudy:
+    records: list[RetrievalRecord] = field(default_factory=list)
+
+    def mean_speedup(self, k: int | None = None) -> float:
+        chosen = [r.speedup for r in self.records
+                  if (k is None or r.k == k) and r.speedup != float("inf")]
+        return mean(chosen) if chosen else float("nan")
+
+
+def retrieval_study(
+    dataset: Dataset,
+    queries: list[Query],
+    k_values: tuple[int, ...] = (4,),
+    config: PriloConfig | None = None,
+) -> RetrievalStudy:
+    """Run Prilo* once per query, then replay SSG vs RSG schedules for every
+    requested player count from the measured per-ball costs."""
+    if not queries:
+        raise ValueError("need at least one query")
+    semantics = queries[0].semantics
+    graph = dataset.graph_for(semantics)
+    if config is None:
+        config = PriloConfig()
+    engine = PriloStar.setup(graph, config)
+    study = RetrievalStudy()
+    for index, query in enumerate(queries):
+        result = engine.run(query)
+        costs = result.metrics.per_ball_eval_cost
+        positives = result.pm_positive_ids
+        for k in k_values:
+            ssg, mode = ssg_sequences(result.candidate_ids, positives,
+                                      max(k, 2), seed=config.seed + index)
+            rsg = rsg_sequences(result.candidate_ids, k,
+                                seed=config.seed + index)
+            ssg_out = simulate_schedule(ssg, costs, positives)
+            rsg_out = simulate_schedule(rsg, costs, positives)
+            study.records.append(RetrievalRecord(
+                dataset=dataset.name, semantics=semantics, k=k,
+                candidates=len(result.candidate_ids),
+                positives=len(positives),
+                ppcr=(len(positives) / len(result.candidate_ids)
+                      if result.candidate_ids else 0.0),
+                mode=mode,
+                ssg_all_positives=ssg_out.all_positives,
+                rsg_all_positives=rsg_out.all_positives,
+                ssg_first_positive=ssg_out.first_positive,
+                rsg_first_positive=rsg_out.first_positive,
+                pm_seconds=result.metrics.timings.pm_computation,
+                evaluation_seconds=result.metrics.timings.evaluation,
+            ))
+    return study
+
+
+# ----------------------------------------------------------------------
+# LDBC workloads (Fig. 18)
+# ----------------------------------------------------------------------
+@dataclass
+class LdbcRecord:
+    workload: str
+    semantics: Semantics
+    candidates: int
+    positives: int
+    ppcr: float
+    mode: str
+    prilo_star_seconds: float    # PM (parallel over k) + SSG
+    prilo_seconds: float         # RSG time-to-all-positives
+    ssg_seconds: float           # scheduling component alone
+    rsg_seconds: float
+    matches: int
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end Prilo / Prilo* ratio (includes PM overhead)."""
+        if self.prilo_star_seconds <= 0:
+            return 1.0
+        return self.prilo_seconds / self.prilo_star_seconds
+
+    @property
+    def scheduling_speedup(self) -> float:
+        """RSG / SSG on the scheduling component alone (Fig. 18's driver)."""
+        if self.ssg_seconds <= 0:
+            return 1.0 if self.rsg_seconds <= 0 else float("inf")
+        return self.rsg_seconds / self.ssg_seconds
+
+
+def ldbc_study(
+    dataset: Dataset,
+    semantics: Semantics = Semantics.HOM,
+    config: PriloConfig | None = None,
+    seed: int = 0,
+) -> list[LdbcRecord]:
+    """Fig. 18: the ten tested Table 5 workloads, Prilo vs Prilo*."""
+    if config is None:
+        config = PriloConfig()
+    graph = dataset.graph_for(semantics)
+    engine = PriloStar.setup(graph, config)
+    records: list[LdbcRecord] = []
+    for index, shape in enumerate(TESTED_WORKLOADS):
+        query = instantiate_workload(shape, graph, semantics,
+                                     seed=seed + index)
+        result = engine.run(query)
+        costs = result.metrics.per_ball_eval_cost
+        positives = result.pm_positive_ids
+        rsg = rsg_sequences(result.candidate_ids, config.k_players,
+                            seed=config.seed + index)
+        rsg_out = simulate_schedule(rsg, costs, positives)
+        ssg_out = result.schedule
+        pm_parallel = (result.metrics.timings.pm_computation
+                       / max(config.k_players, 1))
+        records.append(LdbcRecord(
+            workload=shape.name, semantics=semantics,
+            candidates=len(result.candidate_ids), positives=len(positives),
+            ppcr=(len(positives) / len(result.candidate_ids)
+                  if result.candidate_ids else 0.0),
+            mode=result.sequence_mode,
+            prilo_star_seconds=pm_parallel + ssg_out.all_positives,
+            prilo_seconds=rsg_out.all_positives,
+            ssg_seconds=ssg_out.all_positives,
+            rsg_seconds=rsg_out.all_positives,
+            matches=result.num_matches,
+        ))
+    return records
+
+
+# ----------------------------------------------------------------------
+# EXP-1: user-side costs
+# ----------------------------------------------------------------------
+@dataclass
+class UserCostRecord:
+    dataset: str
+    semantics: Semantics
+    preprocessing_seconds: float
+    decryption_seconds: float
+    user_to_sp_bytes: int
+    sp_to_user_bytes: int
+
+
+def user_side_costs(dataset: Dataset, queries: list[Query],
+                    config: PriloConfig | None = None) -> list[UserCostRecord]:
+    """EXP-1 (Sec. 6.2): preprocessing / decryption times and message sizes."""
+    if config is None:
+        config = PriloConfig()
+    semantics = queries[0].semantics
+    engine = PriloStar.setup(dataset.graph_for(semantics), config)
+    records = []
+    for query in queries:
+        result = engine.run(query)
+        timings = result.metrics.timings
+        sizes = result.metrics.sizes
+        records.append(UserCostRecord(
+            dataset=dataset.name, semantics=semantics,
+            preprocessing_seconds=timings.user_preprocessing,
+            decryption_seconds=(timings.user_pm_decryption
+                                + timings.user_result_decryption),
+            user_to_sp_bytes=sizes.user_to_sp(),
+            sp_to_user_bytes=sizes.sp_to_user(),
+        ))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Tables 3-4
+# ----------------------------------------------------------------------
+def dataset_statistics(dataset: Dataset) -> dict[str, object]:
+    """One Table 3 row (generated vs paper reference)."""
+    return {
+        "name": dataset.name,
+        "vertices": dataset.graph.num_vertices,
+        "edges": dataset.graph.num_edges,
+        "hom_labels": len(dataset.graph.alphabet),
+        "ssim_labels": len(dataset.ssim_graph.alphabet),
+        "paper_vertices": dataset.spec.paper_vertices,
+        "paper_edges": dataset.spec.paper_edges,
+        "edge_vertex_ratio": (dataset.graph.num_edges
+                              / max(dataset.graph.num_vertices, 1)),
+    }
+
+
+def ball_statistics(dataset: Dataset, queries: list[Query],
+                    config: PriloConfig | None = None) -> dict[str, float]:
+    """One Table 4 row: candidate-ball statistics for a query workload."""
+    if config is None:
+        config = PriloConfig()
+    semantics = queries[0].semantics
+    graph = dataset.graph_for(semantics)
+    engine = Prilo(graph, config)
+    sizes: list[int] = []
+    edge_counts: list[int] = []
+    max_degree = 0
+    per_query_counts: list[int] = []
+    for query in queries:
+        _, candidates = engine.candidate_balls(query)
+        per_query_counts.append(len(candidates))
+        for ball in candidates:
+            sizes.append(ball.size)
+            edge_counts.append(ball.graph.num_edges)
+            max_degree = max(max_degree, ball.graph.max_degree())
+    return {
+        "dataset": dataset.name,
+        "labels": len(graph.alphabet),
+        "avg_balls_per_query": mean(per_query_counts) if per_query_counts else 0,
+        "avg_ball_vertices": mean(sizes) if sizes else 0,
+        "std_ball_vertices": pstdev(sizes) if len(sizes) > 1 else 0.0,
+        "avg_ball_edges": mean(edge_counts) if edge_counts else 0,
+        "std_ball_edges": pstdev(edge_counts) if len(edge_counts) > 1 else 0.0,
+        "max_degree": max_degree,
+    }

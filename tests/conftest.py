@@ -1,0 +1,44 @@
+"""Shared fixtures: the Fig. 3 worked example, a small CGBE instance, and a
+miniature dataset.  CGBE uses a 1024-bit modulus with 24-bit q/r in tests --
+the same algebra as the paper's 4096/32/32 at a fraction of the cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cgbe import CGBE
+from repro.framework.prilo import PriloConfig
+from repro.graph.ball import extract_ball
+from repro.graph.generators import fig3_graph, fig3_query
+from repro.workloads.datasets import tiny_dataset
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    """(query, graph) of the paper's running example."""
+    return fig3_query(), fig3_graph()
+
+
+@pytest.fixture(scope="session")
+def fig3_ball(fig3):
+    query, graph = fig3
+    return extract_ball(graph, "v6", query.diameter, ball_id=0)
+
+
+@pytest.fixture(scope="session")
+def cgbe():
+    # 24-bit q keeps the factor-q test's false-violation probability
+    # (~1/q per decrypted aggregate) negligible across the whole suite.
+    return CGBE.generate(modulus_bits=1024, q_bits=24, r_bits=24, seed=7)
+
+
+@pytest.fixture(scope="session")
+def test_config():
+    """Engine config sized for tests."""
+    return PriloConfig(k_players=2, modulus_bits=1024, q_bits=24, r_bits=24,
+                       radii=(1, 2, 3), seed=3)
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return tiny_dataset(seed=2)

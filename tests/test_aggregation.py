@@ -1,0 +1,110 @@
+"""Tests for the shared chunk/sum aggregation machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    BallCiphertextResult,
+    ChunkPlan,
+    aggregate_items,
+    chunked_product,
+    decide_positive,
+)
+from repro.crypto.cgbe import CGBE
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return CGBE.generate(modulus_bits=512, q_bits=16, r_bits=16, seed=4)
+
+
+def factors_for(scheme, flags):
+    return [scheme.encrypt_q() if f else scheme.encrypt(1) for f in flags]
+
+
+class TestChunkPlan:
+    def test_summable_when_fits(self, scheme):
+        plan = ChunkPlan.plan(scheme.params, 8, expected_terms=16)
+        assert plan.summable
+        assert plan.chunks_per_item == 1
+
+    def test_chunked_when_too_big(self, scheme):
+        plan = ChunkPlan.plan(scheme.params, 100, expected_terms=16)
+        assert not plan.summable
+        assert plan.chunks_per_item == -(-100 // plan.chunk_factors)
+
+    def test_zero_factors_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            ChunkPlan.plan(scheme.params, 0)
+
+    def test_impossible_modulus_rejected(self):
+        tiny = CGBE.generate(modulus_bits=40, q_bits=16, r_bits=16, seed=1)
+        with pytest.raises(ValueError, match="cannot hold"):
+            ChunkPlan.plan(tiny.params, 4)
+
+
+class TestChunkedProduct:
+    def test_padding_preserves_constant_length(self, scheme):
+        plan = ChunkPlan.plan(scheme.params, 6, expected_terms=4)
+        chunks = chunked_product(scheme.params,
+                                 factors_for(scheme, [True]),
+                                 scheme.encrypt_one(), plan)
+        assert len(chunks) == plan.chunks_per_item
+        assert all(c.power == plan.chunk_factors for c in chunks)
+
+    def test_q_detection_across_chunks(self, scheme):
+        plan = ChunkPlan.plan(scheme.params, 20, expected_terms=1 << 40)
+        assert not plan.summable
+        flags = [False] * 19 + [True]  # violation in the last chunk
+        chunks = chunked_product(scheme.params, factors_for(scheme, flags),
+                                 scheme.encrypt_one(), plan)
+        assert any(scheme.has_factor_q(c) for c in chunks)
+
+    def test_too_many_factors_rejected(self, scheme):
+        plan = ChunkPlan.plan(scheme.params, 2)
+        with pytest.raises(ValueError):
+            chunked_product(scheme.params, factors_for(scheme, [1, 1, 1]),
+                            scheme.encrypt_one(), plan)
+
+
+class TestAggregateAndDecide:
+    def test_empty_is_negative(self, scheme):
+        plan = ChunkPlan.plan(scheme.params, 4)
+        result = aggregate_items(scheme.params, 0, [], plan)
+        assert result.empty
+        assert not decide_positive(scheme, result)
+
+    def test_bypassed_is_positive(self, scheme):
+        result = BallCiphertextResult(ball_id=0, bypassed=True)
+        assert decide_positive(scheme, result)
+
+    def test_ciphertext_count(self, scheme):
+        plan = ChunkPlan.plan(scheme.params, 4)
+        items = [chunked_product(scheme.params,
+                                 factors_for(scheme, [True] * 4),
+                                 scheme.encrypt_one(), plan)
+                 for _ in range(3)]
+        result = aggregate_items(scheme.params, 0, items, plan)
+        assert result.ciphertext_count() == 1  # summable mode
+
+    @given(st.lists(st.lists(st.booleans(), min_size=2, max_size=6),
+                    min_size=1, max_size=6),
+           st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_decision_equals_plaintext_semantics(self, rows, force_chunks):
+        """Property: positive iff some item has no violating factor --
+        identical in summed and chunked layouts."""
+        scheme = CGBE.generate(modulus_bits=512, q_bits=16, r_bits=16,
+                               seed=5)
+        width = max(len(r) for r in rows)
+        rows = [r + [False] * (width - len(r)) for r in rows]
+        expected_terms = (1 << 40) if force_chunks and width > 1 else 16
+        plan = ChunkPlan.plan(scheme.params, width,
+                              expected_terms=expected_terms)
+        c_one = scheme.encrypt_one()
+        items = [chunked_product(scheme.params, factors_for(scheme, row),
+                                 c_one, plan) for row in rows]
+        result = aggregate_items(scheme.params, 0, items, plan)
+        assert decide_positive(scheme, result) == any(
+            not any(row) for row in rows)

@@ -1,0 +1,133 @@
+"""Tests for the BF pruning pipeline (Sec. 4.1.2)."""
+
+import pytest
+
+from repro.core.bf_pruning import (
+    BFConfig,
+    player_bf_prune,
+    user_decode_outcome,
+    user_prepare_encodings,
+)
+from repro.core.encoding import LabelCodec
+from repro.crypto.stream_cipher import StreamCipher
+from repro.graph.ball import extract_ball
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query import Query
+from repro.tee.channel import SecureChannel
+from repro.tee.enclave import Enclave
+
+
+@pytest.fixture()
+def session():
+    enclave = Enclave()
+    channel = SecureChannel.establish(enclave,
+                                      StreamCipher.generate_key(seed=3))
+    return enclave, channel
+
+
+@pytest.fixture(scope="module")
+def config():
+    return BFConfig(eta=16, expected_trees=200, false_positive_rate=0.05,
+                    threshold_t=15)
+
+
+class TestUserSide:
+    def test_eta_entries_per_vertex(self, fig3, session, config):
+        query, _ = fig3
+        _, channel = session
+        codec = LabelCodec.from_alphabet(query.alphabet)
+        message = user_prepare_encodings(query, codec, channel, config)
+        assert message.entries == query.size
+        assert message.truncated_vertices == 0
+        assert len(message.sealed_blob) > 0
+
+    def test_truncation_counted(self, session):
+        """A dense query vertex with more trees than a tiny eta."""
+        _, channel = session
+        labels = {0: "R", 1: "a", 2: "b", 3: "c", 4: "d", 5: "e", 6: "f"}
+        edges = [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 6)]
+        q = Query.from_edges(labels, edges)
+        codec = LabelCodec.from_alphabet(q.alphabet)
+        message = user_prepare_encodings(
+            q, codec, channel, BFConfig(eta=2, expected_trees=50))
+        assert message.truncated_vertices >= 1
+
+
+class TestPlayerSide:
+    def test_fig3_positive_ball(self, fig3, session, config):
+        """G[v6,3] hosts the query's u1-tree, so BF keeps it."""
+        query, graph = fig3
+        enclave, channel = session
+        codec = LabelCodec.from_alphabet(query.alphabet)
+        enclave.load_query_encodings(
+            user_prepare_encodings(query, codec, channel,
+                                   config).sealed_blob)
+        ball = extract_ball(graph, "v6", 3, ball_id=0)
+        outcome = player_bf_prune(enclave, ball, codec, config)
+        assert not outcome.bypassed
+        assert user_decode_outcome(channel, outcome)
+
+    def test_tree_poor_ball_pruned(self, session, config):
+        """A ball center missing the query's trees gets pruned when the
+        query vertex with its label has trees."""
+        enclave, channel = session
+        # Query: B-rooted vii tree exists (B-A with A-C, B-D as right).
+        q = Query.from_edges({0: "B", 1: "A", 2: "C", 3: "D"},
+                             [(0, 1), (1, 2), (0, 3)])
+        codec = LabelCodec.from_alphabet(q.alphabet)
+        enclave.load_query_encodings(
+            user_prepare_encodings(q, codec, channel, config).sealed_blob)
+        # Ball: a bare B-A edge; no height-2 structure at the center.
+        g = LabeledGraph.from_edges({10: "B", 11: "A"}, [(10, 11)])
+        ball = extract_ball(g, 10, 3, ball_id=1)
+        outcome = player_bf_prune(enclave, ball, codec, config)
+        assert not user_decode_outcome(channel, outcome)
+
+    def test_soundness_on_fig3(self, fig3, session, config):
+        """BF never prunes a ball containing a match."""
+        from repro.semantics.evaluate import ball_contains_match
+
+        query, graph = fig3
+        enclave, channel = session
+        codec = LabelCodec.from_alphabet(query.alphabet)
+        enclave.load_query_encodings(
+            user_prepare_encodings(query, codec, channel,
+                                   config).sealed_blob)
+        for center in graph.vertices():
+            ball = extract_ball(graph, center, query.diameter, ball_id=0)
+            outcome = player_bf_prune(enclave, ball, codec, config)
+            if ball_contains_match(query, ball):
+                assert user_decode_outcome(channel, outcome)
+
+    def test_threshold_bypass(self, fig3, session):
+        """threshold_t = -1 makes every non-trivial center bypass."""
+        query, graph = fig3
+        enclave, channel = session
+        codec = LabelCodec.from_alphabet(query.alphabet)
+        cfg = BFConfig(eta=8, expected_trees=50, threshold_t=-1)
+        ball = extract_ball(graph, "v6", 3, ball_id=0)
+        outcome = player_bf_prune(enclave, ball, codec, cfg)
+        assert outcome.bypassed
+        assert user_decode_outcome(channel, outcome)
+
+    def test_filter_size_matches_eq1(self, fig3, session, config):
+        query, graph = fig3
+        enclave, channel = session
+        codec = LabelCodec.from_alphabet(query.alphabet)
+        enclave.load_query_encodings(
+            user_prepare_encodings(query, codec, channel,
+                                   config).sealed_blob)
+        ball = extract_ball(graph, "v6", 3, ball_id=0)
+        outcome = player_bf_prune(enclave, ball, codec, config)
+        assert outcome.filter_bytes >= config.filter_bits() // 8
+
+
+class TestBFConfig:
+    def test_paper_defaults(self):
+        cfg = BFConfig()
+        assert cfg.eta == 256
+        assert cfg.expected_trees == 10_000
+        assert cfg.false_positive_rate == 0.3
+        assert cfg.threshold_t == 15
+        # Eq. 1: ~25K bits, i.e. < 4KB.
+        assert 24_000 <= cfg.filter_bits() <= 26_000

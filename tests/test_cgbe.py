@@ -1,0 +1,215 @@
+"""Unit and property tests for CGBE (Sec. 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cgbe import (
+    CGBE,
+    AggregationBudget,
+    OverflowError_,
+    generate_prime,
+    _is_probable_prime,
+)
+from repro.crypto.prng import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return CGBE.generate(modulus_bits=512, q_bits=16, r_bits=16, seed=1)
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        rng = seeded_rng("t")
+        for p in (2, 3, 5, 97, 65537):
+            assert _is_probable_prime(p, rng)
+        for c in (1, 4, 91, 65536):
+            assert not _is_probable_prime(c, rng)
+
+    def test_generate_prime_bits(self):
+        rng = seeded_rng("t2")
+        p = generate_prime(20, rng)
+        assert p.bit_length() == 20
+        assert _is_probable_prime(p, rng)
+
+
+class TestKeygen:
+    def test_rfc3526_modulus_used_for_2048(self):
+        scheme = CGBE.generate(modulus_bits=2048, seed=0)
+        assert scheme.params.modulus_bits == 2048
+
+    def test_q_is_prime_of_requested_size(self, scheme):
+        assert scheme.params.q.bit_length() == 16
+
+    def test_modulus_must_exceed_factor_size(self):
+        with pytest.raises(ValueError, match="exceed"):
+            CGBE.generate(modulus_bits=24, q_bits=16, r_bits=16, seed=0)
+
+    def test_deterministic_given_seed(self):
+        a = CGBE.generate(modulus_bits=256, seed=5)
+        b = CGBE.generate(modulus_bits=256, seed=5)
+        assert a.params == b.params
+
+
+class TestHomomorphism:
+    def test_multiply_preserves_q_factor(self, scheme):
+        p = scheme.params
+        c = CGBE.multiply(p, scheme.encrypt(1), scheme.encrypt_q())
+        assert scheme.has_factor_q(c)
+
+    def test_multiply_of_ones_has_no_q(self, scheme):
+        p = scheme.params
+        c = CGBE.multiply(p, scheme.encrypt_one(), scheme.encrypt_one())
+        assert not scheme.has_factor_q(c)
+
+    def test_decrypt_product_is_blinded_product(self, scheme):
+        """D(E(m1) * E(m2)) = m1*m2*r1*r2: divisible by m1*m2."""
+        p = scheme.params
+        c = CGBE.multiply(p, scheme.encrypt(6), scheme.encrypt(35))
+        assert scheme.decrypt(c) % (6 * 35) == 0
+
+    def test_add_requires_equal_powers(self, scheme):
+        p = scheme.params
+        c1 = scheme.encrypt(1)
+        c2 = CGBE.multiply(p, scheme.encrypt(1), scheme.encrypt(1))
+        with pytest.raises(ValueError, match="powers"):
+            CGBE.add(p, c1, c2)
+
+    def test_sum_all_violations_keeps_q(self, scheme):
+        p = scheme.params
+        terms = [CGBE.multiply(p, scheme.encrypt_q(), scheme.encrypt(1))
+                 for _ in range(8)]
+        assert scheme.has_factor_q(CGBE.sum_(p, terms))
+
+    def test_sum_with_one_valid_term_drops_q(self, scheme):
+        p = scheme.params
+        terms = [CGBE.multiply(p, scheme.encrypt_q(), scheme.encrypt(1))
+                 for _ in range(7)]
+        terms.append(CGBE.multiply(p, scheme.encrypt(1), scheme.encrypt(1)))
+        assert not scheme.has_factor_q(CGBE.sum_(p, terms))
+
+    def test_empty_aggregations_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            CGBE.product(scheme.params, [])
+        with pytest.raises(ValueError):
+            CGBE.sum_(scheme.params, [])
+
+    def test_power_equals_repeated_multiply(self, scheme):
+        p = scheme.params
+        c = scheme.encrypt(3)
+        repeated = c
+        for _ in range(4):
+            repeated = CGBE.multiply(p, repeated, c)
+        powered = CGBE.power(p, c, 5)
+        assert powered.value == repeated.value
+        assert powered.power == repeated.power
+        assert powered.value_bits == repeated.value_bits
+
+    def test_power_validation(self, scheme):
+        with pytest.raises(ValueError):
+            CGBE.power(scheme.params, scheme.encrypt(1), 0)
+        with pytest.raises(OverflowError_):
+            CGBE.power(scheme.params, scheme.encrypt(1), 10 ** 6)
+
+    def test_product_groups_identical_objects(self, scheme):
+        """Order-insensitive grouping: shuffled repeats give the same
+        ciphertext value as sequential multiplication."""
+        p = scheme.params
+        c_one = scheme.encrypt_one()
+        c_q = scheme.encrypt_q()
+        factors = [c_one, c_q, c_one, c_one, c_q, c_one]
+        grouped = CGBE.product(p, factors)
+        sequential = factors[0]
+        for c in factors[1:]:
+            sequential = CGBE.multiply(p, sequential, c)
+        assert grouped.value == sequential.value
+        assert grouped.power == sequential.power
+
+
+class TestOverflowBudget:
+    def test_product_overflow_detected(self):
+        scheme = CGBE.generate(modulus_bits=128, q_bits=16, r_bits=16,
+                               seed=2)
+        p = scheme.params
+        acc = scheme.encrypt(1)
+        with pytest.raises(OverflowError_):
+            for _ in range(10):
+                acc = CGBE.multiply(p, acc, scheme.encrypt(1))
+
+    def test_budget_max_factors(self):
+        budget = AggregationBudget(modulus_bits=1024, q_bits=32, r_bits=32)
+        assert budget.bits_per_factor == 64
+        assert budget.max_factors() == (1024 - 1) // 64
+        # Reserving room for 2^10 summed terms costs 10 bits.
+        assert budget.max_factors(terms=1024) == (1024 - 1 - 10) // 64
+
+    def test_budget_max_terms(self):
+        budget = AggregationBudget(modulus_bits=256, q_bits=32, r_bits=32)
+        # 255 - 192 = 63 bits of headroom, clamped to the 2^62 safety cap.
+        assert budget.max_terms(3) == 1 << 62
+        assert budget.max_terms(4) == 0
+
+    def test_budget_validation(self):
+        budget = AggregationBudget(256, 32, 32)
+        with pytest.raises(ValueError):
+            budget.max_factors(terms=0)
+        with pytest.raises(ValueError):
+            budget.max_terms(0)
+
+    def test_tree_sum_within_budget(self, scheme):
+        """Balanced summation: 1000 terms cost ~10 bits, not 1000."""
+        p = scheme.params
+        terms = [scheme.encrypt(1) for _ in range(1000)]
+        total = CGBE.sum_(p, terms)
+        assert total.value_bits <= 32 + 11
+
+
+class TestEncryptValidation:
+    def test_non_positive_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.encrypt(0)
+        with pytest.raises(ValueError):
+            scheme.encrypt(-3)
+
+    def test_oversized_message_rejected(self, scheme):
+        with pytest.raises(ValueError, match="too large"):
+            scheme.encrypt(1 << 20)
+
+    def test_ciphertext_add_operator_disabled(self, scheme):
+        with pytest.raises(TypeError):
+            scheme.encrypt(1) + scheme.encrypt(1)
+
+    def test_ciphertext_bytes(self, scheme):
+        assert scheme.ciphertext_bytes() == 512 // 8 + 8
+
+
+class TestProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_product_q_detection_matches_plaintext(self, flags):
+        """Property: factor-q test == 'any violating factor present'."""
+        scheme = CGBE.generate(modulus_bits=1024, q_bits=16, r_bits=16,
+                               seed=9)
+        p = scheme.params
+        factors = [scheme.encrypt_q() if flag else scheme.encrypt(1)
+                   for flag in flags]
+        product = CGBE.product(p, factors)
+        assert scheme.has_factor_q(product) == any(flags)
+
+    @given(st.lists(st.lists(st.booleans(), min_size=3, max_size=3),
+                    min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_q_detection_matches_all_items_violating(self, rows):
+        """Property: the per-ball sum keeps factor q iff every item has it
+        (the exact soundness condition of Alg. 3 line 7)."""
+        scheme = CGBE.generate(modulus_bits=1024, q_bits=16, r_bits=16,
+                               seed=10)
+        p = scheme.params
+        items = []
+        for row in rows:
+            factors = [scheme.encrypt_q() if f else scheme.encrypt(1)
+                       for f in row]
+            items.append(CGBE.product(p, factors))
+        total = CGBE.sum_(p, items)
+        assert scheme.has_factor_q(total) == all(any(r) for r in rows)

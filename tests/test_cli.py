@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (["stats", "dblp"],
+                     ["run", "dblp"],
+                     ["workloads"],
+                     ["prune", "dblp"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_dataset_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stats", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_stats(self, capsys):
+        assert main(["--scale", "0.05", "stats", "dblp"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+
+    def test_run(self, capsys):
+        assert main(["--scale", "0.08", "--players", "2",
+                     "run", "dblp", "--size", "4", "--diameter", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates:" in out
+        assert "sequence mode" in out
+
+    def test_prune(self, capsys):
+        assert main(["--scale", "0.08", "--players", "2", "prune", "dblp",
+                     "--queries", "1", "--size", "4",
+                     "--diameter", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "twiglet" in out

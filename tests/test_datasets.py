@@ -1,0 +1,76 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.graph.query import Semantics
+from repro.workloads.datasets import (
+    DATASET_SPECS,
+    load_dataset,
+    tiny_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(DATASET_SPECS) == {"slashdot", "dblp", "twitter", "ldbc"}
+
+    def test_table3_alphabets(self):
+        assert DATASET_SPECS["slashdot"].hom_labels == 100
+        assert DATASET_SPECS["dblp"].hom_labels == 150
+        assert DATASET_SPECS["twitter"].hom_labels == 100
+        for name in ("slashdot", "dblp", "twitter"):
+            assert DATASET_SPECS[name].ssim_labels == 64
+        assert DATASET_SPECS["ldbc"].hom_labels == 213
+
+    def test_paper_reference_figures(self):
+        assert DATASET_SPECS["slashdot"].paper_vertices == 82_168
+        assert DATASET_SPECS["twitter"].paper_edges == 1_768_149
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("facebook")
+
+
+class TestLoading:
+    def test_scaled_loading(self):
+        ds = load_dataset("dblp", scale=0.1)
+        assert ds.graph.num_vertices == DATASET_SPECS["dblp"].num_vertices // 10
+        assert len(ds.graph.alphabet) <= 150
+        assert len(ds.ssim_graph.alphabet) <= 64
+
+    def test_ssim_variant_same_topology(self):
+        ds = load_dataset("dblp", scale=0.1)
+        assert set(ds.graph.edges()) == set(ds.ssim_graph.edges())
+        assert ds.graph_for(Semantics.SSIM) is ds.ssim_graph
+        assert ds.graph_for(Semantics.HOM) is ds.graph
+
+    def test_deterministic(self):
+        a = load_dataset("dblp", scale=0.1)
+        b = load_dataset("dblp", scale=0.1)
+        assert a.graph == b.graph
+
+    def test_seed_override_changes_graph(self):
+        a = load_dataset("dblp", scale=0.1)
+        b = load_dataset("dblp", scale=0.1, seed=99)
+        assert a.graph != b.graph
+
+    def test_ldbc_single_alphabet(self):
+        ds = load_dataset("ldbc", scale=0.1)
+        assert ds.graph is ds.ssim_graph
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("dblp", scale=-1)
+
+
+class TestQueries:
+    def test_random_queries(self):
+        ds = tiny_dataset(seed=1)
+        queries = ds.random_queries(3, size=4, diameter=2)
+        assert len(queries) == 3
+        assert all(q.size == 4 for q in queries)
+
+    def test_semantics_selects_graph(self):
+        ds = tiny_dataset(seed=1)
+        q = ds.random_query(size=4, diameter=2, semantics=Semantics.SSIM)
+        assert q.alphabet <= ds.ssim_graph.alphabet

@@ -1,0 +1,111 @@
+"""Tests for the footnote-2 edge-label transformation."""
+
+import pytest
+
+from repro.graph.edge_labels import (
+    EdgeLabeledGraph,
+    edge_label,
+    strip_match,
+    transform_query,
+)
+from repro.graph.query import Semantics
+from repro.semantics.hom import find_homomorphisms
+
+
+@pytest.fixture()
+def world():
+    """Data graph: A -r-> B -s-> C plus a decoy A -t-> B."""
+    data = EdgeLabeledGraph.from_edges(
+        {1: "A", 2: "B", 3: "C", 4: "A"},
+        {(1, 2): "r", (2, 3): "s", (4, 2): "t"})
+    return data
+
+
+class TestTransformation:
+    def test_vertex_and_edge_counts(self, world):
+        transformed = world.transform()
+        assert transformed.num_vertices == 4 + 3  # originals + midpoints
+        assert transformed.num_edges == 2 * 3
+
+    def test_edge_labels_become_vertex_labels(self, world):
+        transformed = world.transform()
+        mids = [v for v in transformed.vertices()
+                if transformed.label(v) == edge_label("r")]
+        assert len(mids) == 1
+
+    def test_distances_double(self, world):
+        transformed = world.transform()
+        d = transformed.undirected_distances(("v", 1))
+        assert d[("v", 2)] == 2
+        assert d[("v", 3)] == 4
+
+
+class TestEdgeLabeledMatching:
+    def test_edge_label_respected(self, world):
+        """Query A -r-> B matches via vertex 1, not the t-labeled decoy."""
+        pattern = EdgeLabeledGraph.from_edges(
+            {"x": "A", "y": "B"}, {("x", "y"): "r"})
+        query = transform_query(pattern, Semantics.HOM)
+        matches = [strip_match(m) for m in
+                   find_homomorphisms(query, world.transform())]
+        assert {"x": 1, "y": 2} in matches
+        assert {"x": 4, "y": 2} not in matches
+
+    def test_wrong_edge_label_rejected(self, world):
+        pattern = EdgeLabeledGraph.from_edges(
+            {"x": "A", "y": "B"}, {("x", "y"): "s"})
+        query = transform_query(pattern)
+        assert find_homomorphisms(query, world.transform()) == []
+
+    def test_two_hop_edge_labeled_path(self, world):
+        pattern = EdgeLabeledGraph.from_edges(
+            {"x": "A", "y": "B", "z": "C"},
+            {("x", "y"): "r", ("y", "z"): "s"})
+        query = transform_query(pattern)
+        matches = [strip_match(m) for m in
+                   find_homomorphisms(query, world.transform())]
+        assert matches == [{"x": 1, "y": 2, "z": 3}]
+
+    def test_strip_match_validates(self):
+        with pytest.raises(ValueError):
+            strip_match({("v", 1): ("e", 0, 1, 2)})
+
+
+class TestEndToEndWithFramework:
+    def test_transformed_query_runs_through_prilo(self, world):
+        """The reduction composes with the full engine unchanged."""
+        from repro.framework.prilo import Prilo, PriloConfig
+
+        transformed = world.transform()
+        pattern = EdgeLabeledGraph.from_edges(
+            {"x": "A", "y": "B"}, {("x", "y"): "r"})
+        query = transform_query(pattern)
+        config = PriloConfig(k_players=2, modulus_bits=1024, q_bits=24,
+                             r_bits=24, radii=(1, 2, 3, 4), seed=1)
+        engine = Prilo.setup(transformed, config)
+        result = engine.run(query)
+        assert result.num_matches == 1
+        (found,) = [m for ms in result.matches.values() for m in ms]
+        # The matching subgraph is x -> (edge r) -> y over originals 1, 2.
+        assert ("v", 1) in set(found.vertices())
+        assert ("v", 2) in set(found.vertices())
+
+
+class TestValidation:
+    def test_endpoints_must_exist(self):
+        graph = EdgeLabeledGraph()
+        graph.add_vertex(1, "A")
+        with pytest.raises(KeyError):
+            graph.add_edge(1, 2, "r")
+
+    def test_self_loop_rejected(self):
+        graph = EdgeLabeledGraph()
+        graph.add_vertex(1, "A")
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1, "r")
+
+    def test_relabel_rejected(self):
+        graph = EdgeLabeledGraph()
+        graph.add_vertex(1, "A")
+        with pytest.raises(ValueError):
+            graph.add_vertex(1, "B")

@@ -1,0 +1,106 @@
+"""Tests for Alg. 1 (candidate enumeration) and its obliviousness."""
+
+from repro.core.enumeration import (
+    candidate_vertices,
+    count_cmm_upper_bound,
+    enumerate_cmms,
+)
+from repro.graph.ball import extract_ball
+from repro.graph.query import Query, QueryLabelView
+
+
+class TestCandidateVertices:
+    def test_example4_cv_sets(self, fig3, fig3_ball):
+        query, _ = fig3
+        cv = candidate_vertices(query, fig3_ball)
+        assert cv["u1"] == ["v6"]
+        assert cv["u2"] == ["v2", "v4"]
+        assert cv["u3"] == ["v1", "v5", "v7"]
+        assert cv["u4"] == ["v1", "v5", "v7"]
+        assert cv["u5"] == ["v3"]
+
+
+class TestEnumeration:
+    def test_fig3_count(self, fig3, fig3_ball):
+        """1 * 2 * 3 * 3 * 1 = 18 assignments, all containing v6 (u1 must
+        map to v6, the only B vertex)."""
+        query, _ = fig3
+        result = enumerate_cmms(query, fig3_ball)
+        assert result.enumerated == 18
+        assert not result.truncated
+        assert not result.is_spurious
+
+    def test_every_cmm_contains_center(self, fig3, fig3_ball):
+        query, _ = fig3
+        for cmm in enumerate_cmms(query, fig3_ball).cmms:
+            assert cmm.uses("v6")
+
+    def test_labels_respected(self, fig3, fig3_ball):
+        query, _ = fig3
+        ball = fig3_ball
+        for cmm in enumerate_cmms(query, ball).cmms:
+            for u, v in cmm.mapping().items():
+                assert query.label(u) == ball.graph.label(v)
+
+    def test_spurious_when_center_unmatchable(self, fig3):
+        """Ball centered at v7 (label C): u3/u4 can map to it, so it is not
+        spurious; ball centered on an A vertex whose label appears but that
+        cannot host the center -- craft a query lacking the center label."""
+        _, graph = fig3
+        q = Query.from_edges({1: "B", 2: "A"}, [(2, 1)],
+                             vertex_order=(1, 2))
+        ball = extract_ball(graph, "v3", q.diameter)  # center label D
+        result = enumerate_cmms(q, ball)
+        assert result.is_spurious
+        assert result.enumerated == 0
+
+    def test_limit_truncates(self, fig3, fig3_ball):
+        query, _ = fig3
+        result = enumerate_cmms(query, fig3_ball, limit=5)
+        assert result.truncated
+        assert result.enumerated == 5
+        assert not result.is_spurious
+
+    def test_injective_subset(self, fig3, fig3_ball):
+        query, _ = fig3
+        plain = enumerate_cmms(query, fig3_ball)
+        injective = enumerate_cmms(query, fig3_ball, injective=True)
+        assert injective.enumerated < plain.enumerated
+        assignments = {c.assignment for c in plain.cmms}
+        for cmm in injective.cmms:
+            assert cmm.assignment in assignments
+            assert len(set(cmm.assignment)) == len(cmm.assignment)
+
+    def test_query_obliviousness(self, fig3, fig3_ball):
+        """Two queries with identical labels but different edges must
+        produce identical CMM sets (App. A.2's proof, checked literally)."""
+        query, _ = fig3
+        labels = {u: query.label(u) for u in query.vertex_order}
+        # Same labels, completely different connected structure.
+        other = Query.from_edges(
+            labels, [("u1", "u2"), ("u2", "u3"), ("u3", "u4"), ("u4", "u5")],
+            vertex_order=query.vertex_order)
+        a = enumerate_cmms(query, fig3_ball)
+        b = enumerate_cmms(other, fig3_ball)
+        assert [c.assignment for c in a.cmms] == [c.assignment
+                                                  for c in b.cmms]
+
+    def test_works_with_label_view(self, fig3, fig3_ball):
+        """The Player-side label view yields the same assignments."""
+        query, _ = fig3
+        view = QueryLabelView.of(query)
+        a = enumerate_cmms(query, fig3_ball)
+        b = enumerate_cmms(view, fig3_ball)
+        assert [c.assignment for c in a.cmms] == [c.assignment
+                                                  for c in b.cmms]
+
+
+class TestUpperBound:
+    def test_bound_at_least_count(self, fig3, fig3_ball):
+        query, _ = fig3
+        result = enumerate_cmms(query, fig3_ball)
+        assert count_cmm_upper_bound(query, fig3_ball) >= result.enumerated
+
+    def test_fig3_bound_exact_product(self, fig3, fig3_ball):
+        query, _ = fig3
+        assert count_cmm_upper_bound(query, fig3_ball) == 1 * 2 * 3 * 3 * 1

@@ -1,0 +1,138 @@
+"""Brute-force cross-validation of the feature enumerators.
+
+Twiglet and tree enumeration are soundness-critical: a feature the DFS
+misses on the ball side becomes a wrongly-claimed violation and could
+prune a true positive.  These tests rebuild both enumerations from first
+principles (itertools over all vertex tuples) and compare exhaustively on
+random graphs.
+"""
+
+from itertools import combinations, permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import LabelCodec
+from repro.core.trees import BF_TOPOLOGIES, iter_center_trees
+from repro.core.twiglets import Twiglet, twiglets_from
+from repro.graph.generators import uniform_random_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def brute_force_twiglets(graph: LabeledGraph, start, h: int,
+                         alphabet) -> set[Twiglet]:
+    """All twiglets from ``start`` by checking every vertex tuple."""
+    allowed = {repr(l) for l in alphabet}
+    vertices = list(graph.vertices())
+
+    def key(v):
+        return repr(graph.label(v))
+
+    def ok_labels(path_vertices):
+        keys = [key(v) for v in path_vertices]
+        return (len(set(keys)) == len(keys)
+                and all(k in allowed for k in keys))
+
+    def adjacent(u, v):
+        return graph.has_edge(u, v) or graph.has_edge(v, u)
+
+    found: set[Twiglet] = set()
+    # Plain paths with i labels, 3 <= i <= h.
+    for i in range(3, h + 1):
+        for tail in permutations([v for v in vertices if v != start],
+                                 i - 1):
+            chain = (start,) + tail
+            if not ok_labels(chain):
+                continue
+            if all(adjacent(chain[j], chain[j + 1])
+                   for j in range(len(chain) - 1)):
+                found.add(Twiglet(path=tuple(key(v) for v in chain)))
+    # Forked twiglets: path part of 2..h-1 vertices plus a fork pair.
+    for plen in range(2, h):
+        for tail in permutations([v for v in vertices if v != start],
+                                 plen - 1):
+            chain = (start,) + tail
+            if not ok_labels(chain):
+                continue
+            if not all(adjacent(chain[j], chain[j + 1])
+                       for j in range(len(chain) - 1)):
+                continue
+            end = chain[-1]
+            for a, b in combinations(
+                    [v for v in vertices if v not in chain], 2):
+                if not (adjacent(end, a) and adjacent(end, b)):
+                    continue
+                full = chain + (a, b)
+                if not ok_labels(full):
+                    continue
+                if key(a) == key(b):
+                    continue
+                fork = tuple(sorted((key(a), key(b))))
+                found.add(Twiglet(path=tuple(key(v) for v in chain),
+                                  fork=fork))
+    return found
+
+
+def brute_force_tree_encodings(graph: LabeledGraph, root,
+                               codec: LabelCodec) -> set[int]:
+    """All topology vii-x encodings at ``root`` by brute force."""
+    from repro.core.trees import canonical_tree
+
+    def adjacent(u, v):
+        return graph.has_edge(u, v) or graph.has_edge(v, u)
+
+    def lab(v):
+        return graph.label(v)
+
+    vertices = list(graph.vertices())
+    neighbors = [v for v in vertices if adjacent(root, v)]
+    encodings: set[int] = set()
+    for topology in BF_TOPOLOGIES:
+        for u, v in permutations(neighbors, 2):
+            labels = {lab(root), lab(u), lab(v)}
+            if len(labels) != 3:
+                continue
+            if lab(u) not in codec or lab(v) not in codec:
+                continue
+            u_kids = {lab(w) for w in vertices
+                      if adjacent(u, w) and lab(w) not in labels
+                      and lab(w) in codec}
+            for lg in combinations(sorted(u_kids, key=repr),
+                                   topology.left_grandchildren):
+                used = labels | set(lg)
+                v_kids = {lab(w) for w in vertices
+                          if adjacent(v, w) and lab(w) not in used
+                          and lab(w) in codec}
+                for rg in combinations(sorted(v_kids, key=repr),
+                                       topology.right_grandchildren):
+                    tree = canonical_tree(topology, codec, lab(u), lab(v),
+                                          lg, rg)
+                    encodings.add(tree.encode(codec))
+    return encodings
+
+
+class TestTwigletCompleteness:
+    @given(st.integers(0, 10 ** 6), st.integers(3, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_dfs_equals_brute_force(self, seed, h):
+        graph = uniform_random_graph(9, 14, 5, seed=seed)
+        alphabet = graph.alphabet
+        start = sorted(graph.vertices())[seed % 9]
+        fast = twiglets_from(graph, start, h, alphabet)
+        slow = brute_force_twiglets(graph, start, h, alphabet)
+        assert fast == slow, (
+            f"missing={sorted(t.render() for t in slow - fast)[:3]} "
+            f"extra={sorted(t.render() for t in fast - slow)[:3]}")
+
+
+class TestTreeCompleteness:
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_enumeration_equals_brute_force(self, seed):
+        graph = uniform_random_graph(10, 18, 6, seed=seed)
+        codec = LabelCodec.from_alphabet(graph.alphabet)
+        root = sorted(graph.vertices())[seed % 10]
+        fast = {t.encode(codec)
+                for t in iter_center_trees(graph, root, codec)}
+        slow = brute_force_tree_encodings(graph, root, codec)
+        assert fast == slow

@@ -1,0 +1,103 @@
+"""Tests for the experiment harnesses (soundness + shape properties)."""
+
+import pytest
+
+from repro.graph.query import Semantics
+from repro.workloads.datasets import load_dataset
+from repro.workloads.experiments import (
+    ball_statistics,
+    dataset_statistics,
+    ldbc_study,
+    pruning_study,
+    retrieval_study,
+    user_side_costs,
+)
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return dataset.random_queries(2, size=4, diameter=2, seed=4)
+
+
+class TestPruningStudy:
+    def test_soundness_across_methods(self, dataset, queries, test_config):
+        study = pruning_study(dataset, queries, config=test_config)
+        for method, counts in study.confusion.items():
+            assert counts.fn == 0, f"{method} pruned a true positive"
+
+    def test_fig2a_ordering(self, dataset, queries, test_config):
+        """Fig. 2(a): twiglets prune at least as much as paths, which prune
+        at least as much as neighbor labels (remaining counts ordered)."""
+        study = pruning_study(dataset, queries, config=test_config)
+        assert study.remaining("twiglet") <= study.remaining("path")
+        assert study.remaining("path") <= study.remaining("neighbor")
+        assert study.remaining("neighbor") <= study.remaining("all")
+
+    def test_combined_at_most_parts(self, dataset, queries, test_config):
+        study = pruning_study(dataset, queries, config=test_config)
+        combined = study.confusion["bf+twiglet"]
+        assert combined.tp + combined.fp <= study.remaining("twiglet")
+        assert combined.tp + combined.fp <= study.remaining("bf")
+
+    def test_per_ball_records(self, dataset, queries, test_config):
+        study = pruning_study(dataset, queries, config=test_config)
+        assert len(study.balls) == study.candidates
+        for record in study.balls[:10]:
+            assert set(record.verdicts) >= set(study.methods)
+            assert all(c >= 0 for c in record.costs.values())
+
+    def test_requires_queries(self, dataset, test_config):
+        with pytest.raises(ValueError):
+            pruning_study(dataset, [], config=test_config)
+
+
+class TestRetrievalStudy:
+    def test_records_per_query_and_k(self, dataset, queries, test_config):
+        study = retrieval_study(dataset, queries, k_values=(2, 4),
+                                config=test_config)
+        assert len(study.records) == len(queries) * 2
+        for record in study.records:
+            assert record.candidates > 0
+            assert 0 <= record.ppcr <= 1
+            assert record.ssg_all_positives >= 0
+            assert record.rsg_all_positives >= 0
+
+    def test_mean_speedup_finite(self, dataset, queries, test_config):
+        study = retrieval_study(dataset, queries, k_values=(2,),
+                                config=test_config)
+        assert study.mean_speedup() == study.mean_speedup(k=2)
+
+
+class TestLdbcStudy:
+    def test_ten_workloads(self, test_config):
+        ds = load_dataset("ldbc", scale=0.15)
+        records = ldbc_study(ds, Semantics.HOM, config=test_config)
+        assert [r.workload for r in records] == [
+            "Q3", "Q4", "Q5", "Q6", "Q9", "Q11", "Q12", "Q13", "Q15",
+            "Q19"]
+        for record in records:
+            assert record.prilo_seconds >= 0
+            assert record.prilo_star_seconds >= 0
+            assert 0 <= record.ppcr <= 1
+
+
+class TestUserCosts:
+    def test_exp1_records(self, dataset, queries, test_config):
+        records = user_side_costs(dataset, queries, config=test_config)
+        assert len(records) == len(queries)
+        for record in records:
+            assert record.preprocessing_seconds > 0
+            assert record.user_to_sp_bytes > 0
+
+
+class TestTables:
+    def test_table3_row(self, dataset):
+        row = dataset_statistics(dataset)
+        assert row["vertices"] == dataset.graph.num_vertices
+        assert row["edge_vertex_ratio"] > 0
+
+    def test_table4_row(self, dataset, queries, test_config):
+        row = ball_statistics(dataset, queries, test_config)
+        assert row["avg_balls_per_query"] > 0
+        assert row["avg_ball_vertices"] > 0
+        assert row["max_degree"] > 0

@@ -1,0 +1,127 @@
+"""Tests for the dataset generators and the Fig. 3 reconstruction."""
+
+import pytest
+
+from repro.graph.generators import (
+    fig3_graph,
+    fig3_query,
+    power_law_graph,
+    relabel_uniform,
+    social_graph,
+    uniform_random_graph,
+)
+
+
+class TestFig3Reconstruction:
+    """Every claim the paper makes about Fig. 3 must hold on our graph."""
+
+    def test_example4_cv_sets(self):
+        g = fig3_graph()
+        assert g.vertices_with_label("B") == {"v6"}
+        assert g.vertices_with_label("A") == {"v2", "v4"}
+        assert g.vertices_with_label("C") == {"v1", "v5", "v7"}
+        assert g.vertices_with_label("D") == {"v3"}
+
+    def test_example7_neighbor_label_sets(self):
+        """L(v2)={C,D}, L(v4)={C}, L(v5)={A} (excluding own and B)."""
+        g = fig3_graph()
+
+        def lab(v):
+            return {g.label(n) for n in g.neighbors(v)} - {g.label(v), "B"}
+
+        assert lab("v2") == {"C", "D"}
+        assert lab("v4") == {"C"}
+        assert lab("v5") == {"A"}
+
+    def test_v6_neighbors(self):
+        g = fig3_graph()
+        assert g.neighbors("v6") == {"v2", "v4", "v5"}
+
+    def test_all_vertices_within_3_of_v6(self):
+        g = fig3_graph()
+        assert set(g.undirected_distances("v6", cutoff=3)) == set(g.vertices())
+
+    def test_query_edges_match_example5_encoding(self):
+        q = fig3_query()
+        assert set(q.pattern.edges()) == {("u2", "u1"), ("u3", "u1"),
+                                          ("u4", "u2"), ("u5", "u2")}
+
+
+class TestUniformRandom:
+    def test_exact_edge_count(self):
+        g = uniform_random_graph(30, 50, 5, seed=1)
+        assert g.num_vertices == 30
+        assert g.num_edges == 50
+
+    def test_deterministic(self):
+        a = uniform_random_graph(20, 30, 4, seed=9)
+        b = uniform_random_graph(20, 30, 4, seed=9)
+        assert a == b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_random_graph(3, 100, 2, seed=0)
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_random_graph(3, 1, 0, seed=0)
+
+
+class TestPowerLaw:
+    def test_basic_shape(self):
+        g = power_law_graph(200, 3, 10, seed=4)
+        assert g.num_vertices == 200
+        assert g.num_edges >= 3 * (200 - 4)
+        assert len(g.alphabet) <= 10
+
+    def test_heavy_tail(self):
+        """Preferential attachment should produce a hub well above the
+        median degree."""
+        g = power_law_graph(400, 2, 5, seed=8)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        assert degrees[-1] >= 4 * degrees[len(degrees) // 2]
+
+    def test_deterministic(self):
+        assert power_law_graph(50, 2, 4, seed=3) == power_law_graph(
+            50, 2, 4, seed=3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            power_law_graph(5, 0, 3)
+        with pytest.raises(ValueError):
+            power_law_graph(3, 3, 3)
+        with pytest.raises(ValueError):
+            power_law_graph(50, 2, 3, reciprocity=1.5)
+
+
+class TestSocialGraph:
+    def test_locality(self):
+        """Low rewiring keeps radius-3 balls a small fraction of the graph."""
+        from repro.graph.ball import extract_ball
+
+        g = social_graph(500, 3, 0.02, 20, seed=6)
+        ball = extract_ball(g, 250, 3)
+        assert ball.size < g.num_vertices / 4
+
+    def test_hubs_inflate_max_degree(self):
+        plain = social_graph(300, 3, 0.05, 10, seed=6)
+        hubby = social_graph(300, 3, 0.05, 10, seed=6, hubs=3,
+                             hub_degree=50)
+        assert hubby.max_degree() > plain.max_degree() * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            social_graph(10, 0, 0.1, 3)
+        with pytest.raises(ValueError):
+            social_graph(6, 3, 0.1, 3)
+        with pytest.raises(ValueError):
+            social_graph(50, 3, 1.5, 3)
+
+
+class TestRelabel:
+    def test_topology_preserved(self):
+        g = power_law_graph(80, 2, 10, seed=2)
+        r = relabel_uniform(g, 4, seed=5)
+        assert set(r.vertices()) == set(g.vertices())
+        assert set(r.edges()) == set(g.edges())
+        assert len(r.alphabet) <= 4

@@ -1,0 +1,57 @@
+"""Round-trip tests for graph serialization."""
+
+from repro.graph.ball import extract_ball
+from repro.graph.generators import fig3_graph, power_law_graph
+from repro.graph.io import (
+    ball_from_bytes,
+    ball_to_bytes,
+    dump_edge_list,
+    graph_from_json,
+    graph_to_json,
+    load_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_string_ids(self, tmp_path):
+        g = fig3_graph()
+        path = tmp_path / "g.txt"
+        dump_edge_list(g, path)
+        assert load_edge_list(path) == g
+
+    def test_roundtrip_int_ids(self, tmp_path):
+        g = power_law_graph(40, 2, 5, seed=1)
+        path = tmp_path / "g.txt"
+        dump_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded == g
+        # Identifier types survive (ints stay ints).
+        assert all(isinstance(v, int) for v in loaded.vertices())
+
+    def test_comment_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n# vertex 1 'A'\n# vertex 2 'B'\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 2
+        assert g.has_edge(1, 2)
+
+
+class TestJson:
+    def test_roundtrip(self):
+        g = fig3_graph()
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_canonical(self):
+        g = fig3_graph()
+        assert graph_to_json(g) == graph_to_json(g.copy())
+
+
+class TestBallBytes:
+    def test_roundtrip(self):
+        g = fig3_graph()
+        ball = extract_ball(g, "v6", 2, ball_id=17)
+        restored = ball_from_bytes(ball_to_bytes(ball))
+        assert restored.ball_id == 17
+        assert restored.center == "v6"
+        assert restored.radius == 2
+        assert restored.graph == ball.graph

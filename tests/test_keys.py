@@ -1,0 +1,34 @@
+"""Tests for key material containers."""
+
+import pytest
+
+from repro.crypto.keys import DataOwnerKey, UserKeyring
+
+
+class TestDataOwnerKey:
+    def test_generate_and_cipher(self):
+        key = DataOwnerKey.generate(seed=1)
+        cipher = key.cipher()
+        assert cipher.decrypt(cipher.encrypt(b"ball")) == b"ball"
+
+    def test_deterministic_with_seed(self):
+        assert DataOwnerKey.generate(2).ball_key == DataOwnerKey.generate(2).ball_key
+
+
+class TestUserKeyring:
+    def test_generate(self):
+        ring = UserKeyring.generate(modulus_bits=256, seed=1)
+        assert ring.cgbe.params.modulus_bits == 256
+        assert ring.owner_key is None
+
+    def test_ball_cipher_requires_grant(self):
+        ring = UserKeyring.generate(modulus_bits=256, seed=2)
+        with pytest.raises(PermissionError):
+            ring.ball_cipher()
+        ring.grant_owner_key(DataOwnerKey.generate(seed=3))
+        assert ring.ball_cipher() is not None
+
+    def test_enclave_cipher(self):
+        ring = UserKeyring.generate(modulus_bits=256, seed=4)
+        cipher = ring.enclave_cipher()
+        assert cipher.decrypt(cipher.encrypt(b"enc")) == b"enc"

@@ -1,0 +1,85 @@
+"""Tests for the LDBC-like workload (Table 5, Sec. 6.4)."""
+
+import pytest
+
+from repro.graph.ldbc import (
+    TESTED_WORKLOADS,
+    WORKLOAD_SHAPES,
+    instantiate_workload,
+    ldbc_like_graph,
+    workload_queries,
+)
+from repro.graph.query import Semantics
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ldbc_like_graph(num_vertices=600, num_labels=40, seed=3)
+
+
+class TestTable5:
+    def test_twenty_rows_ten_tested(self):
+        assert len(WORKLOAD_SHAPES) == 20
+        assert len(TESTED_WORKLOADS) == 10
+        assert [s.name for s in TESTED_WORKLOADS] == [
+            "Q3", "Q4", "Q5", "Q6", "Q9", "Q11", "Q12", "Q13", "Q15", "Q19"]
+
+    def test_tested_shapes_match_table_characteristics(self):
+        by_name = {s.name: s for s in WORKLOAD_SHAPES}
+        # Spot-check the table rows.
+        assert (by_name["Q3"].num_vertices, by_name["Q3"].num_labels,
+                by_name["Q3"].diameter) == (4, 4, 3)
+        assert by_name["Q11"].remark.startswith("triangle")
+        assert by_name["Q13"].remark.startswith("twig")
+        assert by_name["Q19"].remark.startswith("circle")
+
+    def test_tested_shapes_have_consistent_edge_lists(self):
+        for shape in TESTED_WORKLOADS:
+            vertices = {v for e in shape.edges for v in e}
+            assert vertices == set(range(shape.num_vertices))
+
+    def test_omitted_reasons_recorded(self):
+        by_name = {s.name: s for s in WORKLOAD_SHAPES}
+        assert "negation" in by_name["Q7"].remark
+        assert "non-localized" in by_name["Q10"].remark
+
+
+class TestInstantiation:
+    def test_instantiated_query_matches_shape(self, graph):
+        shape = TESTED_WORKLOADS[0]  # Q3
+        q = instantiate_workload(shape, graph, seed=1)
+        assert q.size == shape.num_vertices
+        assert len(q.alphabet) == shape.num_labels
+        assert q.diameter == shape.diameter
+
+    def test_labels_come_from_graph(self, graph):
+        q = instantiate_workload(TESTED_WORKLOADS[2], graph, seed=2)
+        assert q.alphabet <= graph.alphabet
+
+    def test_omitted_workload_rejected(self, graph):
+        omitted = next(s for s in WORKLOAD_SHAPES if not s.tested)
+        with pytest.raises(ValueError, match="omitted"):
+            instantiate_workload(omitted, graph)
+
+    def test_workload_queries_all_ten(self, graph):
+        queries = workload_queries(graph, Semantics.SSIM, seed=4)
+        assert set(queries) == {s.name for s in TESTED_WORKLOADS}
+        assert all(q.semantics is Semantics.SSIM for q in queries.values())
+
+    def test_small_alphabet_rejected(self):
+        tiny = ldbc_like_graph(num_vertices=60, num_labels=2, seed=1)
+        shape = next(s for s in TESTED_WORKLOADS if s.num_labels >= 3)
+        with pytest.raises(ValueError, match="alphabet"):
+            instantiate_workload(shape, tiny)
+
+
+class TestLdbcGraph:
+    def test_shape(self, graph):
+        assert graph.num_vertices == 600
+        assert len(graph.alphabet) <= 40
+
+    def test_label_skew(self, graph):
+        """Zipf labels: the most popular label dominates the rarest."""
+        freqs = sorted((graph.label_frequency(l) for l in graph.alphabet),
+                       reverse=True)
+        assert freqs[0] >= 5 * max(freqs[-1], 1) or freqs[0] > 30

@@ -1,0 +1,91 @@
+"""Tests for the SP-observable leakage audit."""
+
+import pytest
+
+from repro.analysis.leakage import (
+    DISCLOSURE_DEPENDENT,
+    LeakageProfile,
+    assert_query_independent,
+    diff_profiles,
+)
+from repro.framework.prilo import Prilo, PriloConfig
+from repro.framework.prilo_star import PriloStar
+from repro.graph.generators import social_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query import Query
+
+
+@pytest.fixture(scope="module")
+def graph():
+    base = social_graph(200, 3, 0.05, 4, seed=5)
+    relabeled = {v: "ABCD"[base.label(v) % 4] for v in base.vertices()}
+    return LabeledGraph.from_edges(relabeled, base.edges())
+
+
+@pytest.fixture(scope="module")
+def label_twins():
+    """Structurally different, label-identical queries.
+
+    Both must also share the *diameter* (it travels in the clear), so the
+    pair is a 4-cycle and a star-plus-chord, both of diameter 2.
+    """
+    labels = {0: "A", 1: "B", 2: "C", 3: "D"}
+    cycle = Query.from_edges(labels, [(0, 1), (1, 2), (2, 3), (0, 3)],
+                             vertex_order=(0, 1, 2, 3))
+    star_chord = Query.from_edges(labels,
+                                  [(0, 1), (0, 2), (0, 3), (2, 3)],
+                                  vertex_order=(0, 1, 2, 3))
+    assert cycle.diameter == star_chord.diameter == 2
+    return cycle, star_chord
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PriloConfig(k_players=2, modulus_bits=1024, q_bits=24,
+                       r_bits=24, radii=(1, 2, 3), seed=6)
+
+
+class TestProfiles:
+    def test_profile_captures_public_fields(self, graph, label_twins,
+                                            config):
+        query, _ = label_twins
+        result = Prilo.setup(graph, config).run(query)
+        profile = LeakageProfile.of(result)
+        assert profile.num_candidates == len(result.candidate_ids)
+        assert profile.diameter == query.diameter
+        assert len(profile.vertex_labels) == query.size
+
+    def test_diff_empty_for_same_run(self, graph, label_twins, config):
+        query, _ = label_twins
+        result = Prilo.setup(graph, config).run(query)
+        assert diff_profiles(LeakageProfile.of(result),
+                             LeakageProfile.of(result)) == {}
+
+
+class TestQueryIndependence:
+    def test_baseline_prilo_fully_indistinguishable(self, graph,
+                                                    label_twins, config):
+        """Without pruning, every SP observable is label-determined."""
+        q1, q2 = label_twins
+        assert q1.diameter == q2.diameter
+        engine = Prilo.setup(graph, config)
+        assert_query_independent(engine.run(q1), engine.run(q2))
+
+    def test_prilo_star_indistinguishable_up_to_disclosure(
+            self, graph, label_twins, config):
+        q1, q2 = label_twins
+        engine = PriloStar.setup(graph, config)
+        assert_query_independent(engine.run(q1), engine.run(q2),
+                                 ignore=DISCLOSURE_DEPENDENT)
+
+    def test_different_labels_are_detected(self, graph, label_twins,
+                                           config):
+        """Negative control: a query with different labels must produce a
+        visibly different profile (labels are public by design)."""
+        q1, _ = label_twins
+        other = Query.from_edges({0: "A", 1: "B", 2: "C", 3: "C"},
+                                 [(0, 1), (1, 2), (2, 3), (0, 3)],
+                                 vertex_order=(0, 1, 2, 3))
+        engine = Prilo.setup(graph, config)
+        with pytest.raises(AssertionError, match="observable"):
+            assert_query_independent(engine.run(q1), engine.run(other))

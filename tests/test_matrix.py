@@ -1,0 +1,93 @@
+"""Tests for adjacency matrices and candidate mapping matrices (Def. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import fig3_graph, fig3_query, power_law_graph
+from repro.graph.matrix import (
+    CandidateMappingMatrix,
+    adjacency_matrix,
+    vertex_order,
+)
+
+
+class TestAdjacencyMatrix:
+    def test_fig3_query_matrix(self):
+        q = fig3_query()
+        m = adjacency_matrix(q.pattern, q.vertex_order)
+        # Edges: (u2,u1), (u3,u1), (u4,u2), (u5,u2) at rows 1,2,3,4.
+        expected = np.zeros((5, 5), dtype=np.uint8)
+        expected[1, 0] = expected[2, 0] = 1
+        expected[3, 1] = expected[4, 1] = 1
+        assert (m == expected).all()
+
+    def test_duplicate_order_rejected(self):
+        q = fig3_query()
+        with pytest.raises(ValueError, match="duplicates"):
+            adjacency_matrix(q.pattern, ("u1", "u1", "u2", "u3", "u4"))
+
+    def test_default_order_deterministic(self):
+        g = fig3_graph()
+        assert vertex_order(g) == tuple(sorted(g.vertices()))
+
+
+class TestCMM:
+    def cmm(self):
+        # The paper's Example 3 CMM.
+        return CandidateMappingMatrix(
+            query_order=("u1", "u2", "u3", "u4", "u5"),
+            assignment=("v6", "v2", "v5", "v5", "v3"))
+
+    def test_dense_one_hot(self):
+        g = fig3_graph()
+        order = vertex_order(g)
+        dense = self.cmm().dense(order)
+        assert dense.shape == (5, 7)
+        assert (dense.sum(axis=1) == 1).all()
+        # Example 3: C(u1, v6) = 1.
+        assert dense[0, order.index("v6")] == 1
+
+    def test_projection_matches_example5(self):
+        """M_p rows of Example 5."""
+        g = fig3_graph()
+        proj = self.cmm().project(g)
+        expected = np.zeros((5, 5), dtype=np.uint8)
+        expected[1, 0] = 1               # M_p(u2) = (1,0,0,0,0)
+        expected[2, 0] = expected[2, 1] = 1  # M_p(u3) = (1,1,0,0,0)
+        expected[3, 0] = expected[3, 1] = 1  # M_p(u4)
+        expected[4, 1] = 1               # M_p(u5) = (0,1,0,0,0)
+        assert (proj == expected).all()
+
+    def test_projection_shortcut_equals_dense_product(self):
+        """The one-hot shortcut equals the literal C . M . C^T."""
+        g = fig3_graph()
+        cmm = self.cmm()
+        assert (cmm.project(g) == cmm.project_dense(g)).all()
+
+    def test_mapping_dict(self):
+        assert self.cmm().mapping()["u3"] == "v5"
+
+    def test_uses(self):
+        assert self.cmm().uses("v6")
+        assert not self.cmm().uses("v7")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateMappingMatrix(query_order=("a", "b"),
+                                   assignment=("x",))
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_equivalence_random(self, seed):
+        """Property: shortcut == dense algebra on random graphs/CMMs."""
+        import random
+
+        rng = random.Random(seed)
+        g = power_law_graph(30, 2, 4, seed=seed % 97)
+        order = vertex_order(g)
+        rows = tuple(f"q{i}" for i in range(4))
+        assignment = tuple(rng.choice(order) for _ in rows)
+        cmm = CandidateMappingMatrix(query_order=rows, assignment=assignment)
+        assert (cmm.project(g) == cmm.project_dense(g, order)).all()

@@ -1,0 +1,66 @@
+"""Tests for the protocol message types."""
+
+import pytest
+
+from repro.framework.messages import (
+    DecryptedPMs,
+    EncryptedBallBlob,
+    EncryptedQueryMessage,
+    PruningMessages,
+)
+from repro.graph.generators import fig3_query
+from repro.graph.query import Semantics
+
+
+@pytest.fixture(scope="module")
+def message(cgbe):
+    from repro.core.encoding import encrypt_query_matrix
+
+    query = fig3_query()
+    return EncryptedQueryMessage(
+        semantics=query.semantics,
+        diameter=query.diameter,
+        vertex_labels=tuple(query.label(u) for u in query.vertex_order),
+        params=cgbe.public_params(),
+        encrypted_matrix=encrypt_query_matrix(cgbe, query),
+        c_one=cgbe.encrypt_one(),
+    )
+
+
+class TestEncryptedQueryMessage:
+    def test_public_properties(self, message):
+        assert message.size == 5
+        assert message.alphabet == {"A", "B", "C", "D"}
+        assert message.semantics is Semantics.HOM
+        assert message.diameter == 3
+
+    def test_optional_payloads_default_absent(self, message):
+        assert message.twiglet_tables is None
+        assert message.path_tables is None
+        assert message.neighbor_tables is None
+        assert message.bf_message is None
+
+    def test_matrix_shape(self, message):
+        assert len(message.encrypted_matrix) == 5
+        assert all(len(row) == 5 for row in message.encrypted_matrix)
+
+
+class TestDecryptedPMs:
+    def test_theta(self):
+        pms = DecryptedPMs(ball_ids=(1, 2, 3, 4),
+                           positives=frozenset({2}))
+        assert pms.theta == 0.25
+
+    def test_theta_empty(self):
+        assert DecryptedPMs(ball_ids=(), positives=frozenset()).theta == 0.0
+
+
+class TestContainers:
+    def test_pruning_messages_default_empty(self):
+        pms = PruningMessages()
+        assert not pms.bf and not pms.twiglet
+        assert not pms.path and not pms.neighbor
+
+    def test_encrypted_ball_blob_size(self):
+        blob = EncryptedBallBlob(ball_id=3, blob=b"x" * 40)
+        assert blob.size == 40

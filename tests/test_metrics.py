@@ -1,0 +1,70 @@
+"""Tests for timers, confusion counts (PPCR), and size accounting."""
+
+import time
+
+import pytest
+
+from repro.framework.metrics import (
+    ConfusionCounts,
+    MessageSizes,
+    PhaseTimings,
+    Stopwatch,
+)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.total
+        with watch:
+            time.sleep(0.01)
+        assert watch.total > first >= 0.01
+
+
+class TestConfusionCounts:
+    def test_record_all_cells(self):
+        c = ConfusionCounts()
+        c.record(True, True)    # tp
+        c.record(True, False)   # fp
+        c.record(False, False)  # tn
+        c.record(False, True)   # fn
+        assert (c.tp, c.fp, c.tn, c.fn) == (1, 1, 1, 1)
+        assert c.total == 4
+        assert c.ppcr == pytest.approx(0.5)
+        assert c.pruned == 2
+
+    def test_ppcr_definition(self):
+        """PPCR = (TP + FP) / total (Sec. 6.3)."""
+        c = ConfusionCounts(tp=3, fp=1, tn=5, fn=1)
+        assert c.ppcr == pytest.approx(4 / 10)
+
+    def test_empty_ppcr_zero(self):
+        assert ConfusionCounts().ppcr == 0.0
+
+    def test_addition(self):
+        a = ConfusionCounts(tp=1, fp=2, tn=3, fn=0)
+        b = ConfusionCounts(tp=1, fp=0, tn=1, fn=1)
+        c = a + b
+        assert (c.tp, c.fp, c.tn, c.fn) == (2, 2, 4, 1)
+
+
+class TestMessageSizes:
+    def test_directional_sums(self):
+        sizes = MessageSizes()
+        sizes.add("encrypted_matrix", 100)
+        sizes.add("twiglet_tables", 50)
+        sizes.add("bf_encodings", 25)
+        sizes.add("pruning_messages", 10)
+        sizes.add("ciphertext_results", 20)
+        sizes.add("retrieved_balls", 5)
+        assert sizes.user_to_sp() == 175
+        assert sizes.sp_to_user() == 35
+
+
+class TestPhaseTimings:
+    def test_total(self):
+        t = PhaseTimings(user_preprocessing=1.0, pm_computation=2.0,
+                         evaluation=3.0)
+        assert t.total() == pytest.approx(6.0)

@@ -1,0 +1,159 @@
+"""Tests for the Path_h [57] and neighbor-label [17] pruning baselines."""
+
+import pytest
+
+from repro.core.aggregation import decide_positive
+from repro.core.neighbors import (
+    all_neighbor_shapes,
+    build_neighbor_tables,
+    neighbor_features,
+    neighbor_table_size,
+)
+from repro.core.paths import (
+    all_path_shapes,
+    build_path_tables,
+    path_table_size,
+    paths_from,
+)
+from repro.core.table_pruning import player_table_prune, table_plan
+from repro.core.twiglets import all_twiglet_shapes
+from repro.graph.ball import extract_ball
+from repro.graph.generators import fig3_query
+
+
+class TestPathShapes:
+    def test_paths_subset_of_twiglets(self, fig3):
+        query, _ = fig3
+        paths = set(all_path_shapes("B", query.alphabet, 3))
+        twiglets = set(all_twiglet_shapes("B", query.alphabet, 3))
+        assert paths < twiglets
+        assert all(t.fork is None for t in paths)
+
+    def test_table2_path_rows(self, fig3):
+        query, _ = fig3
+        rendered = {s.render() for s in all_path_shapes(
+            "B", query.alphabet, 3)}
+        assert rendered == {
+            "['B', 'A', 'C']", "['B', 'A', 'D']", "['B', 'C', 'A']",
+            "['B', 'C', 'D']", "['B', 'D', 'A']", "['B', 'D', 'C']"}
+
+    def test_size_formula(self, fig3):
+        query, _ = fig3
+        assert len(all_path_shapes("B", query.alphabet, 3)) == \
+            path_table_size(4, 3)
+        assert len(all_path_shapes("B", query.alphabet, 4)) == \
+            path_table_size(4, 4)
+
+    def test_membership_fork_free(self, fig3):
+        _, graph = fig3
+        present = paths_from(graph, "v6", 3, frozenset("ABCD"))
+        assert all(t.fork is None for t in present)
+
+    def test_h_validation(self, fig3):
+        query, _ = fig3
+        with pytest.raises(ValueError):
+            all_path_shapes("B", query.alphabet, 2)
+
+
+class TestPathPruning:
+    def test_weaker_or_equal_to_twiglets(self, fig3, cgbe):
+        """Twiglets dominate paths in pruning power (Fig. 2a): any ball the
+        paths prune, the twiglets prune too."""
+        from repro.core.twiglets import build_twiglet_tables, twiglets_from
+
+        query, graph = fig3
+        path_tables = build_path_tables(cgbe, query, 3)
+        twig_tables = build_twiglet_tables(cgbe, query, 3)
+        p_plan = table_plan(cgbe.params, len(path_tables[0]))
+        t_plan = table_plan(cgbe.params, len(twig_tables[0]))
+        c_one = cgbe.encrypt_one()
+        for center in graph.vertices():
+            ball = extract_ball(graph, center, 3, ball_id=0)
+            p_feat = paths_from(ball.graph, center, 3, query.alphabet)
+            t_feat = twiglets_from(ball.graph, center, 3, query.alphabet)
+            p_pos = decide_positive(cgbe, player_table_prune(
+                cgbe.params, path_tables, ball, p_feat, c_one, p_plan))
+            t_pos = decide_positive(cgbe, player_table_prune(
+                cgbe.params, twig_tables, ball, t_feat, c_one, t_plan))
+            assert t_pos <= p_pos  # twiglet positive => path positive
+
+
+class TestNeighborFeatures:
+    def test_fig3_v6_reachable_labels(self, fig3):
+        _, graph = fig3
+        features = neighbor_features(graph, "v6", hops=3)
+        # Within 3 hops of v6: v2/v4 (A), v5/v7/v1 (C), v3 (D).
+        assert features == {"'A'", "'C'", "'D'"}
+
+    def test_hop_limit_respected(self, fig3):
+        _, graph = fig3
+        one_hop = neighbor_features(graph, "v6", hops=1)
+        assert one_hop == {"'A'", "'C'"}  # D is two hops away
+
+    def test_center_label_excluded(self, fig3):
+        _, graph = fig3
+        assert "'B'" not in neighbor_features(graph, "v6", hops=3)
+
+    def test_shapes_are_alphabet(self, fig3):
+        query, _ = fig3
+        shapes = all_neighbor_shapes(query.alphabet, hops=3)
+        assert len(shapes) == neighbor_table_size(4, 3) == 4
+
+    def test_hops_validation(self, fig3):
+        query, _ = fig3
+        with pytest.raises(ValueError):
+            all_neighbor_shapes(query.alphabet, hops=0)
+
+
+class TestStrictDominance:
+    def test_twiglet_prunes_a_ball_paths_cannot(self, cgbe):
+        """The fork is what paths miss: a ball whose center reaches
+        [B,A,C] and [B,A,D] through *different* A's satisfies every path
+        of the Fig. 3 query but lacks the twiglet [B,A,[C,D]]."""
+        from repro.core.twiglets import build_twiglet_tables, twiglets_from
+        from repro.graph.labeled_graph import LabeledGraph
+
+        query = fig3_query()
+        labels = {"w": "B", "a1": "A", "a2": "A", "c": "C", "d": "D",
+                  "c2": "C"}
+        edges = [("a1", "w"), ("a2", "w"), ("c", "a1"), ("d", "a2"),
+                 ("c2", "w")]
+        g = LabeledGraph.from_edges(labels, edges)
+        ball = extract_ball(g, "w", query.diameter, ball_id=0)
+
+        c_one = cgbe.encrypt_one()
+        path_tables = build_path_tables(cgbe, query, 3)
+        p_plan = table_plan(cgbe.params, len(path_tables[0]))
+        p_feat = paths_from(ball.graph, "w", 3, query.alphabet)
+        p_pos = decide_positive(cgbe, player_table_prune(
+            cgbe.params, path_tables, ball, p_feat, c_one, p_plan))
+
+        twig_tables = build_twiglet_tables(cgbe, query, 3)
+        t_plan = table_plan(cgbe.params, len(twig_tables[0]))
+        t_feat = twiglets_from(ball.graph, "w", 3, query.alphabet)
+        t_pos = decide_positive(cgbe, player_table_prune(
+            cgbe.params, twig_tables, ball, t_feat, c_one, t_plan))
+
+        assert p_pos and not t_pos  # strictly stronger (Fig. 2a)
+        # And the twiglet decision is correct: the ball has no match.
+        from repro.semantics.evaluate import ball_contains_match
+
+        assert not ball_contains_match(query, ball)
+
+
+class TestNeighborPruning:
+    def test_sound_on_fig3(self, fig3, cgbe):
+        """Neighbor pruning never prunes a ball that contains a match."""
+        from repro.semantics.evaluate import ball_contains_match
+
+        query, graph = fig3
+        tables = build_neighbor_tables(cgbe, query)
+        plan = table_plan(cgbe.params, len(tables[0]))
+        c_one = cgbe.encrypt_one()
+        for center in graph.vertices():
+            ball = extract_ball(graph, center, query.diameter, ball_id=0)
+            features = neighbor_features(ball.graph, center)
+            positive = decide_positive(cgbe, player_table_prune(
+                cgbe.params, tables, ball, features, c_one, plan))
+            if ball_contains_match(query, ball):
+                assert positive

@@ -1,0 +1,149 @@
+"""Cross-cutting property tests: the reproduction's master invariants.
+
+These pull several subsystems together under hypothesis-driven inputs:
+
+1. **Exactness (hom/sub-iso)**: the encrypted verification pipeline decides
+   each candidate ball exactly like the plaintext matcher.
+2. **Soundness (all pruning)**: no pruning technique ever discards a ball
+   that contains a match.
+3. **Privacy structure**: SP-side computations produce identical
+   *observable* work profiles for structurally different queries with the
+   same label multiset (the operational meaning of query-obliviousness).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import encrypt_query_matrix
+from repro.core.enumeration import enumerate_cmms
+from repro.core.table_pruning import player_table_prune, table_plan
+from repro.core.aggregation import decide_positive
+from repro.core.twiglets import build_twiglet_tables, twiglets_from
+from repro.core.verification import decide_ball, verification_plan, verify_ball
+from repro.crypto.cgbe import CGBE
+from repro.graph.ball import extract_ball
+from repro.graph.generators import social_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.qgen import QGen
+from repro.graph.query import Query
+from repro.semantics.evaluate import ball_contains_match
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return CGBE.generate(modulus_bits=1024, q_bits=24, r_bits=24, seed=31)
+
+
+def random_world(seed: int):
+    """A small random graph plus a QGen query over it."""
+    graph = social_graph(80, 2, 0.1, 6, seed=seed % 11)
+    query = QGen(graph, seed=seed).generate(4, 2)
+    return graph, query
+
+
+class TestExactness:
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_encrypted_verification_equals_plaintext_matcher(self, seed):
+        graph, query = random_world(seed)
+        scheme = CGBE.generate(modulus_bits=1024, q_bits=24, r_bits=24,
+                               seed=seed)
+        enc = encrypt_query_matrix(scheme, query)
+        plan = verification_plan(scheme.params, query)
+        c_one = scheme.encrypt_one()
+        label = query.most_frequent_label(graph)
+        centers = sorted(graph.vertices_with_label(label), key=repr)[:15]
+        for center in centers:
+            ball = extract_ball(graph, center, query.diameter, ball_id=0)
+            cmms = enumerate_cmms(query, ball).cmms
+            verdict = verify_ball(scheme.params, enc, c_one, ball, cmms,
+                                  plan)
+            assert decide_ball(scheme, verdict) == ball_contains_match(
+                query, ball)
+
+
+class TestPruningSoundness:
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_twiglet_pruning_never_drops_matches(self, seed):
+        graph, query = random_world(seed)
+        if len(query.alphabet) < 3:
+            return  # twiglets inapplicable
+        scheme = CGBE.generate(modulus_bits=1024, q_bits=24, r_bits=24,
+                               seed=seed + 1)
+        tables = build_twiglet_tables(scheme, query, 3)
+        if not tables or len(tables[0]) == 0:
+            return
+        plan = table_plan(scheme.params, len(tables[0]))
+        c_one = scheme.encrypt_one()
+        label = query.most_frequent_label(graph)
+        for center in sorted(graph.vertices_with_label(label),
+                             key=repr)[:12]:
+            ball = extract_ball(graph, center, query.diameter, ball_id=0)
+            features = twiglets_from(ball.graph, center, 3, query.alphabet)
+            positive = decide_positive(scheme, player_table_prune(
+                scheme.params, tables, ball, features, c_one, plan))
+            if ball_contains_match(query, ball):
+                assert positive, "twiglet pruning dropped a true positive"
+
+
+class TestObliviousness:
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_cmm_enumeration_identical_for_equal_labels(self, seed):
+        """Two connected queries over the same labeled vertex set always
+        produce the same CMM stream on any ball."""
+        rng = random.Random(seed)
+        labels = {i: rng.choice("ABCD") for i in range(4)}
+        path_edges = [(i, i + 1) for i in range(3)]
+        star_edges = [(0, i) for i in range(1, 4)]
+        q1 = Query.from_edges(labels, path_edges,
+                              vertex_order=tuple(range(4)))
+        q2 = Query.from_edges(labels, star_edges,
+                              vertex_order=tuple(range(4)))
+        graph = social_graph(60, 2, 0.1, 4, seed=seed % 7)
+        for center in sorted(graph.vertices())[:10]:
+            ball = extract_ball(graph, center, 2, ball_id=0)
+            a = [c.assignment for c in enumerate_cmms(q1, ball).cmms]
+            b = [c.assignment for c in enumerate_cmms(q2, ball).cmms]
+            assert a == b
+
+    def test_verification_power_sequence_edge_independent(self, scheme):
+        """The ciphertext powers Alg. 2 produces depend only on |V_Q| --
+        never on which entries of M_Q are edges."""
+        labels = {0: "A", 1: "B", 2: "C"}
+        q_path = Query.from_edges(labels, [(0, 1), (1, 2)],
+                                  vertex_order=(0, 1, 2))
+        q_fan = Query.from_edges(labels, [(0, 1), (0, 2)],
+                                 vertex_order=(0, 1, 2))
+        graph = LabeledGraph.from_edges(
+            {10: "A", 11: "B", 12: "C"}, [(10, 11), (11, 12)])
+        ball = extract_ball(graph, 10, 2, ball_id=0)
+        plan = verification_plan(scheme.params, q_path)
+        c_one = scheme.encrypt_one()
+        powers = []
+        for q in (q_path, q_fan):
+            enc = encrypt_query_matrix(scheme, q)
+            cmms = enumerate_cmms(q, ball).cmms
+            verdict = verify_ball(scheme.params, enc, c_one, ball, cmms,
+                                  plan)
+            assert verdict.summed is not None
+            powers.append(verdict.summed.power)
+        assert powers[0] == powers[1]
+
+
+class TestBlindingRandomness:
+    @given(st.integers(1, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_decryption_blind_is_multiple_of_message(self, message):
+        scheme = CGBE.generate(modulus_bits=512, q_bits=16, r_bits=16,
+                               seed=5)
+        if message.bit_length() > 16:
+            return
+        decrypted = scheme.decrypt(scheme.encrypt(message))
+        assert decrypted % message == 0
+        blind = decrypted // message
+        assert blind.bit_length() == 16  # exactly r_bits by construction

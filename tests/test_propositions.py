@@ -1,0 +1,108 @@
+"""The paper's propositions, tested directly (App. A.2).
+
+Props. 1-2 justify the entire ball decomposition: every matching subgraph
+of the whole graph is recovered from candidate balls (centers of one
+chosen label, radius d_Q) when only center-containing matches are kept.
+Props. 3-4 justify the pruning rules.  Each is exercised on randomized
+instances against brute-force ground truth.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import LabelCodec
+from repro.core.trees import enumerate_center_tree_encodings
+from repro.core.twiglets import twiglets_from
+from repro.graph.ball import extract_ball
+from repro.graph.generators import uniform_random_graph
+from repro.graph.qgen import QGen
+from repro.semantics.hom import iter_homomorphisms
+
+
+def world(seed: int):
+    graph = uniform_random_graph(40, 90, 5, seed=seed % 17)
+    query = QGen(graph, seed=seed, max_attempts=400).generate(4, 2)
+    return graph, query
+
+
+class TestProps1And2:
+    """Ball localization is complete for every label choice."""
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_every_global_match_found_in_candidate_balls(self, seed):
+        graph, query = world(seed)
+        global_images = {frozenset(m.values())
+                         for m in iter_homomorphisms(query, graph)}
+        for label in query.alphabet:
+            recovered = set()
+            for center in graph.vertices_with_label(label):
+                ball = extract_ball(graph, center, query.diameter)
+                for match in iter_homomorphisms(query, ball.graph,
+                                                require_vertex=center):
+                    recovered.add(frozenset(match.values()))
+            assert recovered == global_images, (
+                f"label {label!r}: localization lost or invented matches")
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_prop1_matches_lie_inside_label_balls(self, seed):
+        """Prop. 1 verbatim: each match image sits inside some ball
+        G[v, d_Q] with L(v) = l and v in the image."""
+        graph, query = world(seed)
+        label = sorted(query.alphabet, key=repr)[0]
+        for match in iter_homomorphisms(query, graph):
+            image = set(match.values())
+            witnesses = [v for v in image if graph.label(v) == label]
+            assert witnesses, "some query vertex carries the label"
+            found = False
+            for v in witnesses:
+                ball = extract_ball(graph, v, query.diameter)
+                if image <= set(ball.graph.vertices()):
+                    found = True
+                    break
+            assert found
+
+
+class TestProp3:
+    """Tree mismatch at the center forbids matching the center."""
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_missing_query_tree_implies_no_center_match(self, seed):
+        graph, query = world(seed)
+        codec = LabelCodec.from_alphabet(query.alphabet)
+        for center in sorted(graph.vertices(), key=repr)[:10]:
+            ball = extract_ball(graph, center, query.diameter)
+            ball_trees, _ = enumerate_center_tree_encodings(
+                ball.graph, center, codec)
+            for u in query.vertex_order:
+                if query.label(u) != graph.label(center):
+                    continue
+                query_trees, _ = enumerate_center_tree_encodings(
+                    query.pattern, u, codec)
+                if query_trees - ball_trees:
+                    # Prop. 3: u cannot map to the center.
+                    for match in iter_homomorphisms(query, ball.graph):
+                        assert match[u] != center
+
+
+class TestProp4:
+    """Twiglet mismatch at the center forbids matching the center."""
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_missing_query_twiglet_implies_no_center_match(self, seed):
+        graph, query = world(seed)
+        for center in sorted(graph.vertices(), key=repr)[:10]:
+            ball = extract_ball(graph, center, query.diameter)
+            ball_twiglets = twiglets_from(ball.graph, center, 3,
+                                          query.alphabet)
+            for u in query.vertex_order:
+                if query.label(u) != graph.label(center):
+                    continue
+                query_twiglets = twiglets_from(query.pattern, u, 3,
+                                               query.alphabet)
+                if query_twiglets - ball_twiglets:
+                    for match in iter_homomorphisms(query, ball.graph):
+                        assert match[u] != center

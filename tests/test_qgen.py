@@ -1,0 +1,66 @@
+"""Tests for the QGen query generator."""
+
+import pytest
+
+from repro.graph.generators import social_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.qgen import QGen
+from repro.graph.query import Semantics
+from repro.semantics.hom import has_homomorphism
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(300, 3, 0.05, 12, seed=4)
+
+
+class TestQGen:
+    def test_size_and_connectivity(self, graph):
+        qgen = QGen(graph, seed=1)
+        q = qgen.generate(6, 3)
+        assert q.size == 6
+        assert q.pattern.is_connected()
+
+    def test_diameter_at_most_requested(self, graph):
+        qgen = QGen(graph, seed=2)
+        for _ in range(5):
+            q = qgen.generate(5, 2)
+            assert q.pattern.diameter() <= 2
+
+    def test_queries_are_induced_subgraphs_and_satisfiable(self, graph):
+        """A QGen query always has at least one hom match (itself)."""
+        qgen = QGen(graph, seed=3)
+        q = qgen.generate(5, 3)
+        assert has_homomorphism(q, graph)
+
+    def test_semantics_propagated(self, graph):
+        qgen = QGen(graph, seed=4)
+        q = qgen.generate(4, 2, Semantics.SSIM)
+        assert q.semantics is Semantics.SSIM
+
+    def test_batch(self, graph):
+        qgen = QGen(graph, seed=5)
+        batch = qgen.generate_batch(4, 5, 3)
+        assert len(batch) == 4
+
+    def test_deterministic(self, graph):
+        a = QGen(graph, seed=6).generate(5, 3)
+        b = QGen(graph, seed=6).generate(5, 3)
+        assert a.pattern == b.pattern
+
+    def test_impossible_size_raises(self):
+        tiny = LabeledGraph.from_edges({1: "A", 2: "B"}, [(1, 2)])
+        qgen = QGen(tiny, seed=0, max_attempts=10)
+        with pytest.raises(RuntimeError):
+            qgen.generate(5, 2)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            QGen(LabeledGraph())
+
+    def test_parameter_validation(self, graph):
+        qgen = QGen(graph, seed=0)
+        with pytest.raises(ValueError):
+            qgen.generate(0, 2)
+        with pytest.raises(ValueError):
+            qgen.generate(3, -1)

@@ -1,0 +1,74 @@
+"""Tests for Query / QueryLabelView / Semantics."""
+
+import pytest
+
+from repro.graph.generators import fig3_graph, fig3_query
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query import Query, QueryLabelView, Semantics
+
+
+class TestQuery:
+    def test_fig3_diameter(self):
+        assert fig3_query().diameter == 3
+
+    def test_alphabet_and_labels(self):
+        q = fig3_query()
+        assert q.alphabet == {"A", "B", "C", "D"}
+        assert q.label("u1") == "B"
+        assert q.size == 5
+
+    def test_vertex_order_fixed(self):
+        q = fig3_query()
+        assert q.vertex_order == ("u1", "u2", "u3", "u4", "u5")
+        assert q.row_of("u3") == 2
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            Query.from_edges({1: "A", 2: "B"}, [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Query(pattern=LabeledGraph())
+
+    def test_bad_vertex_order_rejected(self):
+        with pytest.raises(ValueError, match="vertex_order"):
+            Query.from_edges({1: "A", 2: "B"}, [(1, 2)],
+                             vertex_order=(1,))
+
+    def test_single_vertex_query(self):
+        q = Query.from_edges({1: "A"}, [])
+        assert q.diameter == 0
+        assert q.size == 1
+
+    def test_label_choice_strategies(self):
+        """Alg. 3 line 2: max frequency; 'min' is the ablation choice."""
+        q = fig3_query()
+        g = fig3_graph()
+        # Frequencies in G: A=2, B=1, C=3, D=1.
+        assert q.most_frequent_label(g) == "C"
+        assert q.least_frequent_label(g) in {"B", "D"}
+
+    def test_semantics_values(self):
+        assert Semantics("hom") is Semantics.HOM
+        assert Semantics("sub-iso") is Semantics.SUB_ISO
+        assert Semantics("ssim") is Semantics.SSIM
+
+
+class TestQueryLabelView:
+    def test_view_mirrors_query_labels(self):
+        q = fig3_query()
+        view = QueryLabelView.of(q)
+        assert view.size == q.size
+        assert view.alphabet == q.alphabet
+        assert view.diameter == q.diameter
+        for row, u in enumerate(q.vertex_order):
+            assert view.label(row) == q.label(u)
+
+    def test_view_has_no_edges(self):
+        """The SP-side view must not expose the pattern at all."""
+        view = QueryLabelView.of(fig3_query())
+        assert not hasattr(view, "pattern")
+
+    def test_view_vertex_order_is_row_indices(self):
+        view = QueryLabelView(labels=("A", "B"), diameter=1)
+        assert view.vertex_order == (0, 1)

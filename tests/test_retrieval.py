@@ -1,0 +1,146 @@
+"""Tests for SSG / RSG secure sequence generation (Sec. 4.3)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.retrieval import (
+    positives_complete_positions,
+    rsg_sequences,
+    ssg_sequences,
+)
+
+
+class TestRSG:
+    def test_partition_balanced(self):
+        seqs = rsg_sequences(range(10), 3, seed=1)
+        sizes = sorted(len(s) for s in seqs)
+        assert sizes == [3, 3, 4]
+        all_ids = [b for s in seqs for b in s.sequence]
+        assert sorted(all_ids) == list(range(10))
+
+    def test_no_scp(self):
+        for seq in rsg_sequences(range(6), 2, seed=2):
+            assert seq.scp is None
+
+    def test_deterministic(self):
+        a = rsg_sequences(range(20), 4, seed=7)
+        b = rsg_sequences(range(20), 4, seed=7)
+        assert [s.sequence for s in a] == [s.sequence for s in b]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            rsg_sequences(range(3), 0)
+
+
+class TestSSGEarlyCase:
+    def test_example9_structure(self):
+        """Example 9: |S| = 9, 3 positives, k = 3 -> SCP at position 2."""
+        ids = list(range(1, 10))
+        positives = {5, 6, 7}
+        seqs, mode = ssg_sequences(ids, positives, 3, seed=5)
+        assert mode == "early"
+        for seq in seqs:
+            assert len(seq) == 6  # 2 * |S| / k
+            assert seq.scp == 2
+        # Every positive's early copy lies in some front section, so the
+        # Dealer holds all positives by each player's SCP (Example 9).
+        for ball in positives:
+            assert any(ball in s.sequence[:s.scp] for s in seqs)
+        positions = positives_complete_positions(seqs, positives)
+        assert all(p <= 2 for p in positions)
+
+    def test_every_ball_evaluated_twice(self):
+        ids = list(range(12))
+        seqs, _ = ssg_sequences(ids, {0, 1}, 4, seed=3)
+        counts = Counter(b for s in seqs for b in s.sequence)
+        assert all(c == 2 for c in counts.values())
+        assert set(counts) == set(ids)
+
+    def test_all_positives_before_scp(self):
+        ids = list(range(40))
+        positives = set(range(0, 40, 7))
+        seqs, mode = ssg_sequences(ids, positives, 4, seed=9)
+        assert mode == "early"
+        for seq in seqs:
+            tail_positives = set(seq.sequence[seq.scp:]) & positives
+            # A positive may appear in a tail only as a *dummy* copy; its
+            # early copy must be in some player's front section.
+            for ball in tail_positives:
+                assert any(ball in s.sequence[:s.scp] for s in seqs)
+
+    def test_no_positives_scp_zero(self):
+        seqs, mode = ssg_sequences(range(8), (), 2, seed=1)
+        assert mode == "early"
+        assert all(s.scp == 0 for s in seqs)
+
+    def test_front_mixes_negatives(self):
+        """The SCP front must not be positives-only (that would reveal
+        them): for y > positives-per-player, negatives fill the front."""
+        ids = list(range(30))
+        positives = set(range(3))
+        seqs, _ = ssg_sequences(ids, positives, 2, seed=4)
+        for seq in seqs:
+            front = set(seq.sequence[:seq.scp])
+            if front:
+                assert front - positives  # at least one negative mixed in
+
+
+class TestSSGNormalCase:
+    def test_theta_at_least_half_degrades_to_rsg(self):
+        ids = list(range(10))
+        positives = set(range(5))  # theta = 0.5
+        seqs, mode = ssg_sequences(ids, positives, 2, seed=2)
+        assert mode == "normal"
+        counts = Counter(b for s in seqs for b in s.sequence)
+        assert all(c == 1 for c in counts.values())  # no dummies
+
+    def test_empty_input(self):
+        seqs, mode = ssg_sequences([], [], 3, seed=0)
+        assert all(len(s) == 0 for s in seqs)
+
+
+class TestValidation:
+    def test_unknown_positive_rejected(self):
+        with pytest.raises(ValueError, match="positives"):
+            ssg_sequences([1, 2], [99], 2)
+
+    def test_single_player_rejected(self):
+        with pytest.raises(ValueError, match="two players"):
+            ssg_sequences([1, 2], [1], 1)
+
+
+class TestProperties:
+    @given(st.integers(4, 60), st.data(), st.integers(2, 6),
+           st.integers(0, 10 ** 6))
+    @settings(max_examples=60, deadline=None)
+    def test_ssg_invariants(self, n, data, k, seed):
+        """SSG invariants from Sec. 4.3, for arbitrary inputs:
+        every ball appears (positives always), per-player positives lie
+        before the SCP, and in the early case the dummy sets tile S."""
+        ids = list(range(n))
+        positives = set(data.draw(st.sets(st.sampled_from(ids),
+                                          max_size=n // 3)))
+        seqs, mode = ssg_sequences(ids, positives, k, seed=seed)
+        covered = {b for s in seqs for b in s.sequence}
+        assert covered == set(ids)
+        if mode == "early":
+            for seq in seqs:
+                front = set(seq.sequence[:seq.scp])
+                early_half = set(seq.sequence[:len(seq) // 2 + len(seq) % 2])
+                assert front <= set(seq.sequence)
+            # Every positive is in some front section.
+            for ball in positives:
+                assert any(ball in s.sequence[:s.scp] for s in seqs)
+
+    @given(st.integers(4, 40), st.integers(2, 5), st.integers(0, 10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_rsg_partition_property(self, n, k, seed):
+        seqs = rsg_sequences(range(n), k, seed=seed)
+        counts = Counter(b for s in seqs for b in s.sequence)
+        assert all(c == 1 for c in counts.values())
+        assert set(counts) == set(range(n))
+        sizes = [len(s) for s in seqs]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,176 @@
+"""Tests for the four protocol parties (Fig. 4)."""
+
+import pytest
+
+from repro.core.bf_pruning import BFConfig
+from repro.crypto.keys import UserKeyring
+from repro.framework.messages import PruningMessages
+from repro.framework.metrics import MessageSizes, PhaseTimings
+from repro.framework.roles import DataOwner, Dealer, Player, User
+from repro.graph.generators import fig3_graph, fig3_query
+from repro.graph.io import ball_from_bytes
+from repro.graph.query import Semantics
+
+
+@pytest.fixture()
+def owner():
+    return DataOwner(fig3_graph(), radii=(1, 2, 3), seed=1)
+
+
+@pytest.fixture()
+def user(owner):
+    ring = UserKeyring.generate(modulus_bits=1024, seed=2)
+    u = User(ring)
+    owner.grant_key(u)
+    return u
+
+
+class TestDataOwner:
+    def test_player_store_holds_plaintext_balls(self, owner):
+        index = owner.player_store()
+        ball = index.ball("v6", 3)
+        assert ball.size == 7  # readable plaintext
+
+    def test_dealer_store_holds_ciphertext(self, owner):
+        store = owner.dealer_store()
+        index = owner.player_store()
+        ball = index.ball("v6", 3)
+        blob = store.get(ball.ball_id)
+        assert blob.ball_id == ball.ball_id
+        # Dealer-side bytes decrypt only with sk.
+        restored = ball_from_bytes(owner.key.cipher().decrypt(blob.blob))
+        assert restored.center == "v6"
+
+    def test_encrypted_store_memoized(self, owner):
+        store = owner.dealer_store()
+        bid = owner.player_store().ball("v6", 3).ball_id
+        assert store.get(bid) is store.get(bid)
+
+
+class TestUserPrepare:
+    def test_message_public_parts(self, owner, user):
+        query = fig3_query()
+        message, state = user.prepare_query(
+            query, use_bf=False, use_twiglet=True, use_path=False,
+            use_neighbor=False, twiglet_h=3, bf_config=BFConfig(),
+            enclaves=[], sizes=MessageSizes(), timings=PhaseTimings())
+        assert message.vertex_labels == ("B", "A", "C", "C", "D")
+        assert message.diameter == 3
+        assert message.semantics is Semantics.HOM
+        assert message.twiglet_tables is not None
+        assert message.bf_message is None
+
+    def test_bf_requires_enclaves(self, owner, user):
+        with pytest.raises(ValueError, match="enclave"):
+            user.prepare_query(
+                fig3_query(), use_bf=True, use_twiglet=False,
+                use_path=False, use_neighbor=False, twiglet_h=3,
+                bf_config=BFConfig(), enclaves=[], sizes=MessageSizes(),
+                timings=PhaseTimings())
+
+    def test_sizes_accounted(self, owner, user):
+        sizes = MessageSizes()
+        user.prepare_query(
+            fig3_query(), use_bf=False, use_twiglet=True, use_path=False,
+            use_neighbor=False, twiglet_h=3, bf_config=BFConfig(),
+            enclaves=[], sizes=sizes, timings=PhaseTimings())
+        assert sizes.encrypted_matrix > 0
+        assert sizes.twiglet_tables > 0
+
+
+class TestPlayerEvaluation:
+    def make_message(self, user, semantics=Semantics.HOM):
+        query = fig3_query(semantics)
+        message, _ = user.prepare_query(
+            query, use_bf=False, use_twiglet=False, use_path=False,
+            use_neighbor=False, twiglet_h=3, bf_config=BFConfig(),
+            enclaves=[], sizes=MessageSizes(), timings=PhaseTimings())
+        return message
+
+    def test_evaluate_ball_positive(self, owner, user):
+        message = self.make_message(user)
+        player = Player(0, owner.player_store())
+        ball = owner.player_store().ball("v6", 3)
+        result = player.evaluate_ball(message, ball, enumeration_limit=100,
+                                      cmm_bound_bypass=1000)
+        assert result.cmms == 18
+        assert not result.bypassed
+        assert user.decrypt_results([result], PhaseTimings()) == {
+            ball.ball_id}
+
+    def test_evaluate_ball_bypass(self, owner, user):
+        message = self.make_message(user)
+        player = Player(0, owner.player_store())
+        ball = owner.player_store().ball("v6", 3)
+        result = player.evaluate_ball(message, ball, enumeration_limit=100,
+                                      cmm_bound_bypass=1)
+        assert result.bypassed
+
+    def test_evaluate_ssim(self, owner, user):
+        message = self.make_message(user, Semantics.SSIM)
+        player = Player(0, owner.player_store())
+        ball = owner.player_store().ball("v6", 3)
+        result = player.evaluate_ball(message, ball, enumeration_limit=100,
+                                      cmm_bound_bypass=1000)
+        assert user.decrypt_results([result], PhaseTimings()) == {
+            ball.ball_id}
+
+    def test_compute_pms(self, owner, user):
+        query = fig3_query()
+        player = Player(0, owner.player_store())
+        message, state = user.prepare_query(
+            query, use_bf=True, use_twiglet=True, use_path=False,
+            use_neighbor=False, twiglet_h=3,
+            bf_config=BFConfig(eta=16, expected_trees=100),
+            enclaves=[player.enclave], sizes=MessageSizes(),
+            timings=PhaseTimings())
+        balls = list(owner.player_store().candidate_balls("B", 3))
+        pms = PruningMessages()
+        costs = {}
+        player.compute_pms(message, balls, bf_config=BFConfig(
+            eta=16, expected_trees=100), twiglet_h=3, pms=pms,
+            pm_costs=costs, timings=PhaseTimings())
+        assert set(pms.bf) == {b.ball_id for b in balls}
+        assert set(pms.twiglet) == {b.ball_id for b in balls}
+        decrypted, per_method = user.decrypt_pms(
+            pms, [b.ball_id for b in balls], state, PhaseTimings())
+        assert set(per_method) == {"bf", "twiglet"}
+        # The v6 ball contains a match, so it must stay positive.
+        v6_id = owner.player_store().ball("v6", 3).ball_id
+        assert v6_id in decrypted.positives
+
+
+class TestUserRetrieval:
+    def test_retrieve_and_match(self, owner, user):
+        query = fig3_query()
+        dealer = Dealer(owner.dealer_store())
+        ball = owner.player_store().ball("v6", 3)
+        matches = user.retrieve_and_match(
+            [ball.ball_id], dealer, query, MessageSizes(), PhaseTimings())
+        assert ball.ball_id in matches
+        found = matches[ball.ball_id]
+        assert any(set(m.vertices()) == {"v2", "v3", "v5", "v6"}
+                   for m in found)
+
+    def test_retrieval_requires_granted_key(self, owner):
+        ring = UserKeyring.generate(modulus_bits=1024, seed=9)
+        stranger = User(ring)  # never granted sk
+        dealer = Dealer(owner.dealer_store())
+        with pytest.raises(PermissionError):
+            stranger.retrieve_and_match([0], dealer, fig3_query(),
+                                        MessageSizes(), PhaseTimings())
+
+
+class TestDealer:
+    def test_sequences_modes(self, owner):
+        from repro.framework.messages import DecryptedPMs
+
+        dealer = Dealer(owner.dealer_store())
+        decrypted = DecryptedPMs(ball_ids=tuple(range(8)),
+                                 positives=frozenset({1}))
+        seqs, mode = dealer.generate_sequences(decrypted, 2, use_ssg=True,
+                                               seed=1)
+        assert mode == "early"
+        seqs, mode = dealer.generate_sequences(decrypted, 2, use_ssg=False,
+                                               seed=1)
+        assert mode == "rsg"

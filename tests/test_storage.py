@@ -1,0 +1,124 @@
+"""Tests for the encrypted ball archive."""
+
+import json
+
+import pytest
+
+from repro.crypto.keys import DataOwnerKey
+from repro.framework.roles import Dealer
+from repro.graph.ball import BallIndex
+from repro.graph.generators import fig3_graph
+from repro.graph.io import ball_from_bytes
+from repro.storage import ArchiveError, EncryptedBallArchive
+
+
+@pytest.fixture()
+def key():
+    return DataOwnerKey.generate(seed=4)
+
+
+@pytest.fixture()
+def index():
+    return BallIndex(fig3_graph(), (1, 2))
+
+
+class TestCreateAndOpen:
+    def test_roundtrip(self, tmp_path, index, key):
+        created = EncryptedBallArchive.create(tmp_path / "a", index, key)
+        assert len(created) == 7 * 2
+        opened = EncryptedBallArchive.open(tmp_path / "a")
+        assert sorted(opened.ball_ids) == sorted(created.ball_ids)
+
+    def test_blobs_decrypt_to_balls(self, tmp_path, index, key):
+        archive = EncryptedBallArchive.create(tmp_path / "a", index, key)
+        ball = index.ball("v6", 2)
+        blob = archive.get(ball.ball_id)
+        restored = ball_from_bytes(key.cipher().decrypt(blob.blob))
+        assert restored.center == "v6"
+        assert restored.graph == ball.graph
+
+    def test_radius_subset(self, tmp_path, index, key):
+        archive = EncryptedBallArchive.create(tmp_path / "a", index, key,
+                                              radii=(1,))
+        assert len(archive) == 7
+        assert all(entry["radius"] == 1 for entry in archive.entries())
+
+    def test_unknown_radius_rejected(self, tmp_path, index, key):
+        with pytest.raises(ArchiveError, match="radii"):
+            EncryptedBallArchive.create(tmp_path / "a", index, key,
+                                        radii=(9,))
+
+    def test_refuses_overwrite(self, tmp_path, index, key):
+        EncryptedBallArchive.create(tmp_path / "a", index, key)
+        with pytest.raises(ArchiveError, match="overwrite"):
+            EncryptedBallArchive.create(tmp_path / "a", index, key)
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(ArchiveError, match="manifest"):
+            EncryptedBallArchive.open(tmp_path / "nope")
+
+    def test_open_bad_version(self, tmp_path, index, key):
+        EncryptedBallArchive.create(tmp_path / "a", index, key)
+        manifest = tmp_path / "a" / "manifest.json"
+        data = json.loads(manifest.read_text())
+        data["version"] = 99
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(ArchiveError, match="version"):
+            EncryptedBallArchive.open(tmp_path / "a")
+
+
+class TestManifestPrivacy:
+    def test_manifest_contains_no_plaintext_structure(self, tmp_path,
+                                                      index, key):
+        """The Dealer-visible manifest lists public metadata only -- no
+        edges, no labels."""
+        EncryptedBallArchive.create(tmp_path / "a", index, key)
+        manifest = json.loads(
+            (tmp_path / "a" / "manifest.json").read_text())
+        for entry in manifest["balls"]:
+            assert set(entry) == {"ball_id", "center", "radius",
+                                  "vertices", "bytes"}
+
+
+class TestIntegrity:
+    def test_verify_clean(self, tmp_path, index, key):
+        archive = EncryptedBallArchive.create(tmp_path / "a", index, key)
+        assert archive.verify(key) == len(archive)
+
+    def test_verify_detects_tampering(self, tmp_path, index, key):
+        archive = EncryptedBallArchive.create(tmp_path / "a", index, key)
+        victim = next(iter(archive.ball_ids))
+        path = tmp_path / "a" / "balls" / f"{victim}.bin"
+        data = bytearray(path.read_bytes())
+        data[25] ^= 0xFF
+        path.write_bytes(bytes(data))
+        fresh = EncryptedBallArchive.open(tmp_path / "a")
+        with pytest.raises(ArchiveError, match="verification"):
+            fresh.verify(key)
+
+    def test_missing_ball(self, tmp_path, index, key):
+        archive = EncryptedBallArchive.create(tmp_path / "a", index, key)
+        with pytest.raises(ArchiveError, match="not in archive"):
+            archive.get(10 ** 9)
+
+
+class TestDealerIntegration:
+    def test_dealer_backed_by_archive(self, tmp_path, index, key):
+        """An archive satisfies the Dealer's store protocol."""
+        archive = EncryptedBallArchive.create(tmp_path / "a", index, key)
+        dealer = Dealer(archive)
+        ball = index.ball("v2", 2)
+        blob = dealer.fetch_encrypted_ball(ball.ball_id)
+        restored = ball_from_bytes(key.cipher().decrypt(blob.blob))
+        assert restored.center == "v2"
+
+
+class TestDataOwnerExport:
+    def test_export_archive(self, tmp_path):
+        from repro.framework.roles import DataOwner
+        from repro.graph.generators import fig3_graph
+
+        owner = DataOwner(fig3_graph(), radii=(1, 2), seed=3)
+        archive = owner.export_archive(tmp_path / "export", radii=(2,))
+        assert len(archive) == 7
+        assert archive.verify(owner.key) == 7

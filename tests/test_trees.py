@@ -1,0 +1,178 @@
+"""Tests for h-label binary trees (Def. 3, Fig. 6/7, Alg. 4, Table 1)."""
+
+import math
+
+import pytest
+
+from repro.core.encoding import LabelCodec
+from repro.core.trees import (
+    BF_TOPOLOGIES,
+    TOPOLOGY_IX,
+    TOPOLOGY_VII,
+    TOPOLOGY_VIII,
+    TOPOLOGY_X,
+    bf_threshold_exceeded,
+    canonical_tree,
+    enumerate_center_tree_encodings,
+    iter_center_trees,
+    max_tree_count,
+)
+from repro.graph.generators import fig3_graph, fig3_query, social_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return LabelCodec.from_alphabet({"A", "B", "C", "D"})
+
+
+@pytest.fixture(scope="module")
+def paper_codec():
+    return LabelCodec.from_alphabet({"A", "B", "C", "D"}, paper_base=True)
+
+
+class TestTopologies:
+    def test_counts_and_tags_distinct(self):
+        assert len({t.tag for t in BF_TOPOLOGIES}) == 4
+        assert TOPOLOGY_VII.num_labels == 3
+        assert TOPOLOGY_VIII.num_labels == 4
+        assert TOPOLOGY_IX.num_labels == 5
+        assert TOPOLOGY_X.num_labels == 6
+        assert TOPOLOGY_X.symmetric
+        assert not TOPOLOGY_IX.symmetric
+
+
+class TestTable1:
+    def test_formulas(self):
+        """Table 1 closed forms at kappa = 8."""
+        k = 8
+        assert max_tree_count(TOPOLOGY_VII, k) == math.perm(7, 3)
+        assert max_tree_count(TOPOLOGY_VIII, k) == (
+            math.perm(7, 2) * math.comb(5, 2))
+        assert max_tree_count(TOPOLOGY_IX, k) == (
+            math.perm(7, 3) * math.comb(4, 2))
+        assert max_tree_count(TOPOLOGY_X, k) == (
+            math.comb(7, 2) * math.comb(5, 2) * math.comb(3, 2))
+
+    def test_small_kappa_zero(self):
+        assert max_tree_count(TOPOLOGY_X, 4) == 0
+
+    def test_enumeration_bounded_by_table1(self, codec):
+        """Property: actual distinct-tree counts never exceed Table 1."""
+        g = social_graph(200, 3, 0.2, 4, seed=9)
+        kappa = min(4, g.max_degree())
+        for topology in BF_TOPOLOGIES:
+            bound = max_tree_count(topology, kappa)
+            for v in list(g.vertices())[:25]:
+                encodings = {t.encode(codec)
+                             for t in iter_center_trees(g, v, codec,
+                                                        (topology,))}
+                assert len(encodings) <= max(bound, 0) or bound == 0
+
+
+class TestFig7Example:
+    def test_vii_tree_at_v6(self, paper_codec):
+        """Example 7 + Fig. 7: T^vii at v6 = (A, C, (D,)) encoding 77."""
+        g = fig3_graph()
+        trees = list(iter_center_trees(g, "v6", paper_codec,
+                                       (TOPOLOGY_VII,)))
+        positional = {paper_codec.encode_positions(t.position_labels())
+                      for t in trees}
+        assert 77 in positional
+
+    def test_query_side_tree_exists(self, paper_codec):
+        """u1 of Q roots the matching tree [B](A)(C)(D under A)."""
+        q = fig3_query()
+        trees = list(iter_center_trees(q.pattern, "u1", paper_codec,
+                                       (TOPOLOGY_VII,)))
+        positional = {paper_codec.encode_positions(t.position_labels())
+                      for t in trees}
+        assert 77 in positional
+
+
+class TestDistinctLabels:
+    def test_all_labels_distinct_in_every_tree(self, codec):
+        g = social_graph(150, 3, 0.2, 4, seed=2)
+        for v in list(g.vertices())[:20]:
+            for tree in iter_center_trees(g, v, codec):
+                labels = tree.position_labels() + (g.label(v),)
+                assert len(set(labels)) == len(labels)
+
+
+class TestCanonicalization:
+    def test_grandchild_pairs_sorted(self, codec):
+        tree = canonical_tree(TOPOLOGY_VIII, codec, "A", "B",
+                              ["C", "D"], [])
+        assert tree.left_grand == ("D", "C")  # descending codes
+
+    def test_topology_x_child_order(self, codec):
+        a = canonical_tree(TOPOLOGY_X, codec, "A", "B", ["C"], ["D"])
+        b = canonical_tree(TOPOLOGY_X, codec, "B", "A", ["D"], ["C"])
+        assert a == b
+
+    def test_asymmetric_children_not_swapped(self, codec):
+        a = canonical_tree(TOPOLOGY_VII, codec, "A", "B", ["C"], [])
+        b = canonical_tree(TOPOLOGY_VII, codec, "B", "A", ["C"], [])
+        assert a != b
+
+    def test_isomorphic_subtrees_encode_identically(self):
+        """Two vertex-disjoint subtrees projecting the same label tree must
+        collide in encoding space (that is the whole point)."""
+        # Root B with two A-children (1 and 4), each carrying {C, D}
+        # grandchildren, plus a leaf E-child serving as the right child.
+        labels = {0: "B", 1: "A", 2: "E", 4: "A",
+                  5: "C", 6: "D", 7: "C", 8: "D"}
+        edges = [(0, 1), (0, 2), (0, 4), (1, 5), (1, 6), (4, 7), (4, 8)]
+        g = LabeledGraph.from_edges(labels, edges)
+        codec = LabelCodec.from_alphabet({"A", "B", "C", "D", "E"})
+        trees = [t for t in iter_center_trees(g, 0, codec,
+                                              (TOPOLOGY_VIII,))
+                 if t.left == "A" and t.right == "E"
+                 and t.left_grand == ("D", "C")]
+        # Both A-subtrees project the same labeled tree ...
+        assert len(trees) == 2
+        # ... and it encodes once.
+        assert len({t.encode(codec) for t in trees}) == 1
+
+
+class TestEnumerationControls:
+    def test_max_trees_truncates(self, codec):
+        g = social_graph(150, 4, 0.3, 4, seed=6)
+        hub = max(g.vertices(), key=g.degree)
+        encodings, truncated = enumerate_center_tree_encodings(
+            g, hub, codec, max_trees=1)
+        if encodings:
+            assert len(encodings) <= 1 or truncated
+
+    def test_labels_outside_codec_skipped(self):
+        labels = {0: "B", 1: "A", 2: "Z", 3: "C", 4: "D"}
+        edges = [(0, 1), (0, 2), (1, 3), (1, 4)]
+        g = LabeledGraph.from_edges(labels, edges)
+        codec = LabelCodec.from_alphabet({"A", "B", "C", "D"})
+        for tree in iter_center_trees(g, 0, codec):
+            assert "Z" not in tree.position_labels()
+
+
+class TestThreshold:
+    def test_fig3_center_below_threshold(self):
+        g = fig3_graph()
+        assert not bf_threshold_exceeded(g, "v6", threshold=5)
+
+    def test_dense_center_exceeds_small_threshold(self):
+        # A center with many 3-label neighbors.
+        labels = {0: "R"}
+        edges = []
+        next_id = 1
+        for i in range(6):
+            child = next_id
+            labels[child] = f"c{i}"
+            next_id += 1
+            edges.append((0, child))
+            for j in range(3):
+                leaf = next_id
+                labels[leaf] = f"l{i}{j}"
+                next_id += 1
+                edges.append((child, leaf))
+        g = LabeledGraph.from_edges(labels, edges)
+        assert bf_threshold_exceeded(g, 0, threshold=2)
+        assert not bf_threshold_exceeded(g, 0, threshold=10)

@@ -1,0 +1,141 @@
+"""Tests for Alg. 2 (query verification), plaintext and ciphertext."""
+
+from repro.core.encoding import encrypt_query_matrix
+from repro.core.enumeration import enumerate_cmms
+from repro.core.verification import (
+    decide_ball,
+    verification_plan,
+    verify_ball,
+    verify_ciphertext,
+    verify_plaintext,
+)
+from repro.crypto.cgbe import CGBE
+from repro.graph.ball import extract_ball
+from repro.graph.matrix import CandidateMappingMatrix
+from repro.semantics.evaluate import ball_contains_match
+from repro.semantics.hom import find_homomorphisms
+
+
+PAPER_CMM = CandidateMappingMatrix(
+    query_order=("u1", "u2", "u3", "u4", "u5"),
+    assignment=("v6", "v2", "v5", "v5", "v3"))
+
+BAD_CMM = CandidateMappingMatrix(
+    query_order=("u1", "u2", "u3", "u4", "u5"),
+    assignment=("v6", "v4", "v5", "v5", "v3"))  # v4 lacks the needed edges
+
+
+class TestPlaintextVerify:
+    def test_example5_valid_cmm_returns_one(self, fig3, fig3_ball):
+        """Example 5: for the paper's CMM, r = 1 (no violation)."""
+        query, _ = fig3
+        assert verify_plaintext(query, 97, fig3_ball, PAPER_CMM) == 1
+
+    def test_invalid_cmm_has_factor_q(self, fig3, fig3_ball):
+        query, _ = fig3
+        r = verify_plaintext(query, 97, fig3_ball, BAD_CMM)
+        assert r % 97 == 0
+
+    def test_agrees_with_hom_matcher(self, fig3, fig3_ball):
+        """Alg. 2 validity == Def. 1 match-function validity, per CMM."""
+        query, _ = fig3
+        ball = fig3_ball
+        matches = {tuple(m[u] for u in query.vertex_order)
+                   for m in find_homomorphisms(query, ball.graph)}
+        for cmm in enumerate_cmms(query, ball).cmms:
+            valid = verify_plaintext(query, 97, ball, cmm) % 97 != 0
+            assert valid == (cmm.assignment in matches)
+
+
+class TestCiphertextVerify:
+    def test_per_cmm_agrees_with_plaintext(self, fig3, fig3_ball, cgbe):
+        query, _ = fig3
+        enc = encrypt_query_matrix(cgbe, query)
+        plan = verification_plan(cgbe.params, query)
+        c_one = cgbe.encrypt_one()
+        for cmm in enumerate_cmms(query, fig3_ball).cmms:
+            chunks = verify_ciphertext(cgbe.params, enc, c_one, fig3_ball,
+                                       cmm, plan)
+            secure_valid = all(not cgbe.has_factor_q(c) for c in chunks)
+            plain_valid = verify_plaintext(query, cgbe.params.q, fig3_ball,
+                                           cmm) % cgbe.params.q != 0
+            assert secure_valid == plain_valid
+
+    def test_constant_power_per_cmm(self, fig3, fig3_ball, cgbe):
+        """Every CMM product carries the same g^x power (required for the
+        Alg. 3 sum and the access-pattern argument)."""
+        query, _ = fig3
+        enc = encrypt_query_matrix(cgbe, query)
+        plan = verification_plan(cgbe.params, query)
+        c_one = cgbe.encrypt_one()
+        powers = set()
+        for cmm in enumerate_cmms(query, fig3_ball).cmms[:6]:
+            chunks = verify_ciphertext(cgbe.params, enc, c_one, fig3_ball,
+                                       cmm, plan)
+            powers.add(tuple(c.power for c in chunks))
+        assert len(powers) == 1
+
+    def test_ball_aggregate_positive(self, fig3, fig3_ball, cgbe):
+        query, _ = fig3
+        enc = encrypt_query_matrix(cgbe, query)
+        plan = verification_plan(cgbe.params, query)
+        cmms = enumerate_cmms(query, fig3_ball).cmms
+        verdict = verify_ball(cgbe.params, enc, cgbe.encrypt_one(),
+                              fig3_ball, cmms, plan)
+        assert decide_ball(cgbe, verdict)
+        assert verdict.summed is not None
+
+    def test_ball_without_match_negative(self, fig3, cgbe):
+        query, graph = fig3
+        ball = extract_ball(graph, "v1", query.diameter, ball_id=5)
+        enc = encrypt_query_matrix(cgbe, query)
+        plan = verification_plan(cgbe.params, query)
+        cmms = enumerate_cmms(query, ball).cmms
+        verdict = verify_ball(cgbe.params, enc, cgbe.encrypt_one(), ball,
+                              cmms, plan)
+        assert decide_ball(cgbe, verdict) == ball_contains_match(query, ball)
+
+    def test_empty_cmm_set_is_negative(self, fig3, fig3_ball, cgbe):
+        query, _ = fig3
+        plan = verification_plan(cgbe.params, query)
+        verdict = verify_ball(cgbe.params,
+                              encrypt_query_matrix(cgbe, query),
+                              cgbe.encrypt_one(), fig3_ball, [], plan)
+        assert verdict.empty
+        assert not decide_ball(cgbe, verdict)
+
+    def test_bypassed_is_positive(self, fig3, fig3_ball, cgbe):
+        query, _ = fig3
+        plan = verification_plan(cgbe.params, query)
+        verdict = verify_ball(cgbe.params,
+                              encrypt_query_matrix(cgbe, query),
+                              cgbe.encrypt_one(), fig3_ball, [], plan,
+                              bypassed=True)
+        assert verdict.bypassed
+        assert decide_ball(cgbe, verdict)
+
+
+class TestChunkedMode:
+    def test_small_modulus_forces_chunks_and_stays_correct(self, fig3,
+                                                           fig3_ball):
+        """With a modulus too small to hold 20 factors, the plan chunks and
+        the per-CMM layout still decides correctly."""
+        query, _ = fig3
+        small = CGBE.generate(modulus_bits=256, q_bits=16, r_bits=16,
+                              seed=3)
+        plan = verification_plan(small.params, query, expected_terms=4)
+        assert not plan.summable
+        assert plan.chunks_per_item > 1
+        enc = encrypt_query_matrix(small, query)
+        cmms = enumerate_cmms(query, fig3_ball).cmms
+        verdict = verify_ball(small.params, enc, small.encrypt_one(),
+                              fig3_ball, cmms, plan)
+        assert verdict.per_item is not None
+        assert decide_ball(small, verdict)  # the ball does contain a match
+
+    def test_plan_layout_fields(self, fig3, cgbe):
+        query, _ = fig3
+        plan = verification_plan(cgbe.params, query)
+        assert plan.factors == query.size * (query.size - 1)
+        assert plan.summable
+        assert plan.chunks_per_item == 1
