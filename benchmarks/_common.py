@@ -16,7 +16,9 @@ would occasionally misfire).  Set ``REPRO_BENCH_SCALE`` /
 
 from __future__ import annotations
 
+import argparse
 import functools
+import json
 import os
 from pathlib import Path
 
@@ -65,3 +67,24 @@ def emit(name: str, lines: list[str]) -> None:
 
 def format_row(values, widths) -> str:
     return "  ".join(str(v).ljust(w) for v, w in zip(values, widths))
+
+
+def parse_cli(argv=None) -> argparse.Namespace:
+    """CLI for benchmarks run as scripts (``python bench_*.py [--json]``)."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce one benchmark outside pytest-benchmark.")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="also write the machine-readable headline numbers to "
+             "benchmarks/out/BENCH_headline.json")
+    return parser.parse_args(argv)
+
+
+def write_headline_json(payload: dict) -> Path:
+    """Persist the headline numbers for CI artifacts / regression tracking."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_headline.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {path}")
+    return path

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.cgbe import CGBE, CGBECiphertext, CGBEPublicParams
+from repro.crypto.cgbe import (
+    CGBE,
+    CGBECiphertext,
+    CGBEPublicParams,
+    CiphertextPowerCache,
+)
 
 
 @dataclass(frozen=True)
@@ -59,24 +64,35 @@ class ChunkPlan:
 def chunked_product(params: CGBEPublicParams,
                     factors: list[CGBECiphertext],
                     c_one: CGBECiphertext,
-                    plan: ChunkPlan) -> list[CGBECiphertext]:
+                    plan: ChunkPlan,
+                    pad_cache: CiphertextPowerCache | None = None,
+                    ) -> list[CGBECiphertext]:
     """Multiply one item's factors according to ``plan``.
 
     Short inputs are padded with ``c_one`` so every chunk has exactly
     ``plan.chunk_factors`` factors (constant powers, constant work).
+    Padding once up front to the full ``chunks_per_item * chunk_factors``
+    grid is what makes every slice full-length -- no per-chunk re-padding.
+
+    ``pad_cache`` (a :class:`CiphertextPowerCache` over this ``c_one``)
+    collapses each chunk's run of padding factors into one cached power
+    lookup instead of up to ``chunk_factors`` modular multiplications; the
+    result is bit-identical either way.
     """
     if len(factors) > plan.factors:
-        raise ValueError(f"item has {len(factors)} factors, plan allows "
-                         f"{plan.factors}")
+        raise ValueError(
+            f"item has {len(factors)} factors but the plan's chunk layout "
+            f"holds at most {plan.factors} "
+            f"({plan.chunks_per_item} chunk(s) x {plan.chunk_factors} "
+            f"factors); build the plan with ChunkPlan.plan(params, "
+            f"{len(factors)}) instead of truncating")
     padded = list(factors)
-    while len(padded) < plan.factors:
-        padded.append(c_one)
+    padded.extend([c_one] * (plan.chunks_per_item * plan.chunk_factors
+                             - len(padded)))
     chunks: list[CGBECiphertext] = []
-    for start in range(0, plan.factors, plan.chunk_factors):
+    for start in range(0, len(padded), plan.chunk_factors):
         chunk = padded[start:start + plan.chunk_factors]
-        while len(chunk) < plan.chunk_factors:
-            chunk.append(c_one)
-        chunks.append(CGBE.product(params, chunk))
+        chunks.append(CGBE.product(params, chunk, power_cache=pad_cache))
     return chunks
 
 

@@ -36,7 +36,12 @@ from repro.core.aggregation import (
     chunked_product,
     decide_positive,
 )
-from repro.crypto.cgbe import CGBE, CGBECiphertext, CGBEPublicParams
+from repro.crypto.cgbe import (
+    CGBE,
+    CGBECiphertext,
+    CGBEPublicParams,
+    CiphertextPowerCache,
+)
 from repro.graph.ball import Ball
 from repro.graph.labeled_graph import Vertex
 from repro.graph.query import Query
@@ -59,6 +64,30 @@ class SsimBallVerdict:
     center: BallCiphertextResult
 
 
+class _NeighborLabelCache:
+    """Per-ball successor/predecessor label sets, computed once per vertex.
+
+    A ball vertex is a candidate of every query row sharing its label, so
+    the naive per-(row, v) recomputation rebuilds the same two label sets
+    ``|rows with that label|`` times; memoizing is value-identical.
+    """
+
+    def __init__(self, ball: Ball) -> None:
+        self._graph = ball.graph
+        self._cache: dict[Vertex, tuple[frozenset, frozenset]] = {}
+
+    def labels(self, v: Vertex) -> tuple[frozenset, frozenset]:
+        cached = self._cache.get(v)
+        if cached is None:
+            graph = self._graph
+            cached = (
+                frozenset(graph.label(w) for w in graph.successors(v)),
+                frozenset(graph.label(w) for w in graph.predecessors(v)),
+            )
+            self._cache[v] = cached
+        return cached
+
+
 def _pair_product(
     params: CGBEPublicParams,
     encrypted_matrix: list[list[CGBECiphertext]],
@@ -68,9 +97,14 @@ def _pair_product(
     row: int,
     v: Vertex,
     plan: ChunkPlan,
+    neighbor_cache: _NeighborLabelCache | None = None,
+    pad_cache: CiphertextPowerCache | None = None,
 ) -> list[CGBECiphertext]:
-    succ_labels = {ball.graph.label(w) for w in ball.graph.successors(v)}
-    pred_labels = {ball.graph.label(w) for w in ball.graph.predecessors(v)}
+    if neighbor_cache is not None:
+        succ_labels, pred_labels = neighbor_cache.labels(v)
+    else:
+        succ_labels = {ball.graph.label(w) for w in ball.graph.successors(v)}
+        pred_labels = {ball.graph.label(w) for w in ball.graph.predecessors(v)}
     factors: list[CGBECiphertext] = []
     for j, u_other in enumerate(query.vertex_order):
         label = query.label(u_other)
@@ -78,7 +112,7 @@ def _pair_product(
                        else encrypted_matrix[row][j])
         factors.append(c_one if label in pred_labels
                        else encrypted_matrix[j][row])
-    return chunked_product(params, factors, c_one, plan)
+    return chunked_product(params, factors, c_one, plan, pad_cache=pad_cache)
 
 
 def ssim_verify_ball(
@@ -90,6 +124,8 @@ def ssim_verify_ball(
     plan: ChunkPlan,
 ) -> SsimBallVerdict:
     """The SP-side ssim verification for one candidate ball."""
+    neighbor_cache = _NeighborLabelCache(ball)
+    pad_cache = CiphertextPowerCache(params, c_one)
     per_vertex: list[BallCiphertextResult] = []
     center_items: list[list[CGBECiphertext]] = []
     for row, u in enumerate(query.vertex_order):
@@ -97,7 +133,8 @@ def ssim_verify_ball(
             ball.graph.vertices_with_label(query.label(u)), key=repr)
         items = [
             _pair_product(params, encrypted_matrix, c_one, query, ball,
-                          row, v, plan)
+                          row, v, plan, neighbor_cache=neighbor_cache,
+                          pad_cache=pad_cache)
             for v in candidates
         ]
         per_vertex.append(
@@ -105,7 +142,9 @@ def ssim_verify_ball(
         if query.label(u) == ball.center_label:
             center_items.append(
                 _pair_product(params, encrypted_matrix, c_one, query, ball,
-                              row, ball.center, plan))
+                              row, ball.center, plan,
+                              neighbor_cache=neighbor_cache,
+                              pad_cache=pad_cache))
     center = aggregate_items(params, ball.ball_id, center_items, plan)
     return SsimBallVerdict(ball_id=ball.ball_id, per_vertex=per_vertex,
                            center=center)

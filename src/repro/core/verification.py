@@ -23,6 +23,8 @@ Faithful refinements (see DESIGN.md):
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.aggregation import (
     BallCiphertextResult,
     ChunkPlan,
@@ -30,9 +32,9 @@ from repro.core.aggregation import (
     chunked_product,
     decide_positive,
 )
-from repro.crypto.cgbe import CGBECiphertext, CGBEPublicParams
+from repro.crypto.cgbe import CGBECiphertext, CGBEPublicParams, CiphertextPowerCache
 from repro.graph.ball import Ball
-from repro.graph.matrix import CandidateMappingMatrix
+from repro.graph.matrix import CandidateMappingMatrix, ProjectionCache
 from repro.graph.query import Query
 
 
@@ -71,25 +73,37 @@ def verify_ciphertext(
     ball: Ball,
     cmm: CandidateMappingMatrix,
     plan: ChunkPlan,
+    projection_cache: ProjectionCache | None = None,
+    pad_cache: CiphertextPowerCache | None = None,
 ) -> list[CGBECiphertext]:
     """Alg. 2 under CGBE: the SP-side product(s) for one CMM.
 
     Returns ``plan.chunks_per_item`` ciphertexts; every position of the
     encrypted matrix is touched in the same order regardless of values
     (query-obliviousness, proven in App. A.2).
+
+    ``projection_cache`` / ``pad_cache`` are the per-ball fast-path state
+    shared across the CMMs of one ball (prefix-incremental projection and
+    memoized ``c_one`` powers); results are identical with or without them.
     """
     n = len(cmm)
-    projected = cmm.project(ball.graph)
+    if projection_cache is not None:
+        rows = cmm.project_rows(projection_cache)
+    else:
+        dense = cmm.project(ball.graph)
+        rows = [[int(dense[i, j]) for j in range(n)] for i in range(n)]
     factors: list[CGBECiphertext] = []
     for i in range(n):
+        projected_row = rows[i]
+        matrix_row = encrypted_matrix[i]
         for j in range(n):
             if i == j:
                 continue
-            if projected[i, j] == 0:
-                factors.append(encrypted_matrix[i][j])
+            if projected_row[j] == 0:
+                factors.append(matrix_row[j])
             else:
                 factors.append(c_one)
-    return chunked_product(params, factors, c_one, plan)
+    return chunked_product(params, factors, c_one, plan, pad_cache=pad_cache)
 
 
 def verify_ball(
@@ -109,11 +123,56 @@ def verify_ball(
     """
     if bypassed:
         return BallCiphertextResult(ball_id=ball.ball_id, bypassed=True)
+    projection_cache = ProjectionCache(ball.graph)
+    pad_cache = CiphertextPowerCache(params, c_one)
     chunk_lists = [
-        verify_ciphertext(params, encrypted_matrix, c_one, ball, cmm, plan)
+        verify_ciphertext(params, encrypted_matrix, c_one, ball, cmm, plan,
+                          projection_cache=projection_cache,
+                          pad_cache=pad_cache)
         for cmm in cmms
     ]
     return aggregate_items(params, ball.ball_id, chunk_lists, plan)
+
+
+def verify_ball_streaming(
+    params: CGBEPublicParams,
+    encrypted_matrix: list[list[CGBECiphertext]],
+    c_one: CGBECiphertext,
+    ball: Ball,
+    cmms: Iterable[CandidateMappingMatrix],
+    plan: ChunkPlan,
+    limit: int | None = None,
+) -> tuple[BallCiphertextResult, int, bool]:
+    """Alg. 1 + Alg. 2 fused: verify CMMs as they are enumerated.
+
+    Consumes a lazy CMM iterator (``repro.core.enumeration.iter_cmms``)
+    so truncation and verification share one pass -- the full CMM list is
+    never materialized.  ``limit`` is the footnote-6 bypass threshold:
+    producing a ``limit+1``-th CMM aborts the stream and the ball is
+    reported unpruned (``bypassed``), exactly as the two-pass pipeline
+    decides it.
+
+    Returns ``(result, enumerated, truncated)`` where ``enumerated`` counts
+    the CMMs verified (capped at ``limit``) -- the same accounting the
+    two-pass :func:`repro.core.enumeration.enumerate_cmms` +
+    :func:`verify_ball` pipeline reports.
+    """
+    projection_cache = ProjectionCache(ball.graph)
+    pad_cache = CiphertextPowerCache(params, c_one)
+    chunk_lists: list[list[CGBECiphertext]] = []
+    enumerated = 0
+    for cmm in cmms:
+        if limit is not None and enumerated >= limit:
+            return (BallCiphertextResult(ball_id=ball.ball_id,
+                                         bypassed=True),
+                    enumerated, True)
+        chunk_lists.append(
+            verify_ciphertext(params, encrypted_matrix, c_one, ball, cmm,
+                              plan, projection_cache=projection_cache,
+                              pad_cache=pad_cache))
+        enumerated += 1
+    return (aggregate_items(params, ball.ball_id, chunk_lists, plan),
+            enumerated, False)
 
 
 # Re-exported so framework code has one import site for the user-side test.
@@ -124,6 +183,7 @@ __all__ = [
     "decide_ball",
     "verification_plan",
     "verify_ball",
+    "verify_ball_streaming",
     "verify_ciphertext",
     "verify_plaintext",
 ]

@@ -15,6 +15,7 @@ from repro.crypto.cgbe import (
     AggregationBudget,
     CGBECiphertext,
     CGBEPublicParams,
+    CiphertextPowerCache,
     OverflowError_,
 )
 from repro.crypto.keys import DataOwnerKey, UserKeyring
@@ -25,6 +26,7 @@ __all__ = [
     "AggregationBudget",
     "CGBECiphertext",
     "CGBEPublicParams",
+    "CiphertextPowerCache",
     "DataOwnerKey",
     "OverflowError_",
     "StreamCipher",

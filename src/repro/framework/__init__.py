@@ -5,6 +5,8 @@
 * :mod:`~repro.framework.messages` -- the typed protocol messages of steps
   (1)-(9) in Fig. 4.
 * :mod:`~repro.framework.roles` -- DataOwner, User, Player, Dealer.
+* :mod:`~repro.framework.executor` -- the serial / process-pool backends
+  that map Player sequences onto compute resources.
 * :mod:`~repro.framework.simulator` -- the deterministic schedule simulator
   turning per-ball evaluation costs + sequences into the paper's
   time-to-results metrics.
@@ -12,6 +14,12 @@
   end-to-end engines (Alg. 3 and its optimized variant).
 """
 
+from repro.framework.executor import (
+    BallExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    create_executor,
+)
 from repro.framework.metrics import ConfusionCounts, PhaseTimings
 from repro.framework.prilo import Prilo, PriloConfig, QueryResult
 from repro.framework.prilo_star import PriloStar
@@ -19,6 +27,7 @@ from repro.framework.roles import DataOwner, Dealer, Player, User
 from repro.framework.simulator import ScheduleOutcome, simulate_schedule
 
 __all__ = [
+    "BallExecutor",
     "ConfusionCounts",
     "DataOwner",
     "Dealer",
@@ -27,8 +36,11 @@ __all__ = [
     "Prilo",
     "PriloConfig",
     "PriloStar",
+    "ProcessExecutor",
     "QueryResult",
     "ScheduleOutcome",
+    "SerialExecutor",
     "User",
+    "create_executor",
     "simulate_schedule",
 ]

@@ -1,0 +1,273 @@
+"""Parallel ball-evaluation backends for the SP side.
+
+The paper's scalability argument is that the k Player servers evaluate
+their sequences concurrently ("evaluations can be readily parallelized",
+Sec. 4.3).  The engines express that through one abstraction:
+
+* :class:`SerialExecutor` runs every player share in-process, in order --
+  deterministic, debuggable, and the right default on one core;
+* :class:`ProcessExecutor` maps player shares onto a
+  :class:`concurrent.futures.ProcessPoolExecutor`, one task per Player
+  sequence, so the pure-Python big-integer arithmetic of Alg. 2 escapes
+  the GIL entirely.
+
+Both backends produce *identical* :class:`QueryResult` contents: per-ball
+evaluation is a pure function of ``(message, ball)`` (all CGBE operations
+the Players perform are deterministic given their ciphertext inputs), the
+work partition is fixed by the Dealer's sequences before any backend is
+consulted, and shares are merged in sequence order with
+first-evaluation-wins per ball id.  The only things that differ are the
+measured wall-clocks.
+
+Obliviousness is unaffected: the executor schedules *shares*, which are
+derived from the Dealer's sequences only -- never from ciphertext values,
+verdicts, or any other query-dependent signal -- and every ball in a share
+is evaluated unconditionally.  See DESIGN.md ("Executor architecture").
+
+Worker payloads are ``(message, balls)`` rather than whole
+:class:`~repro.framework.roles.Player` objects: players hold the full ball
+index, which must never be re-pickled per task.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.bf_pruning import BFConfig
+from repro.framework.messages import (
+    EncryptedQueryMessage,
+    EvaluationResult,
+    PruningMessages,
+)
+from repro.framework.metrics import PhaseTimings
+from repro.framework.roles import compute_pms_kernel, evaluate_ball_kernel
+from repro.graph.ball import Ball
+from repro.tee.enclave import Enclave
+
+#: Registry of backend names accepted by ``PriloConfig.executor``.
+EXECUTOR_BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class EvaluationShare:
+    """One worker's slice of the evaluation work: the balls that first
+    appear in one Player's Dealer-given sequence."""
+
+    player: int
+    balls: tuple[Ball, ...]
+
+
+@dataclass
+class ShareOutcome:
+    """What one worker reports back for its evaluation share."""
+
+    player: int
+    wall_seconds: float
+    results: list[EvaluationResult] = field(default_factory=list)
+
+
+@dataclass
+class PmShareOutcome:
+    """What one worker reports back for its pruning-message share."""
+
+    player: int
+    wall_seconds: float
+    pms: PruningMessages
+    pm_costs: dict[int, float]
+    timings: PhaseTimings
+
+
+# ----------------------------------------------------------------------
+# module-level worker entry points (must be picklable by reference)
+# ----------------------------------------------------------------------
+def _evaluate_share(message: EncryptedQueryMessage,
+                    share: EvaluationShare,
+                    enumeration_limit: int,
+                    cmm_bound_bypass: int) -> ShareOutcome:
+    started = time.perf_counter()
+    results = [
+        evaluate_ball_kernel(message, ball,
+                             enumeration_limit=enumeration_limit,
+                             cmm_bound_bypass=cmm_bound_bypass,
+                             player_id=share.player)
+        for ball in share.balls
+    ]
+    return ShareOutcome(player=share.player,
+                        wall_seconds=time.perf_counter() - started,
+                        results=results)
+
+
+def _compute_pm_share(enclave: Enclave,
+                      message: EncryptedQueryMessage,
+                      player: int,
+                      balls: tuple[Ball, ...],
+                      bf_config: BFConfig,
+                      twiglet_h: int) -> PmShareOutcome:
+    started = time.perf_counter()
+    pms, pm_costs, timings = compute_pms_kernel(
+        enclave, message, list(balls),
+        bf_config=bf_config, twiglet_h=twiglet_h)
+    return PmShareOutcome(player=player,
+                          wall_seconds=time.perf_counter() - started,
+                          pms=pms, pm_costs=pm_costs, timings=timings)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class BallExecutor:
+    """Maps Player shares onto compute resources.
+
+    Subclasses implement :meth:`_run_all`, which must return outcomes in
+    the submission order of its inputs -- merging stays deterministic no
+    matter how the backend schedules the work.
+    """
+
+    backend = "abstract"
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("executor needs at least one worker")
+        self.workers = workers
+
+    # -- public API ----------------------------------------------------
+    def evaluate_shares(self, message: EncryptedQueryMessage,
+                        shares: list[EvaluationShare],
+                        *, enumeration_limit: int,
+                        cmm_bound_bypass: int) -> list[ShareOutcome]:
+        """Evaluate every share; outcomes come back in share order."""
+        calls = [
+            (_evaluate_share,
+             (message, share, enumeration_limit, cmm_bound_bypass))
+            for share in shares
+        ]
+        return self._run_all(calls)
+
+    def compute_pm_shares(self, message: EncryptedQueryMessage,
+                          shares: list[tuple[int, Enclave, tuple[Ball, ...]]],
+                          *, bf_config: BFConfig,
+                          twiglet_h: int) -> list[PmShareOutcome]:
+        """Compute every player's PM share; outcomes in share order."""
+        calls = [
+            (_compute_pm_share,
+             (enclave, message, player, balls, bf_config, twiglet_h))
+            for player, enclave, balls in shares
+        ]
+        return self._run_all(calls)
+
+    # -- backend hook --------------------------------------------------
+    def _run_all(self, calls: list[tuple[object, tuple]]) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "BallExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(BallExecutor):
+    """In-process, in-order execution -- the determinism/debug baseline."""
+
+    backend = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(workers=1)
+
+    def _run_all(self, calls: list[tuple[object, tuple]]) -> list:
+        return [fn(*args) for fn, args in calls]
+
+
+class ProcessExecutor(BallExecutor):
+    """Player shares on a process pool (one task per share).
+
+    The pool is created lazily on first use and reused across queries, so
+    the fork/spawn cost is paid once per engine, not once per run.  Results
+    are gathered in submission order, which keeps merging bit-compatible
+    with :class:`SerialExecutor`.
+    """
+
+    backend = "process"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = max(os.cpu_count() or 1, 1)
+        super().__init__(workers=workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # fork (where available) shares the already-imported modules
+            # and the RFC 3526 constants with workers at no pickling cost.
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=context)
+        return self._pool
+
+    def _run_all(self, calls: list[tuple[object, tuple]]) -> list:
+        pool = self._ensure_pool()
+        futures: list[Future] = [pool.submit(fn, *args)
+                                 for fn, args in calls]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def create_executor(backend: str, parallelism: int) -> BallExecutor:
+    """Build the configured backend (``PriloConfig.executor``)."""
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "process":
+        return ProcessExecutor(workers=parallelism)
+    raise ValueError(f"unknown executor backend {backend!r}; "
+                     f"choose one of {EXECUTOR_BACKENDS}")
+
+
+def partition_shares(sequences, by_id: dict[int, Ball],
+                     num_players: int) -> list[EvaluationShare]:
+    """Deduplicate the Dealer's sequences into disjoint evaluation shares.
+
+    Each unique ball id is assigned to the first sequence that mentions it
+    (first-evaluation-wins; SSG's dummy duplicates are evaluated once, as
+    in the serial engine).  The partition depends only on the sequences --
+    public scheduling state -- never on ball contents or verdicts.
+    """
+    assigned: set[int] = set()
+    shares: list[EvaluationShare] = []
+    for seq in sequences:
+        balls: list[Ball] = []
+        for ball_id in seq.sequence:
+            if ball_id in assigned:
+                continue
+            assigned.add(ball_id)
+            balls.append(by_id[ball_id])
+        shares.append(EvaluationShare(player=seq.player % max(num_players, 1),
+                                      balls=tuple(balls)))
+    return shares
+
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "BallExecutor",
+    "EvaluationShare",
+    "PmShareOutcome",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShareOutcome",
+    "create_executor",
+    "partition_shares",
+]

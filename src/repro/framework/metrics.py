@@ -123,7 +123,13 @@ class MessageSizes:
 
 @dataclass
 class RunMetrics:
-    """Everything a single engine run measured."""
+    """Everything a single engine run measured.
+
+    ``timings.evaluation`` stays the *sum* of per-ball costs (comparable
+    across backends); the executor fields record how the work was actually
+    scheduled: which backend ran, how many workers it had, and each
+    worker's measured wall-clock for the evaluation and PM fan-outs.
+    """
 
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     sizes: MessageSizes = field(default_factory=MessageSizes)
@@ -133,3 +139,16 @@ class RunMetrics:
     cmms_enumerated: int = 0
     per_ball_eval_cost: dict[int, float] = field(default_factory=dict)
     per_ball_pm_cost: dict[int, float] = field(default_factory=dict)
+    executor_backend: str = "serial"
+    workers: int = 1
+    per_worker_eval_wall: dict[int, float] = field(default_factory=dict)
+    per_worker_pm_wall: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def eval_wall_seconds(self) -> float:
+        """Real elapsed seconds of the evaluation fan-out: the slowest
+        worker under a parallel backend, the sum under the serial one."""
+        if not self.per_worker_eval_wall:
+            return 0.0
+        walls = self.per_worker_eval_wall.values()
+        return max(walls) if self.workers > 1 else sum(walls)

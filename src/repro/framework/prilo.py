@@ -25,8 +25,14 @@ from repro.framework.messages import (
     EvaluationResult,
     PruningMessages,
 )
+from repro.framework.executor import (
+    EXECUTOR_BACKENDS,
+    BallExecutor,
+    create_executor,
+    partition_shares,
+)
 from repro.framework.metrics import MessageSizes, RunMetrics, Stopwatch
-from repro.framework.roles import DataOwner, Dealer, Player, User
+from repro.framework.roles import DataOwner, Dealer, Player, User, merge_pms
 from repro.framework.simulator import ScheduleOutcome, simulate_schedule
 from repro.graph.ball import Ball
 from repro.graph.labeled_graph import Label, LabeledGraph
@@ -60,10 +66,22 @@ class PriloConfig:
     cmm_bound_bypass: int = 2_000
     label_strategy: str = "max"  # Alg. 3 line 2 ("max") or ablation "min"
     seed: int = 0
+    #: SP-side evaluation backend: "serial" (in-process, the default) or
+    #: "process" (one OS process per Player sequence).  Results are
+    #: identical; only the measured wall-clocks differ.
+    executor: str = "serial"
+    #: Worker processes for the "process" backend (ignored by "serial").
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.k_players < 1:
             raise ValueError("k_players must be positive")
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {self.executor!r}; choose one "
+                f"of {EXECUTOR_BACKENDS}")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be positive")
         if self.use_ssg and self.k_players < 2:
             raise ValueError("SSG requires at least two players (Sec. 2.3)")
         if not 3 <= self.twiglet_h <= 5:
@@ -155,10 +173,22 @@ class Prilo:
                                          seed=config.seed)
         self.user = User(keyring)
         self.owner.grant_key(self.user)
-        index = self.owner.player_store()
-        self.players = [Player(i, index)
+        self.index = self.owner.player_store()
+        self.players = [Player(i, self.index)
                         for i in range(config.k_players)]
         self.dealer = Dealer(self.owner.dealer_store())
+        self.executor: BallExecutor = create_executor(
+            config.executor, config.parallelism)
+
+    def close(self) -> None:
+        """Shut down the evaluation backend (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "Prilo":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -185,13 +215,14 @@ class Prilo:
             raise ValueError(
                 f"query diameter {query.diameter} is not covered by the "
                 f"precomputed ball radii {self.config.radii}")
-        index = self.owner.player_store()
-        return label, list(index.candidate_balls(label, query.diameter))
+        return label, list(self.index.candidate_balls(label, query.diameter))
 
     # ------------------------------------------------------------------
     def run(self, query: Query) -> QueryResult:
         config = self.config
         metrics = RunMetrics()
+        metrics.executor_backend = self.executor.backend
+        metrics.workers = self.executor.workers
         timings = metrics.timings
         sizes = metrics.sizes
 
@@ -278,36 +309,56 @@ class Prilo:
     def _compute_pms(self, message: EncryptedQueryMessage,
                      candidates: list[Ball], pms: PruningMessages,
                      metrics: RunMetrics) -> None:
-        """Partition the candidates round-robin over the players."""
-        shares: list[list[Ball]] = [[] for _ in self.players]
+        """Partition the candidates round-robin over the players and fan
+        the shares out over the configured executor."""
+        partition: list[list[Ball]] = [[] for _ in self.players]
         for index, ball in enumerate(candidates):
-            shares[index % len(self.players)].append(ball)
-        for player, share in zip(self.players, shares):
-            player.compute_pms(
-                message, share,
-                bf_config=self.config.bf,
-                twiglet_h=self.config.twiglet_h,
-                pms=pms,
-                pm_costs=metrics.per_ball_pm_cost,
-                timings=metrics.timings,
-            )
+            partition[index % len(self.players)].append(ball)
+        shares = [
+            (player.player_id, player.enclave, tuple(share))
+            for player, share in zip(self.players, partition)
+            if share
+        ]
+        outcomes = self.executor.compute_pm_shares(
+            message, shares,
+            bf_config=self.config.bf,
+            twiglet_h=self.config.twiglet_h)
+        timings = metrics.timings
+        for outcome in outcomes:
+            merge_pms(pms, outcome.pms)
+            metrics.per_ball_pm_cost.update(outcome.pm_costs)
+            timings.pm_bf += outcome.timings.pm_bf
+            timings.pm_twiglet += outcome.timings.pm_twiglet
+            timings.pm_computation += outcome.timings.pm_computation
+            metrics.per_worker_pm_wall[outcome.player] = outcome.wall_seconds
 
     def _evaluate(self, message: EncryptedQueryMessage,
                   sequences: list[PlayerSequence],
                   by_id: dict[int, Ball],
                   metrics: RunMetrics) -> dict[int, EvaluationResult]:
+        """Step 7 over the configured executor.
+
+        The Dealer's sequences are deduplicated into disjoint shares
+        (first sequence to mention a ball owns it -- exactly the order the
+        old serial loop evaluated in) and merged back first-evaluation-wins
+        by ball id, so the result dict is identical for every backend.
+        """
+        shares = partition_shares(sequences, by_id, len(self.players))
+        outcomes = self.executor.evaluate_shares(
+            message, shares,
+            enumeration_limit=self.config.enumeration_limit,
+            cmm_bound_bypass=self.config.cmm_bound_bypass)
         results: dict[int, EvaluationResult] = {}
-        for seq in sequences:
-            player = self.players[seq.player % len(self.players)]
-            for ball_id in seq.sequence:
-                if ball_id in results:
+        for outcome in outcomes:
+            metrics.per_worker_eval_wall[outcome.player] = max(
+                metrics.per_worker_eval_wall.get(outcome.player, 0.0),
+                outcome.wall_seconds)
+            for result in outcome.results:
+                if result.ball_id in results:
                     continue
-                result = player.evaluate_ball(
-                    message, by_id[ball_id],
-                    enumeration_limit=self.config.enumeration_limit,
-                    cmm_bound_bypass=self.config.cmm_bound_bypass)
-                results[ball_id] = result
-                metrics.per_ball_eval_cost[ball_id] = result.cost_seconds
+                results[result.ball_id] = result
+                metrics.per_ball_eval_cost[result.ball_id] = \
+                    result.cost_seconds
                 metrics.timings.evaluation += result.cost_seconds
                 metrics.cmms_enumerated += result.cmms
                 if result.bypassed:

@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.core.aggregation import decide_positive
+from repro.core.aggregation import BallCiphertextResult, decide_positive
 from repro.core.bf_pruning import (
     BFConfig,
     player_bf_prune,
@@ -25,7 +25,7 @@ from repro.core.bf_pruning import (
     user_prepare_encodings,
 )
 from repro.core.encoding import LabelCodec, encrypt_query_matrix
-from repro.core.enumeration import count_cmm_upper_bound, enumerate_cmms
+from repro.core.enumeration import count_cmm_upper_bound, iter_cmms
 from repro.core.neighbors import build_neighbor_tables, neighbor_features
 from repro.core.paths import build_path_tables, paths_from
 from repro.core.retrieval import PlayerSequence, rsg_sequences, ssg_sequences
@@ -36,7 +36,7 @@ from repro.core.ssim_verification import (
 )
 from repro.core.table_pruning import player_table_prune, table_plan
 from repro.core.twiglets import build_twiglet_tables, twiglets_from
-from repro.core.verification import verification_plan, verify_ball
+from repro.core.verification import verification_plan, verify_ball_streaming
 from repro.crypto.keys import DataOwnerKey, UserKeyring
 from repro.framework.messages import (
     DecryptedPMs,
@@ -64,15 +64,29 @@ class DataOwner:
     def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
                  seed: int = 0) -> None:
         self.key = DataOwnerKey.generate(seed)
-        self.index = BallIndex(graph, radii)
+        self._graph = graph
+        self._radii = radii
+        self._index: BallIndex | None = None
+        self._dealer_store: EncryptedBallStore | None = None
+
+    @property
+    def index(self) -> BallIndex:
+        """The ball index, built once on first access."""
+        if self._index is None:
+            self._index = BallIndex(self._graph, self._radii)
+        return self._index
 
     def player_store(self) -> BallIndex:
-        """Step 1a: plaintext balls for the Players."""
+        """Step 1a: plaintext balls for the Players (memoized -- every
+        caller shares one index and hence one ball cache)."""
         return self.index
 
     def dealer_store(self) -> "EncryptedBallStore":
-        """Step 1b: encrypted balls for the Dealer."""
-        return EncryptedBallStore(self.index, self.key)
+        """Step 1b: encrypted balls for the Dealer (memoized -- repeated
+        calls must not discard the store's encryption cache)."""
+        if self._dealer_store is None:
+            self._dealer_store = EncryptedBallStore(self.index, self.key)
+        return self._dealer_store
 
     def grant_key(self, user: "User") -> None:
         """Out-of-band ``sk`` delivery to an authorized user."""
@@ -268,6 +282,124 @@ class User:
 # ----------------------------------------------------------------------
 # Player
 # ----------------------------------------------------------------------
+def evaluate_ball_kernel(
+    message: EncryptedQueryMessage,
+    ball: Ball,
+    *,
+    enumeration_limit: int,
+    cmm_bound_bypass: int,
+    player_id: int = 0,
+) -> EvaluationResult:
+    """Alg. 3 lines 3-8 for one ball, using only the label view of the
+    query (the edges stay encrypted).
+
+    A module-level pure function of ``(message, ball)`` so the executor
+    backends can ship it to worker processes without serializing a
+    :class:`Player` (whose ball index would dominate the payload).
+    Enumeration streams directly into verification
+    (:func:`repro.core.verification.verify_ball_streaming`): truncation
+    and chunk products share a single pass over the CMMs.
+    """
+    view = QueryLabelView(labels=message.vertex_labels,
+                          diameter=message.diameter,
+                          semantics=message.semantics)
+    params = message.params
+    started = time.perf_counter()
+    if message.semantics is Semantics.SSIM:
+        plan = ssim_plan(params, view)
+        verdict = ssim_verify_ball(params, message.encrypted_matrix,
+                                   message.c_one, view, ball, plan)
+        cost = time.perf_counter() - started
+        return EvaluationResult(ball_id=ball.ball_id, verdict=verdict,
+                                cost_seconds=cost,
+                                player=player_id)
+    injective = message.semantics is Semantics.SUB_ISO
+    plan = verification_plan(params, view)
+    if count_cmm_upper_bound(view, ball) > cmm_bound_bypass:
+        verdict = BallCiphertextResult(ball_id=ball.ball_id, bypassed=True)
+        enumerated = 0
+    else:
+        verdict, enumerated, _ = verify_ball_streaming(
+            params, message.encrypted_matrix, message.c_one, ball,
+            iter_cmms(view, ball, injective=injective), plan,
+            limit=enumeration_limit)
+    cost = time.perf_counter() - started
+    return EvaluationResult(
+        ball_id=ball.ball_id, verdict=verdict, cost_seconds=cost,
+        player=player_id, cmms=enumerated, bypassed=verdict.bypassed)
+
+
+def compute_pms_kernel(
+    enclave: Enclave,
+    message: EncryptedQueryMessage,
+    balls: list[Ball],
+    *,
+    bf_config: BFConfig,
+    twiglet_h: int,
+) -> tuple[PruningMessages, dict[int, float], PhaseTimings]:
+    """One player's share of the pruning messages (Secs. 4.1-4.2).
+
+    Returns fresh ``(pms, per-ball costs, phase timings)`` so executor
+    backends can run shares in worker processes and merge the results
+    deterministically in the parent.
+    """
+    pms = PruningMessages()
+    pm_costs: dict[int, float] = {}
+    timings = PhaseTimings()
+    codec = LabelCodec.from_alphabet(message.alphabet)
+    params = message.params
+    if message.bf_message is not None:
+        enclave.load_query_encodings(message.bf_message.sealed_blob)
+    twiglet_plan = None
+    if message.twiglet_tables:
+        twiglet_plan = table_plan(params, len(message.twiglet_tables[0]))
+    path_plan = None
+    if message.path_tables:
+        path_plan = table_plan(params, len(message.path_tables[0]))
+    neighbor_plan = None
+    if message.neighbor_tables:
+        neighbor_plan = table_plan(params,
+                                   len(message.neighbor_tables[0]))
+    for ball in balls:
+        started = time.perf_counter()
+        if message.bf_message is not None:
+            bf_start = time.perf_counter()
+            pms.bf[ball.ball_id] = player_bf_prune(
+                enclave, ball, codec, bf_config)
+            timings.pm_bf += time.perf_counter() - bf_start
+        if message.twiglet_tables:
+            t_start = time.perf_counter()
+            features = twiglets_from(ball.graph, ball.center, twiglet_h,
+                                     message.alphabet)
+            pms.twiglet[ball.ball_id] = player_table_prune(
+                params, message.twiglet_tables, ball, features,
+                message.c_one, twiglet_plan)
+            timings.pm_twiglet += time.perf_counter() - t_start
+        if message.path_tables:
+            features = paths_from(ball.graph, ball.center, twiglet_h,
+                                  message.alphabet)
+            pms.path[ball.ball_id] = player_table_prune(
+                params, message.path_tables, ball, features,
+                message.c_one, path_plan)
+        if message.neighbor_tables:
+            features = neighbor_features(ball.graph, ball.center)
+            pms.neighbor[ball.ball_id] = player_table_prune(
+                params, message.neighbor_tables, ball, features,
+                message.c_one, neighbor_plan)
+        elapsed = time.perf_counter() - started
+        pm_costs[ball.ball_id] = elapsed
+        timings.pm_computation += elapsed
+    return pms, pm_costs, timings
+
+
+def merge_pms(into: PruningMessages, share: PruningMessages) -> None:
+    """Merge one player's PM share into the run-wide collection."""
+    into.bf.update(share.bf)
+    into.twiglet.update(share.twiglet)
+    into.path.update(share.path)
+    into.neighbor.update(share.neighbor)
+
+
 class Player:
     """One Player server: plaintext balls + an SGX enclave."""
 
@@ -290,49 +422,14 @@ class Player:
         timings: PhaseTimings,
     ) -> None:
         """Compute this player's share of the PMs, appending into ``pms``."""
-        codec = LabelCodec.from_alphabet(message.alphabet)
-        params = message.params
-        if message.bf_message is not None:
-            self.enclave.load_query_encodings(message.bf_message.sealed_blob)
-        twiglet_plan = None
-        if message.twiglet_tables:
-            twiglet_plan = table_plan(params, len(message.twiglet_tables[0]))
-        path_plan = None
-        if message.path_tables:
-            path_plan = table_plan(params, len(message.path_tables[0]))
-        neighbor_plan = None
-        if message.neighbor_tables:
-            neighbor_plan = table_plan(params,
-                                       len(message.neighbor_tables[0]))
-        for ball in balls:
-            started = time.perf_counter()
-            if message.bf_message is not None:
-                bf_start = time.perf_counter()
-                pms.bf[ball.ball_id] = player_bf_prune(
-                    self.enclave, ball, codec, bf_config)
-                timings.pm_bf += time.perf_counter() - bf_start
-            if message.twiglet_tables:
-                t_start = time.perf_counter()
-                features = twiglets_from(ball.graph, ball.center, twiglet_h,
-                                         message.alphabet)
-                pms.twiglet[ball.ball_id] = player_table_prune(
-                    params, message.twiglet_tables, ball, features,
-                    message.c_one, twiglet_plan)
-                timings.pm_twiglet += time.perf_counter() - t_start
-            if message.path_tables:
-                features = paths_from(ball.graph, ball.center, twiglet_h,
-                                      message.alphabet)
-                pms.path[ball.ball_id] = player_table_prune(
-                    params, message.path_tables, ball, features,
-                    message.c_one, path_plan)
-            if message.neighbor_tables:
-                features = neighbor_features(ball.graph, ball.center)
-                pms.neighbor[ball.ball_id] = player_table_prune(
-                    params, message.neighbor_tables, ball, features,
-                    message.c_one, neighbor_plan)
-            elapsed = time.perf_counter() - started
-            pm_costs[ball.ball_id] = elapsed
-            timings.pm_computation += elapsed
+        share, costs, share_timings = compute_pms_kernel(
+            self.enclave, message, balls,
+            bf_config=bf_config, twiglet_h=twiglet_h)
+        merge_pms(pms, share)
+        pm_costs.update(costs)
+        timings.pm_bf += share_timings.pm_bf
+        timings.pm_twiglet += share_timings.pm_twiglet
+        timings.pm_computation += share_timings.pm_computation
 
     # -- ball evaluation (Secs. 3.1-3.2) ------------------------------
     def evaluate_ball(
@@ -343,42 +440,12 @@ class Player:
         enumeration_limit: int,
         cmm_bound_bypass: int,
     ) -> EvaluationResult:
-        """Alg. 3 lines 3-8 for one ball, using only the label view of the
-        query (the edges stay encrypted)."""
-        view = QueryLabelView(labels=message.vertex_labels,
-                              diameter=message.diameter,
-                              semantics=message.semantics)
-        params = message.params
-        started = time.perf_counter()
-        if message.semantics is Semantics.SSIM:
-            plan = ssim_plan(params, view)
-            verdict = ssim_verify_ball(params, message.encrypted_matrix,
-                                       message.c_one, view, ball, plan)
-            cost = time.perf_counter() - started
-            return EvaluationResult(ball_id=ball.ball_id, verdict=verdict,
-                                    cost_seconds=cost,
-                                    player=self.player_id)
-        injective = message.semantics is Semantics.SUB_ISO
-        plan = verification_plan(params, view)
-        bypass = count_cmm_upper_bound(view, ball) > cmm_bound_bypass
-        if bypass:
-            enumeration = None
-            verdict = verify_ball(params, message.encrypted_matrix,
-                                  message.c_one, ball, [], plan,
-                                  bypassed=True)
-        else:
-            enumeration = enumerate_cmms(view, ball,
-                                         limit=enumeration_limit,
-                                         injective=injective)
-            verdict = verify_ball(params, message.encrypted_matrix,
-                                  message.c_one, ball, enumeration.cmms,
-                                  plan, bypassed=enumeration.truncated)
-        cost = time.perf_counter() - started
-        return EvaluationResult(
-            ball_id=ball.ball_id, verdict=verdict, cost_seconds=cost,
-            player=self.player_id,
-            cmms=0 if enumeration is None else enumeration.enumerated,
-            bypassed=verdict.bypassed)
+        """Alg. 3 lines 3-8 for one ball (see :func:`evaluate_ball_kernel`)."""
+        return evaluate_ball_kernel(
+            message, ball,
+            enumeration_limit=enumeration_limit,
+            cmm_bound_bypass=cmm_bound_bypass,
+            player_id=self.player_id)
 
 
 # ----------------------------------------------------------------------

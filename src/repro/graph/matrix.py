@@ -91,6 +91,14 @@ class CandidateMappingMatrix:
                     projected[i, j] = 1
         return projected
 
+    def project_rows(self, cache: "ProjectionCache") -> list[list[int]]:
+        """``M_p`` as plain nested lists via a shared :class:`ProjectionCache`.
+
+        Row-list form avoids per-element numpy scalar boxing on the hot
+        verification path; entries equal :meth:`project`'s exactly.
+        """
+        return cache.project(self.assignment)
+
     def project_dense(self, ball: LabeledGraph,
                       ball_order: Sequence[Vertex] | None = None) -> np.ndarray:
         """The literal matrix product of Alg. 2 line 2 (for validation)."""
@@ -105,3 +113,59 @@ class CandidateMappingMatrix:
 
     def __len__(self) -> int:
         return len(self.query_order)
+
+
+class ProjectionCache:
+    """Incremental ``M_p`` projection over one ball's adjacency.
+
+    Alg. 1 yields CMMs in depth-first order, so consecutive assignments
+    share a (usually long) prefix.  Entries ``M_p[i, j]`` with both rows
+    inside the shared prefix are unchanged between consecutive CMMs, so the
+    cache keeps the previous projection and recomputes only the rows and
+    columns from the first differing position on -- ``O(n * delta)`` edge
+    lookups per CMM instead of ``O(n^2)``.  Per-vertex successor sets are
+    materialized once per ball so each lookup is one set-membership test.
+
+    The returned row lists are reused across calls; callers must consume a
+    projection before requesting the next one (the verification loop does).
+    """
+
+    def __init__(self, ball: LabeledGraph) -> None:
+        self._ball = ball
+        self._succ: dict[Vertex, frozenset[Vertex]] = {}
+        self._rows: list[list[int]] | None = None
+        self._previous: tuple[Vertex, ...] = ()
+
+    def _successors(self, v: Vertex) -> frozenset[Vertex]:
+        cached = self._succ.get(v)
+        if cached is None:
+            cached = frozenset(self._ball.successors(v))
+            self._succ[v] = cached
+        return cached
+
+    def project(self, assignment: tuple[Vertex, ...]) -> list[list[int]]:
+        """``M_p[i][j] = 1`` iff the ball has the edge between the images
+        of query rows ``i`` and ``j`` (diagonal kept 0, as in Alg. 2)."""
+        n = len(assignment)
+        rows = self._rows
+        previous = self._previous
+        if rows is None or len(previous) != n:
+            rows = [[0] * n for _ in range(n)]
+            self._rows = rows
+            prefix = 0
+        else:
+            prefix = 0
+            while prefix < n and assignment[prefix] == previous[prefix]:
+                prefix += 1
+        for i in range(n):
+            row = rows[i]
+            succ = self._successors(assignment[i])
+            if i < prefix:
+                # Row inside the shared prefix: only columns >= prefix moved.
+                for j in range(prefix, n):
+                    row[j] = 1 if i != j and assignment[j] in succ else 0
+            else:
+                for j in range(n):
+                    row[j] = 1 if i != j and assignment[j] in succ else 0
+        self._previous = assignment
+        return rows

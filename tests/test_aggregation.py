@@ -62,8 +62,10 @@ class TestChunkedProduct:
         assert any(scheme.has_factor_q(c) for c in chunks)
 
     def test_too_many_factors_rejected(self, scheme):
+        """Over-long input names the actual and planned sizes -- never a
+        silent truncation."""
         plan = ChunkPlan.plan(scheme.params, 2)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"3 factors.*ChunkPlan\.plan"):
             chunked_product(scheme.params, factors_for(scheme, [1, 1, 1]),
                             scheme.encrypt_one(), plan)
 

@@ -20,6 +20,16 @@ def test_readme_quickstart_runs():
     assert result.num_matches >= 0
     assert len(result.verified_ids) >= len(result.match_ball_ids)
 
+    # The parallel variant shown right below it: same answers, per-worker
+    # wall-clocks recorded.
+    with PriloStar.setup(graph, PriloConfig(k_players=4, seed=7,
+                                            executor="process",
+                                            parallelism=4)) as parallel:
+        par = parallel.run(query)
+    assert par.matches == result.matches
+    assert par.verified_ids == result.verified_ids
+    assert par.metrics.per_worker_eval_wall
+
 
 def test_readme_example_scripts_exist():
     from pathlib import Path

@@ -46,6 +46,20 @@ class TestDataOwner:
         bid = owner.player_store().ball("v6", 3).ball_id
         assert store.get(bid) is store.get(bid)
 
+    def test_player_store_memoized(self, owner):
+        """Every caller shares one index -- the ball cache is built once."""
+        assert owner.player_store() is owner.player_store()
+        assert owner.player_store() is owner.index
+
+    def test_dealer_store_memoized(self, owner):
+        assert owner.dealer_store() is owner.dealer_store()
+
+    def test_index_built_lazily(self):
+        fresh = DataOwner(fig3_graph(), radii=(1, 2), seed=1)
+        assert fresh._index is None
+        fresh.player_store()
+        assert fresh._index is not None
+
 
 class TestUserPrepare:
     def test_message_public_parts(self, owner, user):
