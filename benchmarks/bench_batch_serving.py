@@ -1,0 +1,228 @@
+"""Multi-query batch serving and the persistent artifact store.
+
+Two headline comparisons for the serving layer
+(:mod:`repro.framework.server` + :mod:`repro.storage.store`):
+
+(a) *Batch serving*: batches of 1/4/16 homomorphism queries (4 distinct
+    query patterns, cycled) served through :class:`QueryBatchEngine` --
+    per-query latency, batch makespan and CMM-cache hit rate -- against
+    the sequential replay baseline (a fresh engine answering the same
+    queries one by one with no CMM cache).  Answers must be identical;
+    the batch-16 makespan must beat sequential replay by >= 2x.
+
+(b) *Store cold start*: recomputing the data owner's offline outsourcing
+    output (extract every ball, encrypt every blob -- what the Dealer
+    must hold before serving) vs. opening a persisted
+    :class:`ArtifactStore` and materializing the same encrypted hand-off
+    from the mmap'd pack.  The store path must be >= 5x faster.  The
+    plaintext-ball full materialization (the Players' lazily-touched
+    side) is reported alongside for transparency.
+
+Scale: slashdot at 0.2x the registry default (the serving-layer numbers
+are about relative speedups, not absolute paper figures; the smaller
+graph keeps the sequential-replay baseline affordable in CI).
+"""
+
+import json
+import tempfile
+import time
+
+from _common import (
+    OUT_DIR,
+    SCALE,
+    bench_config,
+    emit,
+    format_row,
+    parse_cli,
+)
+
+from repro.crypto.keys import DataOwnerKey
+from repro.framework.prilo_star import PriloStar
+from repro.framework.server import QueryBatchEngine
+from repro.graph.ball import BallIndex
+from repro.graph.io import ball_to_bytes
+from repro.graph.query import Semantics
+from repro.storage import ArtifactStore
+from repro.workloads.datasets import load_dataset
+
+BATCH_SIZES = (1, 4, 16)
+DISTINCT_QUERIES = 4
+QUERY_SIZE = 8
+QUERY_DIAMETER = 3
+BENCH_SCALE = 0.2 * SCALE
+
+
+def _setup():
+    ds = load_dataset("slashdot", scale=BENCH_SCALE)
+    graph = ds.graph_for(Semantics.HOM)
+    # One radius ring keeps the store build proportional to the graph; the
+    # engine's radii must equal the store's (ball ids are a function of
+    # (vertex order, radii) -- ArtifactStore.check enforces the match).
+    config = bench_config(radii=(QUERY_DIAMETER,))
+    distinct = ds.random_queries(DISTINCT_QUERIES, size=QUERY_SIZE,
+                                 diameter=QUERY_DIAMETER,
+                                 semantics=Semantics.HOM, seed=5)
+    return graph, config, distinct
+
+
+def batch_study() -> dict:
+    """Compare batch serving against sequential replay per batch size."""
+    graph, config, distinct = _setup()
+    rows = []
+    for size in BATCH_SIZES:
+        queries = [distinct[i % DISTINCT_QUERIES] for i in range(size)]
+
+        sequential_engine = PriloStar.setup(graph, config)
+        started = time.perf_counter()
+        sequential = [sequential_engine.run(q) for q in queries]
+        sequential_seconds = time.perf_counter() - started
+
+        batch_engine = QueryBatchEngine(PriloStar.setup(graph, config))
+        report = batch_engine.serve(queries)
+
+        # Value-identical to N independent answer() calls -- asserted on
+        # every row, recorded in the payload.
+        identical = all(
+            seq.match_ball_ids == bat.match_ball_ids
+            and seq.verified_ids == bat.verified_ids
+            and seq.candidate_ids == bat.candidate_ids
+            for seq, bat in zip(sequential, report.results))
+        assert identical, f"batch-{size} diverged from sequential replay"
+
+        stats = report.cache_stats
+        rows.append({
+            "batch": size,
+            "distinct_signatures": len(report.signature_groups),
+            "sequential_seconds": sequential_seconds,
+            "makespan_seconds": report.makespan,
+            "mean_latency_seconds": sum(report.latencies) / size,
+            "speedup": sequential_seconds / report.makespan
+            if report.makespan > 0 else 1.0,
+            "cmm_cache": stats.as_dict(),
+            "identical_answers": identical,
+        })
+    return {"query_size": QUERY_SIZE, "query_diameter": QUERY_DIAMETER,
+            "distinct_queries": DISTINCT_QUERIES, "rows": rows}
+
+
+def store_study() -> dict:
+    """Compare store-backed cold start against offline recomputation."""
+    graph, config, _ = _setup()
+    key = DataOwnerKey.generate(config.seed)
+
+    # Recompute: the full offline outsourcing step -- every ball extracted
+    # and its plaintext encrypted for the Dealer (in-memory; no file I/O
+    # charged to this side).
+    started = time.perf_counter()
+    index = BallIndex(graph, config.radii)
+    cipher = key.cipher()
+    ball_count = 0
+    for center in graph.vertices():
+        for radius in index.radii:
+            cipher.encrypt(ball_to_bytes(index.ball(center, radius)))
+            ball_count += 1
+    recompute_seconds = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = tmp + "/store"
+        started = time.perf_counter()
+        ArtifactStore.create(root, graph, config.radii, key,
+                             twiglet_h=None, bf_config=None)
+        build_seconds = time.perf_counter() - started
+
+        # Cold start: open, staleness-check, and materialize the Dealer's
+        # complete encrypted hand-off from the mmap'd pack.
+        started = time.perf_counter()
+        store = ArtifactStore.open(root)
+        store.check(graph=graph, radii=config.radii, key=key)
+        for ball_id in store.ball_ids():
+            store.load_encrypted(ball_id)
+        cold_seconds = time.perf_counter() - started
+
+        # Transparency: the Players' plaintext side, fully materialized
+        # (normally touched lazily, one candidate ball at a time).
+        started = time.perf_counter()
+        for ball_id in store.ball_ids():
+            store.load_ball(ball_id)
+        plaintext_seconds = time.perf_counter() - started
+        store.close()
+
+    return {
+        "balls": ball_count,
+        "recompute_seconds": recompute_seconds,
+        "store_build_seconds": build_seconds,
+        "cold_start_seconds": cold_seconds,
+        "plaintext_load_all_seconds": plaintext_seconds,
+        "cold_start_speedup": recompute_seconds / cold_seconds
+        if cold_seconds > 0 else 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_batch_beats_sequential(benchmark):
+    study = benchmark.pedantic(batch_study, rounds=1, iterations=1)
+    largest = study["rows"][-1]
+    assert largest["batch"] == max(BATCH_SIZES)
+    assert largest["identical_answers"]
+    assert largest["speedup"] >= 2.0, (
+        f"batch-{largest['batch']} speedup {largest['speedup']:.2f}x < 2x")
+    # Grouping exists: 16 queries collapse onto 4 signatures.
+    assert largest["distinct_signatures"] == DISTINCT_QUERIES
+
+
+def test_store_cold_start(benchmark):
+    study = benchmark.pedantic(store_study, rounds=1, iterations=1)
+    assert study["cold_start_speedup"] >= 5.0, (
+        f"store cold start only {study['cold_start_speedup']:.1f}x faster "
+        "than recompute")
+
+
+# ----------------------------------------------------------------------
+# Script mode (--json writes benchmarks/out/BENCH_batch.json)
+# ----------------------------------------------------------------------
+def main(argv=None) -> None:
+    args = parse_cli(argv)
+    batches = batch_study()
+    store = store_study()
+
+    widths = (8, 12, 14, 14, 14, 10, 10)
+    lines = [format_row(("batch", "signatures", "sequential(s)",
+                         "makespan(s)", "mean-lat(s)", "hit-rate",
+                         "speedup"), widths)]
+    for row in batches["rows"]:
+        lines.append(format_row(
+            (row["batch"], row["distinct_signatures"],
+             f"{row['sequential_seconds']:.3f}",
+             f"{row['makespan_seconds']:.3f}",
+             f"{row['mean_latency_seconds']:.3f}",
+             f"{row['cmm_cache']['hit_rate']:.2f}",
+             f"{row['speedup']:.2f}x"), widths))
+    lines.append("")
+    lines.append(f"store: {store['balls']} balls  "
+                 f"recompute={store['recompute_seconds']:.2f}s  "
+                 f"build={store['store_build_seconds']:.2f}s  "
+                 f"cold-start={store['cold_start_seconds']:.3f}s  "
+                 f"plaintext-all={store['plaintext_load_all_seconds']:.2f}s  "
+                 f"speedup={store['cold_start_speedup']:.0f}x")
+    emit("batch_serving", lines)
+
+    largest = batches["rows"][-1]
+    assert largest["speedup"] >= 2.0, (
+        f"batch-{largest['batch']} speedup {largest['speedup']:.2f}x < 2x")
+    assert store["cold_start_speedup"] >= 5.0, (
+        f"store cold start only {store['cold_start_speedup']:.1f}x faster")
+
+    if args.json:
+        payload = {"benchmark": "batch_serving", "dataset": "slashdot",
+                   "scale": BENCH_SCALE, "semantics": "hom",
+                   "batches": batches, "store": store}
+        path = OUT_DIR / "BENCH_batch.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,20 +5,30 @@ Commands:
 * ``stats <dataset>``             -- Table 3-style statistics.
 * ``run <dataset>``               -- run one random query end to end and
                                      report matches, pruning, and timings.
+* ``serve-batch <dataset>``       -- serve a query batch through the
+                                     CMM-reuse batch engine.
+* ``store build|inspect|verify``  -- the persistent offline artifact store.
 * ``workloads``                   -- the ten LDBC BI workloads (Fig. 18).
 * ``prune <dataset>``             -- pruning-technique ablation (Fig. 2a).
 
 All commands accept ``--scale`` (dataset size multiplier) and ``--seed``.
+A store is tied to (dataset, scale, semantics, radii, seed): build and
+consume it with the same global flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.framework.prilo import PriloConfig
+from repro.core.bf_pruning import BFConfig
+from repro.crypto.keys import DataOwnerKey
+from repro.framework.prilo import Prilo, PriloConfig
 from repro.framework.prilo_star import PriloStar
+from repro.framework.server import QueryBatchEngine
 from repro.graph.query import Semantics
+from repro.storage import ArtifactStore, StoreError
 from repro.workloads.datasets import DATASET_SPECS, load_dataset
 from repro.workloads.experiments import (
     dataset_statistics,
@@ -27,11 +37,18 @@ from repro.workloads.experiments import (
 )
 
 
-def _config(args: argparse.Namespace) -> PriloConfig:
-    return PriloConfig(k_players=args.players, modulus_bits=args.modulus,
-                       q_bits=16 if args.modulus <= 1024 else 32,
-                       r_bits=16 if args.modulus <= 1024 else 32,
-                       seed=args.seed)
+def _config(args: argparse.Namespace, store=None) -> PriloConfig:
+    config = PriloConfig(k_players=args.players, modulus_bits=args.modulus,
+                         q_bits=16 if args.modulus <= 1024 else 32,
+                         r_bits=16 if args.modulus <= 1024 else 32,
+                         seed=args.seed)
+    if store is not None:
+        # Ball ids are a function of (vertex order, radii): an engine
+        # served from a store must address exactly the stored radii.
+        from dataclasses import replace
+
+        config = replace(config, radii=store.radii)
+    return config
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -41,6 +58,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_class(name: str):
+    return Prilo if name == "prilo" else PriloStar
+
+
+def _open_store(args: argparse.Namespace):
+    if not getattr(args, "store", None):
+        return None
+    return ArtifactStore.open(args.store)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale)
     semantics = Semantics(args.semantics)
@@ -48,7 +75,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                                  semantics=semantics, seed=args.seed)
     print(f"dataset: {dataset.graph}")
     print(f"query:   {query}")
-    engine = PriloStar.setup(dataset.graph_for(semantics), _config(args))
+    store = _open_store(args)
+    engine = PriloStar.setup(dataset.graph_for(semantics),
+                             _config(args, store), store=store)
     result = engine.run(query)
     timings = result.metrics.timings
     print(f"candidates: {len(result.candidate_ids)}  "
@@ -62,6 +91,78 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"pm={timings.pm_computation:.3f}s "
           f"eval={timings.evaluation:.3f}s "
           f"match={timings.user_matching:.3f}s")
+    return 0
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    semantics = Semantics(args.semantics)
+    distinct = dataset.random_queries(args.distinct, size=args.size,
+                                      diameter=args.diameter,
+                                      semantics=semantics, seed=args.seed)
+    queries = [distinct[i % len(distinct)] for i in range(args.batch)]
+    engine_cls = _engine_class(args.engine)
+    store = _open_store(args)
+    engine = engine_cls.setup(dataset.graph_for(semantics),
+                              _config(args, store), store=store)
+    server = QueryBatchEngine(engine)
+    report = server.serve(queries)
+    summary = report.summary()
+    print(f"dataset: {dataset.graph}")
+    print(f"served {summary['queries']} queries "
+          f"({summary['distinct_signatures']} distinct signatures) "
+          f"in {summary['makespan_seconds']:.3f}s "
+          f"(mean latency {summary['mean_latency_seconds']:.3f}s)")
+    cache = summary["cmm_cache"]
+    print(f"CMM cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.2f}), "
+          f"{cache['evictions']} evictions, weight {cache['weight']}")
+    for i, (result, latency) in enumerate(zip(report.results,
+                                              report.latencies)):
+        print(f"  q{i}: candidates={len(result.candidate_ids)} "
+              f"verified={len(result.verified_ids)} "
+              f"matches={result.num_matches} latency={latency:.3f}s")
+    return 0
+
+
+def _parse_radii(text: str) -> tuple[int, ...]:
+    try:
+        radii = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad radii list {text!r}")
+    if not radii:
+        raise argparse.ArgumentTypeError("radii list is empty")
+    return radii
+
+
+def cmd_store_build(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    graph = dataset.graph_for(Semantics(args.semantics))
+    key = DataOwnerKey.generate(args.seed)
+    store = ArtifactStore.create(
+        args.root, graph, args.radii, key,
+        twiglet_h=None if args.no_twiglets else args.twiglet_h,
+        bf_config=None if args.no_bf else BFConfig())
+    print(json.dumps(store.describe(), indent=2))
+    return 0
+
+
+def cmd_store_inspect(args: argparse.Namespace) -> int:
+    print(json.dumps(ArtifactStore.open(args.root).describe(), indent=2))
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    store = ArtifactStore.open(args.root)
+    key = DataOwnerKey.generate(args.seed) if args.with_key else None
+    try:
+        report = store.verify(key)
+    except StoreError as exc:
+        print(f"FAILED: {exc}")
+        return 1
+    print(f"ok: {report['files']} files checksummed, "
+          f"{report['balls']} balls indexed, "
+          f"{report['decrypted']} blobs decrypt-authenticated")
     return 0
 
 
@@ -121,7 +222,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--diameter", type=int, default=3)
     p_run.add_argument("--semantics", default="hom",
                        choices=[s.value for s in Semantics])
+    p_run.add_argument("--store", default=None, metavar="DIR",
+                       help="cold-start from an artifact store built with "
+                            "the same dataset/scale/semantics/seed")
     p_run.set_defaults(func=cmd_run)
+
+    p_batch = sub.add_parser(
+        "serve-batch",
+        help="serve a query batch with cross-query CMM reuse")
+    p_batch.add_argument("dataset", choices=datasets)
+    p_batch.add_argument("--batch", type=int, default=8,
+                         help="total queries to serve")
+    p_batch.add_argument("--distinct", type=int, default=2,
+                         help="distinct queries cycled through the batch")
+    p_batch.add_argument("--size", type=int, default=8)
+    p_batch.add_argument("--diameter", type=int, default=3)
+    p_batch.add_argument("--semantics", default="hom",
+                         choices=[s.value for s in Semantics])
+    p_batch.add_argument("--engine", default="prilo",
+                         choices=["prilo", "prilo-star"])
+    p_batch.add_argument("--store", default=None, metavar="DIR")
+    p_batch.set_defaults(func=cmd_serve_batch)
+
+    p_store = sub.add_parser("store",
+                             help="persistent offline artifact store")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_build = store_sub.add_parser(
+        "build", help="run the offline outsourcing step into a directory")
+    p_build.add_argument("dataset", choices=datasets)
+    p_build.add_argument("root", help="target directory (must be empty)")
+    p_build.add_argument("--radii", type=_parse_radii, default=(1, 2, 3, 4),
+                         help="comma-separated ball radii (default 1,2,3,4)")
+    p_build.add_argument("--semantics", default="hom",
+                         choices=[s.value for s in Semantics],
+                         help="which graph variant to outsource "
+                              "(ssim uses the 64-label graph)")
+    p_build.add_argument("--twiglet-h", type=int, default=3)
+    p_build.add_argument("--no-twiglets", action="store_true",
+                         help="skip the twiglet feature artifact")
+    p_build.add_argument("--no-bf", action="store_true",
+                         help="skip the tree/BF artifact")
+    p_build.set_defaults(func=cmd_store_build)
+
+    p_inspect = store_sub.add_parser("inspect",
+                                     help="print a store's manifest summary")
+    p_inspect.add_argument("root")
+    p_inspect.set_defaults(func=cmd_store_inspect)
+
+    p_verify = store_sub.add_parser(
+        "verify", help="checksum (and optionally decrypt) every artifact")
+    p_verify.add_argument("root")
+    p_verify.add_argument("--with-key", action="store_true",
+                          help="also decrypt-authenticate every ball blob "
+                               "with the seed-derived owner key")
+    p_verify.set_defaults(func=cmd_store_verify)
 
     p_work = sub.add_parser("workloads",
                             help="LDBC BI workloads (Fig. 18)")

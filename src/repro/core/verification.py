@@ -92,6 +92,27 @@ def verify_ciphertext(
     else:
         dense = cmm.project(ball.graph)
         rows = [[int(dense[i, j]) for j in range(n)] for i in range(n)]
+    return verify_projected_rows(params, encrypted_matrix, c_one, rows,
+                                 plan, pad_cache=pad_cache)
+
+
+def verify_projected_rows(
+    params: CGBEPublicParams,
+    encrypted_matrix: list[list[CGBECiphertext]],
+    c_one: CGBECiphertext,
+    rows: "list | tuple",
+    plan: ChunkPlan,
+    pad_cache: CiphertextPowerCache | None = None,
+) -> list[CGBECiphertext]:
+    """The SP-side product(s) for one *projected matrix* ``M_p``.
+
+    The factor list -- and hence the result -- is a function of the
+    projected 0/1 pattern alone, not of which CMM produced it.  The batch
+    server exploits exactly this: CMMs of one ball sharing a projection
+    pattern share one product (see ``repro.framework.server``).  Operation
+    order is identical to :func:`verify_ciphertext`'s.
+    """
+    n = len(rows)
     factors: list[CGBECiphertext] = []
     for i in range(n):
         projected_row = rows[i]
@@ -142,6 +163,7 @@ def verify_ball_streaming(
     cmms: Iterable[CandidateMappingMatrix],
     plan: ChunkPlan,
     limit: int | None = None,
+    pad_stats: "object | None" = None,
 ) -> tuple[BallCiphertextResult, int, bool]:
     """Alg. 1 + Alg. 2 fused: verify CMMs as they are enumerated.
 
@@ -158,7 +180,7 @@ def verify_ball_streaming(
     :func:`verify_ball` pipeline reports.
     """
     projection_cache = ProjectionCache(ball.graph)
-    pad_cache = CiphertextPowerCache(params, c_one)
+    pad_cache = CiphertextPowerCache(params, c_one, stats=pad_stats)
     chunk_lists: list[list[CGBECiphertext]] = []
     enumerated = 0
     for cmm in cmms:
@@ -186,4 +208,5 @@ __all__ = [
     "verify_ball_streaming",
     "verify_ciphertext",
     "verify_plaintext",
+    "verify_projected_rows",
 ]

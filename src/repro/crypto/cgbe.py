@@ -96,6 +96,124 @@ class OverflowError_(ArithmeticError):
     """
 
 
+class FixedBaseExp:
+    """Windowed fixed-base modular exponentiation with a bounded memo.
+
+    For a fixed ``base`` and ``modulus`` the table holds
+    ``base^(j * 2^(window*i))`` per window row ``i`` and digit ``j``; an
+    exponentiation then multiplies one table entry per non-zero base-
+    ``2^window`` digit of the exponent -- no squarings at all once the rows
+    exist.  Rows and row entries are filled lazily, so small exponents (the
+    ``power`` values of decrypt's unblinding, typically < 100) touch only
+    the bottom row or two, while a full-width private exponent builds the
+    table once and every later exponentiation on the same base runs at
+    ~``bits/window`` multiplications.
+
+    A FIFO-bounded memo short-circuits repeated exponents entirely -- the
+    dominant case on the user side, where thousands of per-query decrypts
+    share a handful of distinct ciphertext powers.  Optional ``stats``
+    (a :class:`repro.framework.metrics.CacheStats`) records memo behavior.
+    """
+
+    def __init__(self, base: int, modulus: int, window: int = 4,
+                 max_memo: int = 1024, stats: "object | None" = None) -> None:
+        if modulus < 2:
+            raise ValueError("modulus must be >= 2")
+        if not 1 <= window <= 8:
+            raise ValueError("window must be in 1..8")
+        if max_memo < 1:
+            raise ValueError("max_memo must be positive")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        self.max_memo = max_memo
+        self.stats = stats
+        # _rows[i][j] = base^((j+1) * 2^(window*i)); filled lazily.
+        self._rows: list[list[int]] = [[self.base]]
+        self._memo: dict[int, int] = {}
+        if stats is not None:
+            stats.capacity = max(stats.capacity, max_memo)
+
+    def _entry(self, row: int, digit: int) -> int:
+        """``base^(digit * 2^(window*row))``, extending the table as needed."""
+        while len(self._rows) <= row:
+            # The next row's base is the previous row's base squared
+            # ``window`` times.
+            value = self._rows[-1][0]
+            for _ in range(self.window):
+                value = (value * value) % self.modulus
+            self._rows.append([value])
+        entries = self._rows[row]
+        while len(entries) < digit:
+            entries.append((entries[-1] * entries[0]) % self.modulus)
+        return entries[digit - 1]
+
+    def pow(self, exponent: int) -> int:
+        """``base^exponent mod modulus`` -- identical to ``pow()``."""
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        if exponent == 0:
+            return 1 % self.modulus
+        cached = self._memo.get(exponent)
+        if cached is not None:
+            if self.stats is not None:
+                self.stats.hits += 1
+            return cached
+        if self.stats is not None:
+            self.stats.misses += 1
+        mask = (1 << self.window) - 1
+        result: int | None = None
+        row = 0
+        remaining = exponent
+        while remaining:
+            digit = remaining & mask
+            if digit:
+                entry = self._entry(row, digit)
+                result = entry if result is None else \
+                    (result * entry) % self.modulus
+            remaining >>= self.window
+            row += 1
+        assert result is not None
+        if len(self._memo) >= self.max_memo:
+            self._memo.pop(next(iter(self._memo)))
+            if self.stats is not None:
+                self.stats.evictions += 1
+        self._memo[exponent] = result
+        if self.stats is not None:
+            self.stats.entries = len(self._memo)
+            self.stats.weight = len(self._memo)
+        return result
+
+
+#: Shared fixed-base tables keyed by ``(base, modulus)`` so repeated CGBE
+#: instantiations over the same group (store builds, batch servers, and
+#: benchmark loops construct several same-seed engines per process) reuse
+#: one table for the ``g^x`` computation instead of re-exponentiating.
+_FIXED_BASE_TABLES: dict[tuple[int, int], FixedBaseExp] = {}
+_FIXED_BASE_TABLE_LIMIT = 16
+
+
+def _metrics_cache_stats():
+    """A fresh :class:`repro.framework.metrics.CacheStats` (imported lazily:
+    metrics is dependency-free, but the crypto layer must not load the
+    framework package at import time)."""
+    from repro.framework.metrics import CacheStats
+
+    return CacheStats()
+
+
+def shared_fixed_base(base: int, modulus: int) -> FixedBaseExp:
+    """The process-wide :class:`FixedBaseExp` for ``(base, modulus)``."""
+    key = (base, modulus)
+    table = _FIXED_BASE_TABLES.get(key)
+    if table is None:
+        if len(_FIXED_BASE_TABLES) >= _FIXED_BASE_TABLE_LIMIT:
+            _FIXED_BASE_TABLES.pop(next(iter(_FIXED_BASE_TABLES)))
+        table = FixedBaseExp(base, modulus)
+        _FIXED_BASE_TABLES[key] = table
+    return table
+
+
 def _is_probable_prime(n: int, rng: random.Random, rounds: int = 40) -> bool:
     """Miller-Rabin primality test."""
     if n < 2:
@@ -221,8 +339,20 @@ class CGBE:
             raise ValueError("private exponent out of range")
         self._params = params
         self._x = private_exponent
-        self._gx = pow(params.generator, private_exponent, params.modulus)
+        # g^x via the process-shared fixed-base table: the one modular
+        # exponentiation of setup, reused by every encrypt() afterwards and
+        # amortized across engine instantiations over the same group.
+        self._gx = shared_fixed_base(
+            params.generator, params.modulus).pow(private_exponent)
         self._gx_inv = pow(self._gx, -1, params.modulus)
+        # Decrypt unblinds with (g^x)^-power; ciphertext powers repeat
+        # heavily (every chunk of a plan carries the same factor count), so
+        # a memoized fixed-base table turns the per-ciphertext pow() into a
+        # dict lookup.
+        self.decrypt_stats = _metrics_cache_stats()
+        self._unblind = FixedBaseExp(self._gx_inv, params.modulus,
+                                     max_memo=256,
+                                     stats=self.decrypt_stats)
         self._rng = seeded_rng("cgbe-blinding", seed)
 
     # ------------------------------------------------------------------
@@ -292,7 +422,7 @@ class CGBE:
         exactly when no overflow occurred, which the value_bits tracking
         guarantees for ciphertexts produced through this class.
         """
-        unblind = pow(self._gx_inv, ciphertext.power, self._params.modulus)
+        unblind = self._unblind.pow(ciphertext.power)
         return (ciphertext.value * unblind) % self._params.modulus
 
     def has_factor_q(self, ciphertext: CGBECiphertext) -> bool:
@@ -435,14 +565,27 @@ class CiphertextPowerCache:
     Results are bit-identical to ``CGBE.power(params, base, k)`` (same
     value, ``power`` and ``value_bits`` bookkeeping), so swapping the cache
     in changes nothing observable.
+
+    The memo is FIFO-bounded at ``max_entries`` (pad counts are small
+    integers, but an unbounded dict would grow with adversarially varied
+    chunk layouts); evictions and hit rates are reported through the
+    optional ``stats`` hook
+    (:class:`repro.framework.metrics.CacheStats`).
     """
 
     def __init__(self, params: CGBEPublicParams,
-                 base: CGBECiphertext) -> None:
+                 base: CGBECiphertext, max_entries: int = 4096,
+                 stats: "object | None" = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
         self.params = params
         self.base = base
+        self.max_entries = max_entries
+        self.stats = stats
         self._squares = [base]           # _squares[i] = base^(2^i)
         self._memo: dict[int, CGBECiphertext] = {1: base}
+        if stats is not None:
+            stats.capacity = max(stats.capacity, max_entries)
 
     def _square_term(self, i: int) -> CGBECiphertext:
         while len(self._squares) <= i:
@@ -456,7 +599,11 @@ class CiphertextPowerCache:
             raise ValueError("exponent must be positive")
         cached = self._memo.get(exponent)
         if cached is not None:
+            if self.stats is not None:
+                self.stats.hits += 1
             return cached
+        if self.stats is not None:
+            self.stats.misses += 1
         bits = self.base.value_bits * exponent
         if bits >= self.params.modulus_bits:
             raise OverflowError_(
@@ -472,5 +619,12 @@ class CiphertextPowerCache:
             remaining >>= 1
             i += 1
         assert acc is not None
+        if len(self._memo) >= self.max_entries:
+            self._memo.pop(next(iter(self._memo)))
+            if self.stats is not None:
+                self.stats.evictions += 1
         self._memo[exponent] = acc
+        if self.stats is not None:
+            self.stats.entries = len(self._memo)
+            self.stats.weight = len(self._memo)
         return acc

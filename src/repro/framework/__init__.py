@@ -12,6 +12,8 @@
   time-to-results metrics.
 * :mod:`~repro.framework.prilo` / :mod:`~repro.framework.prilo_star` -- the
   end-to-end engines (Alg. 3 and its optimized variant).
+* :mod:`~repro.framework.server` -- multi-query batch serving with
+  cross-query CMM reuse (the throughput layer over the engines).
 """
 
 from repro.framework.executor import (
@@ -20,14 +22,23 @@ from repro.framework.executor import (
     SerialExecutor,
     create_executor,
 )
-from repro.framework.metrics import ConfusionCounts, PhaseTimings
+from repro.framework.metrics import CacheStats, ConfusionCounts, PhaseTimings
 from repro.framework.prilo import Prilo, PriloConfig, QueryResult
 from repro.framework.prilo_star import PriloStar
 from repro.framework.roles import DataOwner, Dealer, Player, User
+from repro.framework.server import (
+    BatchReport,
+    CMMCache,
+    QueryBatchEngine,
+    enumeration_signature,
+)
 from repro.framework.simulator import ScheduleOutcome, simulate_schedule
 
 __all__ = [
     "BallExecutor",
+    "BatchReport",
+    "CMMCache",
+    "CacheStats",
     "ConfusionCounts",
     "DataOwner",
     "Dealer",
@@ -37,10 +48,12 @@ __all__ = [
     "PriloConfig",
     "PriloStar",
     "ProcessExecutor",
+    "QueryBatchEngine",
     "QueryResult",
     "ScheduleOutcome",
     "SerialExecutor",
     "User",
     "create_executor",
+    "enumeration_signature",
     "simulate_schedule",
 ]

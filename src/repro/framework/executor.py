@@ -36,15 +36,19 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.aggregation import BallCiphertextResult, aggregate_items
 from repro.core.bf_pruning import BFConfig
+from repro.core.verification import verification_plan, verify_projected_rows
+from repro.crypto.cgbe import CiphertextPowerCache
 from repro.framework.messages import (
     EncryptedQueryMessage,
     EvaluationResult,
     PruningMessages,
 )
-from repro.framework.metrics import PhaseTimings
+from repro.framework.metrics import CacheStats, PhaseTimings
 from repro.framework.roles import compute_pms_kernel, evaluate_ball_kernel
 from repro.graph.ball import Ball
+from repro.graph.query import QueryLabelView
 from repro.tee.enclave import Enclave
 
 #: Registry of backend names accepted by ``PriloConfig.executor``.
@@ -67,6 +71,49 @@ class ShareOutcome:
     player: int
     wall_seconds: float
     results: list[EvaluationResult] = field(default_factory=list)
+    #: Per-cache statistics observed inside the worker (e.g. the pad-power
+    #: caches), merged into ``RunMetrics.caches`` by the engine.
+    caches: dict[str, CacheStats] = field(default_factory=dict)
+
+
+#: One ball's projected-pattern groups: the enumeration output a
+#: :class:`~repro.framework.server.CMMCache` shares across a signature
+#: group, shipped to workers as plain integer tuples (no graph objects).
+@dataclass(frozen=True)
+class PreparedBall:
+    """The verification work order for one ball under one signature.
+
+    ``patterns`` holds the *distinct* projected matrices ``M_p`` of the
+    ball's CMMs (tuples of 0/1 rows); ``pattern_of_cmm`` maps each CMM, in
+    enumeration order, to its pattern index.  Verification computes one
+    chunked product per distinct pattern and replicates it per CMM -- the
+    exact multiset of per-CMM products the streaming kernel emits, at a
+    fraction of the ciphertext multiplications.
+    """
+
+    ball_id: int
+    enumerated: int
+    truncated: bool
+    bound_bypassed: bool
+    patterns: tuple[tuple[tuple[int, ...], ...], ...]
+    pattern_of_cmm: tuple[int, ...]
+
+    @property
+    def bypassed(self) -> bool:
+        return self.truncated or self.bound_bypassed
+
+    @property
+    def weight(self) -> int:
+        """Cache weight in CMM units (per-CMM index + distinct patterns)."""
+        return max(len(self.pattern_of_cmm) + len(self.patterns), 1)
+
+
+@dataclass(frozen=True)
+class PreparedShare:
+    """One worker's slice of prepared (pattern-grouped) verification."""
+
+    player: int
+    balls: tuple[PreparedBall, ...]
 
 
 @dataclass
@@ -88,16 +135,82 @@ def _evaluate_share(message: EncryptedQueryMessage,
                     enumeration_limit: int,
                     cmm_bound_bypass: int) -> ShareOutcome:
     started = time.perf_counter()
+    pad_stats = CacheStats()
     results = [
         evaluate_ball_kernel(message, ball,
                              enumeration_limit=enumeration_limit,
                              cmm_bound_bypass=cmm_bound_bypass,
-                             player_id=share.player)
+                             player_id=share.player,
+                             pad_stats=pad_stats)
         for ball in share.balls
     ]
     return ShareOutcome(player=share.player,
                         wall_seconds=time.perf_counter() - started,
-                        results=results)
+                        results=results,
+                        caches={"pad": pad_stats})
+
+
+def verify_prepared_kernel(message: EncryptedQueryMessage,
+                           prepared: PreparedBall,
+                           player_id: int = 0,
+                           pad_stats: CacheStats | None = None,
+                           ) -> EvaluationResult:
+    """Alg. 2 + Alg. 3 lines 6-7 for one ball from pre-enumerated pattern
+    groups (the batch server's fast path).
+
+    One chunked product is computed per *distinct* projected pattern; the
+    chunk lists are then replicated per CMM in enumeration order before
+    aggregation.  Products over identical factor multisets in identical
+    chunk layouts are identical ciphertexts, so the aggregated verdict is
+    value-identical to :func:`~repro.framework.roles.evaluate_ball_kernel`
+    re-running enumeration + per-CMM verification from scratch.
+
+    The SP-observable access pattern is unchanged: which patterns exist
+    and how CMMs map onto them is a function of the ball's plaintext
+    adjacency and the public label view only -- never of ciphertext
+    values or verdicts.
+    """
+    params = message.params
+    started = time.perf_counter()
+    if prepared.bypassed:
+        verdict = BallCiphertextResult(ball_id=prepared.ball_id,
+                                       bypassed=True)
+        return EvaluationResult(
+            ball_id=prepared.ball_id, verdict=verdict,
+            cost_seconds=time.perf_counter() - started, player=player_id,
+            cmms=prepared.enumerated, bypassed=True)
+    view = QueryLabelView(labels=message.vertex_labels,
+                          diameter=message.diameter,
+                          semantics=message.semantics)
+    plan = verification_plan(params, view)
+    pad_cache = CiphertextPowerCache(params, message.c_one, stats=pad_stats)
+    distinct = [
+        verify_projected_rows(params, message.encrypted_matrix,
+                              message.c_one, rows, plan,
+                              pad_cache=pad_cache)
+        for rows in prepared.patterns
+    ]
+    chunk_lists = [distinct[index] for index in prepared.pattern_of_cmm]
+    verdict = aggregate_items(params, prepared.ball_id, chunk_lists, plan)
+    return EvaluationResult(
+        ball_id=prepared.ball_id, verdict=verdict,
+        cost_seconds=time.perf_counter() - started, player=player_id,
+        cmms=prepared.enumerated, bypassed=verdict.bypassed)
+
+
+def _verify_share(message: EncryptedQueryMessage,
+                  share: PreparedShare) -> ShareOutcome:
+    started = time.perf_counter()
+    pad_stats = CacheStats()
+    results = [
+        verify_prepared_kernel(message, prepared, player_id=share.player,
+                               pad_stats=pad_stats)
+        for prepared in share.balls
+    ]
+    return ShareOutcome(player=share.player,
+                        wall_seconds=time.perf_counter() - started,
+                        results=results,
+                        caches={"pad": pad_stats})
 
 
 def _compute_pm_share(enclave: Enclave,
@@ -105,11 +218,14 @@ def _compute_pm_share(enclave: Enclave,
                       player: int,
                       balls: tuple[Ball, ...],
                       bf_config: BFConfig,
-                      twiglet_h: int) -> PmShareOutcome:
+                      twiglet_h: int,
+                      twiglet_features: dict[int, frozenset] | None,
+                      ) -> PmShareOutcome:
     started = time.perf_counter()
     pms, pm_costs, timings = compute_pms_kernel(
         enclave, message, list(balls),
-        bf_config=bf_config, twiglet_h=twiglet_h)
+        bf_config=bf_config, twiglet_h=twiglet_h,
+        twiglet_features=twiglet_features)
     return PmShareOutcome(player=player,
                           wall_seconds=time.perf_counter() - started,
                           pms=pms, pm_costs=pm_costs, timings=timings)
@@ -146,16 +262,39 @@ class BallExecutor:
         ]
         return self._run_all(calls)
 
+    def verify_shares(self, message: EncryptedQueryMessage,
+                      shares: list[PreparedShare]) -> list[ShareOutcome]:
+        """Verify every prepared share; outcomes come back in share order.
+
+        The prepared path carries no enumeration parameters: truncation and
+        bound bypass were already decided when the patterns were built, and
+        travel inside each :class:`PreparedBall`.
+        """
+        calls = [(_verify_share, (message, share)) for share in shares]
+        return self._run_all(calls)
+
     def compute_pm_shares(self, message: EncryptedQueryMessage,
                           shares: list[tuple[int, Enclave, tuple[Ball, ...]]],
                           *, bf_config: BFConfig,
-                          twiglet_h: int) -> list[PmShareOutcome]:
-        """Compute every player's PM share; outcomes in share order."""
-        calls = [
-            (_compute_pm_share,
-             (enclave, message, player, balls, bf_config, twiglet_h))
-            for player, enclave, balls in shares
-        ]
+                          twiglet_h: int,
+                          twiglet_features: dict[int, frozenset] | None = None,
+                          ) -> list[PmShareOutcome]:
+        """Compute every player's PM share; outcomes in share order.
+
+        ``twiglet_features`` (artifact-store output) is sliced per share
+        so process workers only pickle the features of their own balls.
+        """
+        calls = []
+        for player, enclave, balls in shares:
+            subset = None
+            if twiglet_features is not None:
+                subset = {ball.ball_id: twiglet_features[ball.ball_id]
+                          for ball in balls
+                          if ball.ball_id in twiglet_features}
+            calls.append(
+                (_compute_pm_share,
+                 (enclave, message, player, balls, bf_config, twiglet_h,
+                  subset)))
         return self._run_all(calls)
 
     # -- backend hook --------------------------------------------------
@@ -265,9 +404,12 @@ __all__ = [
     "BallExecutor",
     "EvaluationShare",
     "PmShareOutcome",
+    "PreparedBall",
+    "PreparedShare",
     "ProcessExecutor",
     "SerialExecutor",
     "ShareOutcome",
     "create_executor",
     "partition_shares",
+    "verify_prepared_kernel",
 ]

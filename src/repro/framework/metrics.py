@@ -100,6 +100,64 @@ class ConfusionCounts:
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one bounded cache.
+
+    Shared by every size-bounded cache in the pipeline (the batch server's
+    ``CMMCache``, the per-ball ``CiphertextPowerCache`` pads, the CGBE
+    decrypt memo) so benchmark JSON can report cache behavior uniformly.
+    ``entries``/``weight``/``capacity`` describe the cache's current fill
+    at snapshot time; the counters accumulate.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    weight: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another snapshot's counters (fill state: take max)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.entries = max(self.entries, other.entries)
+        self.weight = max(self.weight, other.weight)
+        self.capacity = max(self.capacity, other.capacity)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated since the ``since`` snapshot (fill state
+        reports the current values)."""
+        return CacheStats(hits=self.hits - since.hits,
+                          misses=self.misses - since.misses,
+                          evictions=self.evictions - since.evictions,
+                          entries=self.entries, weight=self.weight,
+                          capacity=self.capacity)
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          evictions=self.evictions, entries=self.entries,
+                          weight=self.weight, capacity=self.capacity)
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": self.entries,
+                "weight": self.weight, "capacity": self.capacity,
+                "hit_rate": round(self.hit_rate, 6)}
+
+
+@dataclass
 class MessageSizes:
     """Byte counters for EXP-1 (Sec. 6.2)."""
 
@@ -143,6 +201,19 @@ class RunMetrics:
     workers: int = 1
     per_worker_eval_wall: dict[int, float] = field(default_factory=dict)
     per_worker_pm_wall: dict[int, float] = field(default_factory=dict)
+    #: Per-cache statistics recorded during this run, keyed by cache name
+    #: (e.g. ``"cmm"`` for the batch server's signature cache, ``"pad"``
+    #: for the verification pad-power caches, ``"decrypt"`` for the user's
+    #: CGBE unblinding memo).
+    caches: dict[str, CacheStats] = field(default_factory=dict)
+
+    def record_cache(self, name: str, stats: CacheStats) -> None:
+        """Merge one cache's counters into this run's record."""
+        existing = self.caches.get(name)
+        if existing is None:
+            self.caches[name] = stats.snapshot()
+        else:
+            existing.merge(stats)
 
     @property
     def eval_wall_seconds(self) -> float:

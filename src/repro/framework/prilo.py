@@ -28,6 +28,8 @@ from repro.framework.messages import (
 from repro.framework.executor import (
     EXECUTOR_BACKENDS,
     BallExecutor,
+    EvaluationShare,
+    PreparedShare,
     create_executor,
     partition_shares,
 )
@@ -36,7 +38,7 @@ from repro.framework.roles import DataOwner, Dealer, Player, User, merge_pms
 from repro.framework.simulator import ScheduleOutcome, simulate_schedule
 from repro.graph.ball import Ball
 from repro.graph.labeled_graph import Label, LabeledGraph
-from repro.graph.query import Query
+from repro.graph.query import Query, QueryLabelView, Semantics
 
 logger = logging.getLogger(__name__)
 
@@ -157,10 +159,17 @@ class Prilo:
     _OVERRIDES = dict(use_bf=False, use_twiglet=False, use_ssg=False)
 
     def __init__(self, graph: LabeledGraph, config: PriloConfig,
-                 keyring: UserKeyring | None = None) -> None:
+                 keyring: UserKeyring | None = None, store=None) -> None:
         self.graph = graph
         self.config = config
-        self.owner = DataOwner(graph, config.radii, seed=config.seed)
+        #: Optional :class:`repro.storage.ArtifactStore` -- the persisted
+        #: offline outsourcing output.  When set, the ball index and the
+        #: Dealer's encrypted blobs load from disk (staleness-checked in
+        #: DataOwner) and twiglet pruning reuses the stored per-ball
+        #: feature sets.
+        self.store = store
+        self.owner = DataOwner(graph, config.radii, seed=config.seed,
+                               store=store)
         if keyring is None:
             keyring = UserKeyring.generate(modulus_bits=config.modulus_bits,
                                            seed=config.seed)
@@ -193,13 +202,13 @@ class Prilo:
     # ------------------------------------------------------------------
     @classmethod
     def setup(cls, graph: LabeledGraph, config: PriloConfig | None = None,
-              **overrides: object) -> "Prilo":
+              store=None, **overrides: object) -> "Prilo":
         """Build an engine; keyword overrides patch the default config."""
         if config is None:
             config = PriloConfig()
         merged = {**cls._OVERRIDES, **overrides}
         config = replace(config, **merged)  # type: ignore[arg-type]
-        return cls(graph, config)
+        return cls(graph, config, store=store)
 
     # ------------------------------------------------------------------
     def candidate_balls(self, query: Query) -> tuple[Label, list[Ball]]:
@@ -218,7 +227,15 @@ class Prilo:
         return label, list(self.index.candidate_balls(label, query.diameter))
 
     # ------------------------------------------------------------------
-    def run(self, query: Query) -> QueryResult:
+    def run(self, query: Query, *, cmm_cache=None) -> QueryResult:
+        """Answer one query end to end.
+
+        ``cmm_cache`` (a :class:`repro.framework.server.CMMCache`) routes
+        evaluation through the prepared (pattern-grouped) verification
+        path; results are value-identical to the streaming path.  The
+        batch server passes its shared cache here; ``None`` keeps the
+        faithful single-pass pipeline.
+        """
         config = self.config
         metrics = RunMetrics()
         metrics.executor_backend = self.executor.backend
@@ -273,7 +290,8 @@ class Prilo:
 
         # Step 7: Players evaluate (each unique ball once; dummies reuse
         # the measured cost in the schedule replay).
-        results = self._evaluate(message, sequences, by_id, metrics)
+        results = self._evaluate(message, sequences, by_id, metrics,
+                                 cmm_cache=cmm_cache)
         sizes.add("ciphertext_results",
                   sum(self._verdict_bytes(r) for r in results.values()))
 
@@ -305,6 +323,10 @@ class Prilo:
             metrics=metrics,
         )
 
+    #: Serving-layer name for the end-to-end call (``QueryBatchEngine``
+    #: and the docs speak of "answering" queries).
+    answer = run
+
     # ------------------------------------------------------------------
     def _compute_pms(self, message: EncryptedQueryMessage,
                      candidates: list[Ball], pms: PruningMessages,
@@ -319,10 +341,15 @@ class Prilo:
             for player, share in zip(self.players, partition)
             if share
         ]
+        twiglet_features = None
+        if (self.store is not None and self.config.use_twiglet
+                and self.store.twiglet_h == self.config.twiglet_h):
+            twiglet_features = self.store.twiglet_features()
         outcomes = self.executor.compute_pm_shares(
             message, shares,
             bf_config=self.config.bf,
-            twiglet_h=self.config.twiglet_h)
+            twiglet_h=self.config.twiglet_h,
+            twiglet_features=twiglet_features)
         timings = metrics.timings
         for outcome in outcomes:
             merge_pms(pms, outcome.pms)
@@ -335,35 +362,75 @@ class Prilo:
     def _evaluate(self, message: EncryptedQueryMessage,
                   sequences: list[PlayerSequence],
                   by_id: dict[int, Ball],
-                  metrics: RunMetrics) -> dict[int, EvaluationResult]:
+                  metrics: RunMetrics,
+                  cmm_cache=None) -> dict[int, EvaluationResult]:
         """Step 7 over the configured executor.
 
         The Dealer's sequences are deduplicated into disjoint shares
         (first sequence to mention a ball owns it -- exactly the order the
         old serial loop evaluated in) and merged back first-evaluation-wins
         by ball id, so the result dict is identical for every backend.
+
+        With ``cmm_cache`` set (and non-SSIM semantics), each share is
+        prepared through the cache and verified pattern-grouped; the
+        enumeration time paid on cache misses is folded into the per-ball
+        evaluation cost so the schedule replay stays honest.
         """
         shares = partition_shares(sequences, by_id, len(self.players))
-        outcomes = self.executor.evaluate_shares(
-            message, shares,
-            enumeration_limit=self.config.enumeration_limit,
-            cmm_bound_bypass=self.config.cmm_bound_bypass)
+        build_costs: dict[int, float] = {}
+        if cmm_cache is not None and message.semantics is not Semantics.SSIM:
+            outcomes = self._verify_prepared(message, shares, cmm_cache,
+                                             metrics, build_costs)
+        else:
+            outcomes = self.executor.evaluate_shares(
+                message, shares,
+                enumeration_limit=self.config.enumeration_limit,
+                cmm_bound_bypass=self.config.cmm_bound_bypass)
         results: dict[int, EvaluationResult] = {}
         for outcome in outcomes:
             metrics.per_worker_eval_wall[outcome.player] = max(
                 metrics.per_worker_eval_wall.get(outcome.player, 0.0),
                 outcome.wall_seconds)
+            for name, stats in outcome.caches.items():
+                metrics.record_cache(name, stats)
             for result in outcome.results:
                 if result.ball_id in results:
                     continue
                 results[result.ball_id] = result
-                metrics.per_ball_eval_cost[result.ball_id] = \
-                    result.cost_seconds
-                metrics.timings.evaluation += result.cost_seconds
+                cost = (result.cost_seconds
+                        + build_costs.get(result.ball_id, 0.0))
+                metrics.per_ball_eval_cost[result.ball_id] = cost
+                metrics.timings.evaluation += cost
                 metrics.cmms_enumerated += result.cmms
                 if result.bypassed:
                     metrics.bypassed_balls += 1
         return results
+
+    def _verify_prepared(self, message: EncryptedQueryMessage,
+                         shares: list[EvaluationShare], cmm_cache,
+                         metrics: RunMetrics,
+                         build_costs: dict[int, float]) -> list:
+        """Prepared-path fan-out: distill each share's balls through the
+        CMM cache, then verify the pattern groups on the executor."""
+        config = self.config
+        view = QueryLabelView(labels=message.vertex_labels,
+                              diameter=message.diameter,
+                              semantics=message.semantics)
+        before = cmm_cache.stats.snapshot()
+        prepared_shares: list[PreparedShare] = []
+        for share in shares:
+            prepared = []
+            for ball in share.balls:
+                prepared.append(cmm_cache.prepare(
+                    view, ball,
+                    enumeration_limit=config.enumeration_limit,
+                    cmm_bound_bypass=config.cmm_bound_bypass))
+                build_costs[ball.ball_id] = cmm_cache.last_build_seconds
+            prepared_shares.append(
+                PreparedShare(player=share.player, balls=tuple(prepared)))
+        outcomes = self.executor.verify_shares(message, prepared_shares)
+        metrics.record_cache("cmm", cmm_cache.stats.delta(before))
+        return outcomes
 
     # ------------------------------------------------------------------
     def _account_pm_sizes(self, message: EncryptedQueryMessage,

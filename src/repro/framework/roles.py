@@ -35,7 +35,11 @@ from repro.core.ssim_verification import (
     ssim_verify_ball,
 )
 from repro.core.table_pruning import player_table_prune, table_plan
-from repro.core.twiglets import build_twiglet_tables, twiglets_from
+from repro.core.twiglets import (
+    build_twiglet_tables,
+    filter_twiglets,
+    twiglets_from,
+)
 from repro.core.verification import verification_plan, verify_ball_streaming
 from repro.crypto.keys import DataOwnerKey, UserKeyring
 from repro.framework.messages import (
@@ -59,21 +63,34 @@ from repro.tee.enclave import Enclave
 # Data owner
 # ----------------------------------------------------------------------
 class DataOwner:
-    """Owns the graph, the ball index, and the ball-encryption key ``sk``."""
+    """Owns the graph, the ball index, and the ball-encryption key ``sk``.
+
+    With ``store`` (a :class:`repro.storage.ArtifactStore`), the offline
+    outsourcing output is *loaded* rather than recomputed: the ball index
+    reads from the mmap'd pack and the Dealer's blobs come pre-encrypted.
+    The store is staleness-checked against the live graph, radii and key
+    at construction -- a mismatch raises rather than serving wrong balls.
+    """
 
     def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
-                 seed: int = 0) -> None:
+                 seed: int = 0, store=None) -> None:
         self.key = DataOwnerKey.generate(seed)
         self._graph = graph
         self._radii = radii
+        self._store = store
         self._index: BallIndex | None = None
-        self._dealer_store: EncryptedBallStore | None = None
+        self._dealer_store = None
+        if store is not None:
+            store.check(graph=graph, radii=radii, key=self.key)
 
     @property
     def index(self) -> BallIndex:
-        """The ball index, built once on first access."""
+        """The ball index, built (or store-loaded) once on first access."""
         if self._index is None:
-            self._index = BallIndex(self._graph, self._radii)
+            if self._store is not None:
+                self._index = self._store.ball_index(self._graph)
+            else:
+                self._index = BallIndex(self._graph, self._radii)
         return self._index
 
     def player_store(self) -> BallIndex:
@@ -81,11 +98,14 @@ class DataOwner:
         caller shares one index and hence one ball cache)."""
         return self.index
 
-    def dealer_store(self) -> "EncryptedBallStore":
+    def dealer_store(self):
         """Step 1b: encrypted balls for the Dealer (memoized -- repeated
         calls must not discard the store's encryption cache)."""
         if self._dealer_store is None:
-            self._dealer_store = EncryptedBallStore(self.index, self.key)
+            if self._store is not None:
+                self._dealer_store = self._store.encrypted_store()
+            else:
+                self._dealer_store = EncryptedBallStore(self.index, self.key)
         return self._dealer_store
 
     def grant_key(self, user: "User") -> None:
@@ -289,6 +309,7 @@ def evaluate_ball_kernel(
     enumeration_limit: int,
     cmm_bound_bypass: int,
     player_id: int = 0,
+    pad_stats: "object | None" = None,
 ) -> EvaluationResult:
     """Alg. 3 lines 3-8 for one ball, using only the label view of the
     query (the edges stay encrypted).
@@ -322,7 +343,7 @@ def evaluate_ball_kernel(
         verdict, enumerated, _ = verify_ball_streaming(
             params, message.encrypted_matrix, message.c_one, ball,
             iter_cmms(view, ball, injective=injective), plan,
-            limit=enumeration_limit)
+            limit=enumeration_limit, pad_stats=pad_stats)
     cost = time.perf_counter() - started
     return EvaluationResult(
         ball_id=ball.ball_id, verdict=verdict, cost_seconds=cost,
@@ -336,12 +357,18 @@ def compute_pms_kernel(
     *,
     bf_config: BFConfig,
     twiglet_h: int,
+    twiglet_features: dict[int, frozenset] | None = None,
 ) -> tuple[PruningMessages, dict[int, float], PhaseTimings]:
     """One player's share of the pruning messages (Secs. 4.1-4.2).
 
     Returns fresh ``(pms, per-ball costs, phase timings)`` so executor
     backends can run shares in worker processes and merge the results
     deterministically in the parent.
+
+    ``twiglet_features`` supplies precomputed *full-alphabet* per-ball
+    twiglet sets (the artifact store's offline output); they are
+    restricted to the query alphabet here, yielding exactly the set the
+    per-query DFS would enumerate.
     """
     pms = PruningMessages()
     pm_costs: dict[int, float] = {}
@@ -369,8 +396,13 @@ def compute_pms_kernel(
             timings.pm_bf += time.perf_counter() - bf_start
         if message.twiglet_tables:
             t_start = time.perf_counter()
-            features = twiglets_from(ball.graph, ball.center, twiglet_h,
-                                     message.alphabet)
+            if (twiglet_features is not None
+                    and ball.ball_id in twiglet_features):
+                features = filter_twiglets(twiglet_features[ball.ball_id],
+                                           message.alphabet)
+            else:
+                features = twiglets_from(ball.graph, ball.center, twiglet_h,
+                                         message.alphabet)
             pms.twiglet[ball.ball_id] = player_table_prune(
                 params, message.twiglet_tables, ball, features,
                 message.c_one, twiglet_plan)

@@ -1,0 +1,282 @@
+"""Multi-query batch serving with cross-query CMM reuse.
+
+``Prilo.run`` is the faithful single-query pipeline: enumeration streams
+straight into verification and nothing survives the call.  A serving
+deployment answers *streams* of queries against one outsourced graph, and
+most of the SP-side work is re-derivable: Alg. 1's enumeration depends
+only on the query's *label view* (the ordered ``V_Q`` labels, ``d_Q`` and
+the semantics -- exactly the plaintext fields of the encrypted query
+message), never on the encrypted edges.  Two queries with the same label
+view induce identical CMM sets on every ball.
+
+:class:`QueryBatchEngine` exploits that by interposing a
+:class:`CMMCache` between enumeration and verification:
+
+* on first contact with a ``(ball, signature)`` pair the enumeration runs
+  once and is distilled into a :class:`~repro.framework.executor.PreparedBall`
+  -- the *distinct* projected 0/1 patterns plus the per-CMM pattern index;
+* every query (including the first!) then verifies from the prepared form:
+  one chunked product per distinct pattern instead of one per CMM.  Balls
+  repeat projected patterns heavily (measurements in DESIGN.md show >5x
+  CMM-to-pattern redundancy on the paper's datasets), so this is the main
+  speedup even at batch size 1;
+* later queries in the same signature group skip enumeration entirely
+  (a cache hit).
+
+Correctness: a chunked product is a pure function of its factor multiset
+and the public chunk layout, and the factor list of Alg. 2 is a function
+of the projected pattern alone.  Replicating each pattern's chunk list
+per CMM in enumeration order therefore feeds ``aggregate_items`` the
+exact ciphertext multiset the streaming kernel produces -- batch results
+are *value-identical* to independent ``run`` calls (asserted by
+``tests/test_server.py`` across semantics, pruning and backends).
+
+Obliviousness: the cache key and everything inside a prepared ball are
+functions of the ball's plaintext adjacency (SP-owned) and the public
+label view.  No ciphertext value, verdict, or pruning outcome ever flows
+into cache state, and per query the SP still performs one verification
+pass per scheduled ball.  See DESIGN.md ("Batch serving").
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.enumeration import count_cmm_upper_bound, iter_cmms
+from repro.framework.executor import PreparedBall
+from repro.framework.metrics import CacheStats
+from repro.framework.prilo import Prilo, QueryResult
+from repro.graph.ball import Ball
+from repro.graph.matrix import ProjectionCache
+from repro.graph.query import Query, QueryLabelView, Semantics
+
+#: Default CMM cache capacity, in CMM units (see ``PreparedBall.weight``).
+#: 512k units is ~a few hundred MB of tuple data at the paper's query
+#: sizes -- far above any tier-1 workload, so eviction only engages on
+#: serving workloads with genuinely large working sets.
+DEFAULT_CMM_CACHE_WEIGHT = 512_000
+
+
+def enumeration_signature(query: Query, *, enumeration_limit: int,
+                          cmm_bound_bypass: int) -> tuple:
+    """The inputs Alg. 1 actually reads: ordered ``V_Q`` labels, ``d_Q``,
+    the matching semantics, and the engine's enumeration bounds.
+
+    Two queries with equal signatures induce identical CMM streams on
+    every ball -- the encrypted edges never participate.  The bounds are
+    part of the signature because truncation/bypass verdicts depend on
+    them.
+    """
+    labels = tuple(query.label(u) for u in query.vertex_order)
+    return (labels, query.diameter, query.semantics,
+            enumeration_limit, cmm_bound_bypass)
+
+
+def signature_of_view(view: QueryLabelView, *, enumeration_limit: int,
+                      cmm_bound_bypass: int) -> tuple:
+    """:func:`enumeration_signature` computed from the SP-side label view.
+
+    ``message.vertex_labels`` is the query's labels in ``vertex_order``,
+    so this produces the exact tuple :func:`enumeration_signature` builds
+    from the query -- the engine keys the cache with this, the batch
+    server groups with that, and they must agree.
+    """
+    return (tuple(view.labels), view.diameter, view.semantics,
+            enumeration_limit, cmm_bound_bypass)
+
+
+def prepare_ball(view: QueryLabelView, ball: Ball, *,
+                 enumeration_limit: int,
+                 cmm_bound_bypass: int) -> PreparedBall:
+    """Run Alg. 1 once and distill the CMM stream into pattern groups.
+
+    Mirrors the decision structure of
+    :func:`repro.framework.roles.evaluate_ball_kernel` exactly: the bound
+    bypass is checked before any enumeration (``enumerated == 0``), and
+    producing a ``limit+1``-th CMM truncates with ``enumerated == limit``
+    -- so the prepared verdicts agree with the streaming kernel's.
+
+    Projection rows are deep-copied to tuples: :class:`ProjectionCache`
+    reuses its row buffers across CMMs.
+    """
+    if count_cmm_upper_bound(view, ball) > cmm_bound_bypass:
+        return PreparedBall(ball_id=ball.ball_id, enumerated=0,
+                            truncated=False, bound_bypassed=True,
+                            patterns=(), pattern_of_cmm=())
+    injective = view.semantics is Semantics.SUB_ISO
+    projection_cache = ProjectionCache(ball.graph)
+    patterns: list[tuple[tuple[int, ...], ...]] = []
+    index_of: dict[tuple, int] = {}
+    order: list[int] = []
+    enumerated = 0
+    for cmm in iter_cmms(view, ball, injective=injective):
+        if enumerated >= enumeration_limit:
+            return PreparedBall(ball_id=ball.ball_id, enumerated=enumerated,
+                                truncated=True, bound_bypassed=False,
+                                patterns=(), pattern_of_cmm=())
+        rows = cmm.project_rows(projection_cache)
+        pattern = tuple(tuple(int(v) for v in row) for row in rows)
+        index = index_of.get(pattern)
+        if index is None:
+            index = len(patterns)
+            index_of[pattern] = index
+            patterns.append(pattern)
+        order.append(index)
+        enumerated += 1
+    return PreparedBall(ball_id=ball.ball_id, enumerated=enumerated,
+                        truncated=False, bound_bypassed=False,
+                        patterns=tuple(patterns),
+                        pattern_of_cmm=tuple(order))
+
+
+class CMMCache:
+    """Bounded LRU cache of :class:`PreparedBall` keyed by
+    ``(ball_id, enumeration signature)``.
+
+    The size bound is expressed in CMM units (``PreparedBall.weight``:
+    per-CMM index entries plus distinct patterns) rather than entry
+    count, so one giant ball cannot silently dominate memory.  Eviction
+    is least-recently-used and never evicts the entry being inserted.
+    Counters are exposed through a shared :class:`CacheStats`, the same
+    hook the pad-power and decrypt caches report through.
+    """
+
+    def __init__(self, max_weight: int = DEFAULT_CMM_CACHE_WEIGHT,
+                 stats: CacheStats | None = None) -> None:
+        if max_weight < 1:
+            raise ValueError("CMM cache weight bound must be positive")
+        self.max_weight = max_weight
+        self.stats = stats if stats is not None else CacheStats()
+        self.stats.capacity = max_weight
+        self._entries: "OrderedDict[tuple, PreparedBall]" = OrderedDict()
+        self._weight = 0
+        #: Wall-clock seconds spent building entries, per ball id, for the
+        #: most recent ``prepare`` call (0.0 on hits).  Read by the engine
+        #: to account enumeration cost into per-ball evaluation cost.
+        self.last_build_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def weight(self) -> int:
+        return self._weight
+
+    def prepare(self, view: QueryLabelView, ball: Ball, *,
+                enumeration_limit: int,
+                cmm_bound_bypass: int) -> PreparedBall:
+        """Return the ball's prepared form, enumerating on first contact."""
+        signature = signature_of_view(
+            view, enumeration_limit=enumeration_limit,
+            cmm_bound_bypass=cmm_bound_bypass)
+        key = (ball.ball_id, signature)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.last_build_seconds = 0.0
+            self._update_fill()
+            return entry
+        self.stats.misses += 1
+        started = time.perf_counter()
+        entry = prepare_ball(view, ball,
+                             enumeration_limit=enumeration_limit,
+                             cmm_bound_bypass=cmm_bound_bypass)
+        self.last_build_seconds = time.perf_counter() - started
+        self._entries[key] = entry
+        self._weight += entry.weight
+        while self._weight > self.max_weight and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._weight -= evicted.weight
+            self.stats.evictions += 1
+        self._update_fill()
+        return entry
+
+    def _update_fill(self) -> None:
+        self.stats.entries = len(self._entries)
+        self.stats.weight = self._weight
+
+
+@dataclass
+class BatchReport:
+    """What one ``serve`` call did, for benchmarks and the CLI."""
+
+    results: list[QueryResult]
+    #: Per-query end-to-end latency, in submission order.
+    latencies: list[float]
+    #: Wall-clock of the whole batch.
+    makespan: float
+    #: Signature -> indices of the queries sharing it (submission order).
+    signature_groups: dict[tuple, list[int]] = field(default_factory=dict)
+    #: CMM cache counters accumulated over this batch.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def distinct_signatures(self) -> int:
+        return len(self.signature_groups)
+
+    def summary(self) -> dict:
+        return {
+            "queries": len(self.results),
+            "distinct_signatures": self.distinct_signatures,
+            "makespan_seconds": self.makespan,
+            "latency_seconds": list(self.latencies),
+            "mean_latency_seconds": (sum(self.latencies) / len(self.latencies)
+                                     if self.latencies else 0.0),
+            "cmm_cache": self.cache_stats.as_dict(),
+            "matches": [r.num_matches for r in self.results],
+        }
+
+
+class QueryBatchEngine:
+    """Serves query batches over one :class:`Prilo` engine.
+
+    Queries execute strictly in submission order -- ``prepare_query``
+    consumes the user's CGBE randomness, so order preservation is what
+    makes batch results bit-identical to the same queries run alone.
+    Signature grouping is purely logical: it decides cache keys and the
+    report's grouping, not execution order, and it never changes what the
+    SP observes for any individual query.
+    """
+
+    def __init__(self, engine: Prilo,
+                 cache: CMMCache | None = None,
+                 max_cache_weight: int = DEFAULT_CMM_CACHE_WEIGHT) -> None:
+        self.engine = engine
+        self.cache = cache if cache is not None else CMMCache(max_cache_weight)
+
+    def serve(self, queries: list[Query]) -> BatchReport:
+        """Answer every query; results are value-identical to independent
+        ``engine.run`` calls in the same order."""
+        config = self.engine.config
+        groups: dict[tuple, list[int]] = {}
+        results: list[QueryResult] = []
+        latencies: list[float] = []
+        before = self.cache.stats.snapshot()
+        batch_started = time.perf_counter()
+        for index, query in enumerate(queries):
+            signature = enumeration_signature(
+                query,
+                enumeration_limit=config.enumeration_limit,
+                cmm_bound_bypass=config.cmm_bound_bypass)
+            groups.setdefault(signature, []).append(index)
+            started = time.perf_counter()
+            results.append(self.engine.run(query, cmm_cache=self.cache))
+            latencies.append(time.perf_counter() - started)
+        makespan = time.perf_counter() - batch_started
+        return BatchReport(results=results, latencies=latencies,
+                           makespan=makespan, signature_groups=groups,
+                           cache_stats=self.cache.stats.delta(before))
+
+
+__all__ = [
+    "DEFAULT_CMM_CACHE_WEIGHT",
+    "BatchReport",
+    "CMMCache",
+    "QueryBatchEngine",
+    "enumeration_signature",
+    "prepare_ball",
+    "signature_of_view",
+]

@@ -9,8 +9,31 @@ metadata (ball ids, centers, radii, sizes) -- exactly what the Dealer may
 know.  The archive satisfies the same ``get(ball_id)`` protocol as the
 in-memory store, so a :class:`repro.framework.roles.Dealer` can be backed
 by either.
+
+:class:`~repro.storage.store.ArtifactStore` generalizes the archive into
+the *full* offline outsourcing output: plaintext + encrypted ball packs
+(mmap cold start for Players and Dealer alike), per-ball twiglet feature
+sets, tree/BF artifacts, all under a versioned manifest with staleness
+and tamper detection.
 """
 
 from repro.storage.archive import ArchiveError, EncryptedBallArchive
+from repro.storage.store import (
+    ArtifactStore,
+    StoreBallIndex,
+    StoreEncryptedBalls,
+    StoreError,
+    graph_digest,
+    key_digest,
+)
 
-__all__ = ["ArchiveError", "EncryptedBallArchive"]
+__all__ = [
+    "ArchiveError",
+    "ArtifactStore",
+    "EncryptedBallArchive",
+    "StoreBallIndex",
+    "StoreEncryptedBalls",
+    "StoreError",
+    "graph_digest",
+    "key_digest",
+]

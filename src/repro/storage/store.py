@@ -1,0 +1,505 @@
+"""The persistent offline artifact store -- the paper's step-1 outsourcing.
+
+Sec. 2.3 treats ball generation as a one-time offline step ("the data
+owner generates all balls of graph G with various diameters offline"),
+yet the in-process engines rebuild every store on construction: the ball
+index re-extracts subgraphs, the Dealer re-encrypts blobs, and the
+Players re-enumerate per-ball pruning features on every query.
+:class:`ArtifactStore` persists that whole offline output once:
+
+* **balls.pack** -- every ball's canonical JSON payload, concatenated;
+  loaded through ``mmap`` so a cold engine start touches only the balls
+  a query actually visits;
+* **encrypted.pack** -- the Dealer's authenticated ciphertext blobs
+  (StreamCipher under the owner's ``sk``), same offset table;
+* **twiglets.json** -- per-ball *full-alphabet* twiglet feature sets
+  (Alg. 5 line 3's ``R``).  Online, a query restricts them to
+  ``Sigma_Q`` via :func:`repro.core.twiglets.filter_twiglets` -- provably
+  the same set the per-query DFS enumerates, for *any* future query
+  alphabet.  (The paper's CGBE-encrypted twiglet *tables* are per-query
+  user artifacts -- they consume the user's randomness -- so the
+  reusable offline piece is the Player-side feature extraction.)
+* **trees.json** -- per-ball canonical 2-label tree encodings and BF
+  bitsets under the *graph-wide* codec (Sec. 4.1's offline view).
+  Online BF pruning encodes against the query's codec, so these serve
+  ``store inspect`` / integrity sweeps rather than the hot path.
+
+The ``manifest.json`` keys everything by (graph digest, radii,
+``twiglet_h``, BF parameters, owner-key fingerprint) and carries a
+sha256 per artifact file: :meth:`ArtifactStore.check` detects staleness
+(the graph or config changed under the store), :meth:`verify` detects
+tampering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.bf_pruning import BFConfig, PAD_ENCODING
+from repro.core.encoding import LabelCodec
+from repro.core.trees import (
+    BF_TOPOLOGIES,
+    bf_threshold_exceeded,
+    enumerate_center_tree_encodings,
+)
+from repro.core.twiglets import (
+    twiglet_from_jsonable,
+    twiglet_to_jsonable,
+    twiglets_from,
+)
+from repro.crypto.keys import DataOwnerKey
+from repro.filters.bloom import BloomFilter
+from repro.framework.messages import EncryptedBallBlob
+from repro.graph.ball import Ball, BallIndex
+from repro.graph.io import ball_from_bytes, ball_to_bytes, graph_to_json
+from repro.graph.labeled_graph import LabeledGraph
+
+_MANIFEST = "manifest.json"
+_BALLS_PACK = "balls.pack"
+_ENCRYPTED_PACK = "encrypted.pack"
+_TWIGLETS = "twiglets.json"
+_TREES = "trees.json"
+_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """Store is missing, stale, malformed, or failed verification."""
+
+
+def graph_digest(graph: LabeledGraph) -> str:
+    """sha256 over the canonical JSON form -- the store's identity key."""
+    return hashlib.sha256(
+        graph_to_json(graph).encode("utf-8")).hexdigest()
+
+
+def key_digest(key: DataOwnerKey) -> str:
+    """A fingerprint of ``sk`` (never the key itself) for staleness
+    detection: a store built under a different owner key must not be
+    silently served to a Dealer expecting this one."""
+    return hashlib.sha256(b"prilo-store-key:" + key.ball_key).hexdigest()
+
+
+def _file_digest(path: Path) -> str:
+    h = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class PackSlice:
+    """Offsets of one ball in the plaintext and encrypted packs."""
+
+    ball_id: int
+    center: str
+    radius: int
+    vertices: int
+    offset: int
+    length: int
+    enc_offset: int
+    enc_length: int
+
+
+class _Pack:
+    """A read-only mmap view over one pack file (plain bytes fallback
+    for empty packs, which ``mmap`` refuses)."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._file = None
+        self._view: "mmap.mmap | bytes | None" = None
+
+    def slice(self, offset: int, length: int) -> bytes:
+        if self._view is None:
+            if self._path.stat().st_size == 0:
+                self._view = b""
+            else:
+                self._file = self._path.open("rb")
+                self._view = mmap.mmap(self._file.fileno(), 0,
+                                       access=mmap.ACCESS_READ)
+        return bytes(self._view[offset:offset + length])
+
+    def close(self) -> None:
+        if isinstance(self._view, mmap.mmap):
+            self._view.close()
+        if self._file is not None:
+            self._file.close()
+        self._view = None
+        self._file = None
+
+
+class StoreBallIndex(BallIndex):
+    """A :class:`BallIndex` whose balls load from the store's pack
+    instead of re-running the extraction BFS.
+
+    Ball ids, candidate filtering and memoization are inherited -- the
+    id assignment is a pure function of ``(graph.vertices(), radii)``,
+    so loaded balls land on exactly the ids the in-process index would
+    assign (checked at load: the pack payload carries its id).
+    """
+
+    def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
+                 store: "ArtifactStore") -> None:
+        super().__init__(graph, radii)
+        self._store = store
+
+    def ball(self, center, radius) -> Ball:
+        key = (center, radius)
+        if key not in self._ids:
+            raise KeyError(f"no ball for center={center!r} radius={radius}")
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._store.load_ball(self._ids[key])
+            if cached.ball_id != self._ids[key]:
+                raise StoreError(
+                    f"stored ball id {cached.ball_id} does not match index "
+                    f"id {self._ids[key]} -- stale store?")
+            self._cache[key] = cached
+        return cached
+
+
+class StoreEncryptedBalls:
+    """The Dealer's blob source backed by ``encrypted.pack`` (duck-types
+    :class:`repro.framework.roles.EncryptedBallStore`)."""
+
+    def __init__(self, store: "ArtifactStore") -> None:
+        self._store = store
+        self._cache: dict[int, EncryptedBallBlob] = {}
+
+    def get(self, ball_id: int) -> EncryptedBallBlob:
+        blob = self._cache.get(ball_id)
+        if blob is None:
+            blob = EncryptedBallBlob(
+                ball_id=ball_id, blob=self._store.load_encrypted(ball_id))
+            self._cache[ball_id] = blob
+        return blob
+
+
+class ArtifactStore:
+    """The on-disk offline outsourcing output (see module docstring)."""
+
+    def __init__(self, root: Path, manifest: dict) -> None:
+        self._root = root
+        self._manifest = manifest
+        self._slices: dict[int, PackSlice] = {
+            entry["ball_id"]: PackSlice(**entry)
+            for entry in manifest["balls"]
+        }
+        self._balls_pack = _Pack(root / _BALLS_PACK)
+        self._encrypted_pack = _Pack(root / _ENCRYPTED_PACK)
+        self._twiglets: dict[int, frozenset] | None = None
+        self._trees: dict | None = None
+
+    # ------------------------------------------------------------------
+    # creation (data owner side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str | Path, graph: LabeledGraph,
+               radii: tuple[int, ...], key: DataOwnerKey, *,
+               twiglet_h: int | None = 3,
+               bf_config: BFConfig | None = None,
+               ) -> "ArtifactStore":
+        """Run the full offline outsourcing step into ``root``.
+
+        ``twiglet_h=None`` skips the twiglet feature artifact;
+        ``bf_config=None`` skips the tree/BF artifact.  Both packs are
+        always written -- they are what cold starts need.
+        """
+        root = Path(root)
+        if root.exists() and any(root.iterdir()):
+            raise StoreError(f"refusing to overwrite non-empty {root}")
+        root.mkdir(parents=True, exist_ok=True)
+        index = BallIndex(graph, radii)
+        cipher = key.cipher()
+        entries: list[dict] = []
+        twiglets: dict[str, list] = {}
+        trees: dict[str, dict] = {}
+        codec = LabelCodec.from_alphabet(graph.alphabet)
+        with (root / _BALLS_PACK).open("wb") as plain, \
+                (root / _ENCRYPTED_PACK).open("wb") as enc:
+            offset = enc_offset = 0
+            for center in graph.vertices():
+                for radius in index.radii:
+                    ball = index.ball(center, radius)
+                    payload = ball_to_bytes(ball)
+                    blob = cipher.encrypt(payload)
+                    plain.write(payload)
+                    enc.write(blob)
+                    entries.append({
+                        "ball_id": ball.ball_id,
+                        "center": repr(center),
+                        "radius": radius,
+                        "vertices": ball.size,
+                        "offset": offset,
+                        "length": len(payload),
+                        "enc_offset": enc_offset,
+                        "enc_length": len(blob),
+                    })
+                    offset += len(payload)
+                    enc_offset += len(blob)
+                    if twiglet_h is not None:
+                        features = twiglets_from(ball.graph, ball.center,
+                                                 twiglet_h)
+                        twiglets[str(ball.ball_id)] = sorted(
+                            (twiglet_to_jsonable(t) for t in features))
+                    if bf_config is not None:
+                        trees[str(ball.ball_id)] = cls._tree_artifact(
+                            ball, codec, bf_config)
+        (root / _TWIGLETS).write_text(
+            json.dumps({"h": twiglet_h, "balls": twiglets},
+                       separators=(",", ":"), sort_keys=True),
+            encoding="utf-8")
+        (root / _TREES).write_text(
+            json.dumps({"bf": cls._bf_params(bf_config), "balls": trees},
+                       separators=(",", ":"), sort_keys=True),
+            encoding="utf-8")
+        manifest = {
+            "version": _VERSION,
+            "graph_digest": graph_digest(graph),
+            "key_digest": key_digest(key),
+            "radii": list(index.radii),
+            "twiglet_h": twiglet_h,
+            "bf": cls._bf_params(bf_config),
+            "balls": entries,
+            "checksums": {
+                name: _file_digest(root / name)
+                for name in (_BALLS_PACK, _ENCRYPTED_PACK, _TWIGLETS, _TREES)
+            },
+        }
+        (root / _MANIFEST).write_text(
+            json.dumps(manifest, indent=1, sort_keys=True), encoding="utf-8")
+        return cls(root, manifest)
+
+    @staticmethod
+    def _bf_params(bf_config: BFConfig | None) -> dict | None:
+        if bf_config is None:
+            return None
+        return {"eta": bf_config.eta,
+                "expected_trees": bf_config.expected_trees,
+                "false_positive_rate": bf_config.false_positive_rate,
+                "threshold_t": bf_config.threshold_t,
+                "max_ball_trees": bf_config.max_ball_trees}
+
+    @staticmethod
+    def _tree_artifact(ball: Ball, codec: LabelCodec,
+                       config: BFConfig) -> dict:
+        """One ball's Sec. 4.1 offline view: canonical tree encodings and
+        the bloom bitset, under the graph-wide codec.  Mirrors the bypass
+        decisions of :func:`repro.core.bf_pruning.player_bf_prune`."""
+        if bf_threshold_exceeded(ball.graph, ball.center,
+                                 config.threshold_t):
+            return {"bypassed": True}
+        encodings, truncated = enumerate_center_tree_encodings(
+            ball.graph, ball.center, codec, BF_TOPOLOGIES,
+            max_trees=config.max_ball_trees)
+        if truncated:
+            return {"bypassed": True, "trees": len(encodings)}
+        ball_filter = BloomFilter(config.filter_bits(),
+                                  config.filter_hashes())
+        ball_filter.add(PAD_ENCODING)
+        ball_filter.update(sorted(encodings))
+        return {"bypassed": False,
+                "trees": len(encodings),
+                "filter_hex": ball_filter.to_bytes().hex()}
+
+    # ------------------------------------------------------------------
+    # opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, root: str | Path) -> "ArtifactStore":
+        root = Path(root)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.is_file():
+            raise StoreError(f"no manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"malformed manifest: {exc}") from exc
+        if manifest.get("version") != _VERSION:
+            raise StoreError(
+                f"unsupported store version {manifest.get('version')!r}")
+        return cls(root, manifest)
+
+    def close(self) -> None:
+        self._balls_pack.close()
+        self._encrypted_pack.close()
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # staleness / integrity
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def radii(self) -> tuple[int, ...]:
+        return tuple(self._manifest["radii"])
+
+    @property
+    def twiglet_h(self) -> int | None:
+        return self._manifest.get("twiglet_h")
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def check(self, *, graph: LabeledGraph | None = None,
+              radii: tuple[int, ...] | None = None,
+              key: DataOwnerKey | None = None) -> None:
+        """Staleness detection: raise :class:`StoreError` when the live
+        configuration no longer matches what the store was built from.
+
+        Radii must match *exactly* (not merely be a subset): ball ids are
+        assigned by ``(vertex order) x (sorted radii)``, so an engine
+        configured with different radii would address different balls
+        under the same ids.
+        """
+        if graph is not None:
+            live = graph_digest(graph)
+            if live != self._manifest["graph_digest"]:
+                raise StoreError(
+                    f"store is stale: graph digest {live[:12]} != stored "
+                    f"{self._manifest['graph_digest'][:12]} (the data graph "
+                    f"changed since the store was built)")
+        if radii is not None:
+            wanted = tuple(sorted(set(radii)))
+            if wanted != self.radii:
+                raise StoreError(
+                    f"store is stale: radii {wanted} != stored {self.radii} "
+                    f"(ball ids would not line up)")
+        if key is not None and key_digest(key) != self._manifest["key_digest"]:
+            raise StoreError(
+                "store is stale: built under a different owner key")
+
+    def verify(self, key: DataOwnerKey | None = None) -> dict:
+        """Integrity sweep: re-hash every artifact file against the
+        manifest; with ``key``, additionally decrypt-authenticate every
+        encrypted blob and compare to the plaintext pack.
+
+        Returns counters; raises :class:`StoreError` on the first
+        mismatch.
+        """
+        for name, expected in self._manifest["checksums"].items():
+            path = self._root / name
+            if not path.is_file():
+                raise StoreError(f"missing artifact file {name}")
+            actual = _file_digest(path)
+            if actual != expected:
+                raise StoreError(
+                    f"artifact {name} failed its checksum "
+                    f"({actual[:12]} != {expected[:12]}) -- tampered or "
+                    f"corrupt")
+        decrypted = 0
+        if key is not None:
+            cipher = key.cipher()
+            for sl in self._slices.values():
+                blob = self._encrypted_pack.slice(sl.enc_offset,
+                                                  sl.enc_length)
+                try:
+                    payload = cipher.decrypt(blob)
+                except Exception as exc:
+                    raise StoreError(
+                        f"ball {sl.ball_id} failed authenticated "
+                        f"decryption: {exc}") from exc
+                if payload != self._balls_pack.slice(sl.offset, sl.length):
+                    raise StoreError(
+                        f"ball {sl.ball_id}: encrypted and plaintext packs "
+                        f"disagree")
+                decrypted += 1
+        return {"files": len(self._manifest["checksums"]),
+                "balls": len(self._slices),
+                "decrypted": decrypted}
+
+    # ------------------------------------------------------------------
+    # artifact access
+    # ------------------------------------------------------------------
+    def load_ball(self, ball_id: int) -> Ball:
+        sl = self._slices.get(ball_id)
+        if sl is None:
+            raise StoreError(f"ball {ball_id} not in store")
+        return ball_from_bytes(self._balls_pack.slice(sl.offset, sl.length))
+
+    def load_encrypted(self, ball_id: int) -> bytes:
+        sl = self._slices.get(ball_id)
+        if sl is None:
+            raise StoreError(f"ball {ball_id} not in store")
+        return self._encrypted_pack.slice(sl.enc_offset, sl.enc_length)
+
+    def ball_index(self, graph: LabeledGraph) -> StoreBallIndex:
+        """The Players' ball index, loading from the pack (cold-start
+        path).  ``graph`` must be the store's graph (:meth:`check`)."""
+        return StoreBallIndex(graph, self.radii, self)
+
+    def encrypted_store(self) -> StoreEncryptedBalls:
+        """The Dealer's blob source (no re-encryption at startup)."""
+        return StoreEncryptedBalls(self)
+
+    def twiglet_features(self) -> dict[int, frozenset]:
+        """Per-ball full-alphabet twiglet sets (lazy-loaded once)."""
+        if self._twiglets is None:
+            path = self._root / _TWIGLETS
+            if not path.is_file():
+                raise StoreError(f"store has no twiglet artifact at {path}")
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            self._twiglets = {
+                int(ball_id): frozenset(twiglet_from_jsonable(item)
+                                        for item in items)
+                for ball_id, items in payload["balls"].items()
+            }
+        return self._twiglets
+
+    def tree_artifacts(self) -> dict:
+        """Per-ball tree/BF artifacts (inspect & integrity use)."""
+        if self._trees is None:
+            path = self._root / _TREES
+            if not path.is_file():
+                raise StoreError(f"store has no tree artifact at {path}")
+            self._trees = json.loads(path.read_text(encoding="utf-8"))
+        return self._trees
+
+    def ball_ids(self) -> list[int]:
+        """All stored ball ids, in pack (= generation) order."""
+        return [entry["ball_id"] for entry in self._manifest["balls"]]
+
+    def describe(self) -> dict:
+        """The ``store inspect`` payload: manifest metadata + totals."""
+        sizes = {name: (self._root / name).stat().st_size
+                 for name in self._manifest["checksums"]
+                 if (self._root / name).is_file()}
+        per_radius: dict[int, int] = {}
+        for sl in self._slices.values():
+            per_radius[sl.radius] = per_radius.get(sl.radius, 0) + 1
+        return {
+            "root": str(self._root),
+            "version": self._manifest["version"],
+            "graph_digest": self._manifest["graph_digest"],
+            "key_digest": self._manifest["key_digest"],
+            "radii": list(self.radii),
+            "twiglet_h": self.twiglet_h,
+            "bf": self._manifest.get("bf"),
+            "balls": len(self._slices),
+            "balls_per_radius": {str(r): n
+                                 for r, n in sorted(per_radius.items())},
+            "file_bytes": sizes,
+        }
+
+
+__all__ = [
+    "ArtifactStore",
+    "PackSlice",
+    "StoreBallIndex",
+    "StoreEncryptedBalls",
+    "StoreError",
+    "graph_digest",
+    "key_digest",
+]

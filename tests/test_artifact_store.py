@@ -1,0 +1,199 @@
+"""The persistent offline artifact store (:mod:`repro.storage.store`).
+
+Contract under test: the store is a byte-faithful, staleness-checked,
+tamper-evident persistence of the data owner's offline outsourcing
+output -- an engine served from it must answer exactly like an engine
+that recomputed everything.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.bf_pruning import BFConfig
+from repro.core.twiglets import filter_twiglets, twiglets_from
+from repro.crypto.keys import DataOwnerKey
+from repro.framework.prilo_star import PriloStar
+from repro.graph.ball import BallIndex
+from repro.graph.io import graph_from_json, graph_to_json
+from repro.storage import (
+    ArtifactStore,
+    StoreError,
+    graph_digest,
+    key_digest,
+)
+
+RADII = (2,)
+SEED = 3  # matches test_config so store key == engine owner key
+
+
+@pytest.fixture(scope="module")
+def graph(dataset):
+    return dataset.graph
+
+
+@pytest.fixture(scope="module")
+def key():
+    return DataOwnerKey.generate(SEED)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, graph, key):
+    root = tmp_path_factory.mktemp("artifact-store") / "store"
+    return ArtifactStore.create(
+        root, graph, RADII, key, twiglet_h=3,
+        bf_config=BFConfig(eta=16, expected_trees=200))
+
+
+class TestRoundtrip:
+    def test_balls_roundtrip(self, store, graph):
+        index = BallIndex(graph, RADII)
+        for center in list(graph.vertices())[:20]:
+            original = index.ball(center, RADII[0])
+            loaded = store.load_ball(original.ball_id)
+            assert loaded.ball_id == original.ball_id
+            assert loaded.center == original.center
+            assert loaded.radius == original.radius
+            assert set(loaded.graph.vertices()) == set(
+                original.graph.vertices())
+            assert set(loaded.graph.edges()) == set(original.graph.edges())
+
+    def test_encrypted_blobs_authenticate(self, store, graph, key):
+        from repro.graph.io import ball_from_bytes
+
+        cipher = key.cipher()
+        ball_id = store.ball_ids()[0]
+        payload = cipher.decrypt(store.load_encrypted(ball_id))
+        assert ball_from_bytes(payload).ball_id == ball_id
+
+    def test_open_equals_create(self, store, graph):
+        reopened = ArtifactStore.open(store.root)
+        assert reopened.radii == RADII
+        assert reopened.twiglet_h == 3
+        assert len(reopened) == len(store)
+        assert reopened.ball_ids() == store.ball_ids()
+
+    def test_describe(self, store, graph):
+        info = store.describe()
+        assert info["balls"] == len(list(graph.vertices())) * len(RADII)
+        assert info["radii"] == list(RADII)
+        assert info["graph_digest"] == graph_digest(graph)
+
+    def test_create_refuses_nonempty_root(self, store, graph, key):
+        with pytest.raises(StoreError, match="non-empty"):
+            ArtifactStore.create(store.root, graph, RADII, key)
+
+
+class TestStaleness:
+    def test_fresh_store_passes(self, store, graph, key):
+        store.check(graph=graph, radii=RADII, key=key)
+
+    def test_graph_digest_mismatch(self, store, graph, key):
+        modified = graph_from_json(graph_to_json(graph))
+        modified.add_vertex("phantom-vertex", "A")
+        assert graph_digest(modified) != graph_digest(graph)
+        with pytest.raises(StoreError, match="graph"):
+            store.check(graph=modified, radii=RADII, key=key)
+
+    def test_wrong_key(self, store, graph):
+        other = DataOwnerKey.generate(SEED + 1)
+        assert key_digest(other) != store._manifest["key_digest"]
+        with pytest.raises(StoreError, match="key"):
+            store.check(graph=graph, key=other)
+
+    def test_radii_mismatch(self, store, graph, key):
+        with pytest.raises(StoreError, match="radii"):
+            store.check(graph=graph, radii=(1, 2), key=key)
+
+    def test_engine_setup_rejects_stale_store(self, store, dataset,
+                                              test_config):
+        from dataclasses import replace
+
+        # test_config radii (1, 2, 3) != store radii (2,) -- the check
+        # runs at DataOwner construction, before any query.
+        with pytest.raises(StoreError, match="radii"):
+            PriloStar.setup(dataset.graph, test_config, store=store)
+        # Matching radii but a different owner seed: key mismatch.
+        with pytest.raises(StoreError, match="key"):
+            PriloStar.setup(dataset.graph,
+                            replace(test_config, radii=RADII, seed=SEED + 1),
+                            store=store)
+
+
+class TestTamperDetection:
+    @pytest.fixture()
+    def copy(self, store, tmp_path):
+        root = tmp_path / "copy"
+        shutil.copytree(store.root, root)
+        return root
+
+    def test_verify_clean(self, store, key):
+        report = store.verify(key)
+        assert report["files"] == 4
+        assert report["balls"] == len(store)
+        assert report["decrypted"] == len(store)
+
+    @pytest.mark.parametrize("filename", ["balls.pack", "encrypted.pack",
+                                          "twiglets.json"])
+    def test_flipped_byte_detected(self, copy, filename):
+        path = copy / filename
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="checksum"):
+            ArtifactStore.open(copy).verify()
+
+    def test_blob_swap_detected_with_key(self, copy, key):
+        """Swapping two same-length ciphertexts defeats per-file hashes
+        only if the manifest checksum is recomputed -- the keyed sweep
+        still catches it because decryption is authenticated per blob."""
+        tampered = ArtifactStore.open(copy)
+        ids = tampered.ball_ids()
+        blobs = {i: tampered.load_encrypted(i) for i in ids[:10]}
+        a, b = sorted(blobs, key=lambda i: len(blobs[i]))[:2]
+        pack = bytearray((copy / "encrypted.pack").read_bytes())
+        sl = {i: tampered._slices[i] for i in (a, b)}
+        pack[sl[a].enc_offset:sl[a].enc_offset + len(blobs[b])] = blobs[b]
+        (copy / "encrypted.pack").write_bytes(bytes(pack))
+        import hashlib
+        import json
+        manifest = json.loads((copy / "manifest.json").read_text())
+        manifest["checksums"]["encrypted.pack"] = hashlib.sha256(
+            bytes(pack)).hexdigest()
+        (copy / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError):
+            ArtifactStore.open(copy).verify(key)
+
+
+class TestServingEquivalence:
+    def test_store_ball_index_id_parity(self, store, graph):
+        fresh = BallIndex(graph, RADII)
+        backed = store.ball_index(graph)
+        for center in list(graph.vertices())[:20]:
+            assert (backed.ball(center, RADII[0]).ball_id
+                    == fresh.ball(center, RADII[0]).ball_id)
+
+    def test_twiglet_filter_equivalence(self, store, graph):
+        """Stored full-alphabet twiglets filtered to a query alphabet must
+        equal recomputing twiglets against that alphabet directly."""
+        features = store.twiglet_features()
+        index = BallIndex(graph, RADII)
+        alphabet = frozenset(list(graph.alphabet)[:4])
+        for center in list(graph.vertices())[:20]:
+            ball = index.ball(center, RADII[0])
+            assert (filter_twiglets(features[ball.ball_id], alphabet)
+                    == twiglets_from(ball.graph, ball.center, 3, alphabet))
+
+    def test_store_backed_engine_answers_identically(self, store, dataset,
+                                                     test_config):
+        from dataclasses import replace
+
+        config = replace(test_config, radii=RADII, seed=SEED)
+        query = dataset.random_queries(1, size=4, diameter=2, seed=21)[0]
+        plain = PriloStar.setup(dataset.graph, config).run(query)
+        backed = PriloStar.setup(dataset.graph, config, store=store).run(query)
+        assert backed.candidate_ids == plain.candidate_ids
+        assert backed.pm_positive_ids == plain.pm_positive_ids
+        assert backed.verified_ids == plain.verified_ids
+        assert backed.match_ball_ids == plain.match_ball_ids
+        assert backed.pm_per_method == plain.pm_per_method

@@ -213,3 +213,110 @@ class TestProperties:
             items.append(CGBE.product(p, factors))
         total = CGBE.sum_(p, items)
         assert scheme.has_factor_q(total) == all(any(r) for r in rows)
+
+
+class TestFixedBaseExp:
+    def test_matches_builtin_pow(self):
+        from repro.crypto.cgbe import FixedBaseExp
+
+        modulus = generate_prime(64, seeded_rng(b"fbe", 1))
+        table = FixedBaseExp(12345, modulus)
+        for exponent in (0, 1, 2, 3, 15, 16, 17, 255, 256, 1 << 40,
+                         (1 << 64) - 1, modulus - 2):
+            assert table.pow(exponent) == pow(12345, exponent, modulus)
+
+    @given(st.integers(min_value=0, max_value=1 << 128))
+    @settings(max_examples=100, deadline=None)
+    def test_pow_identity_property(self, exponent):
+        from repro.crypto.cgbe import FixedBaseExp
+
+        table = FixedBaseExp(987654321, (1 << 61) - 1)
+        assert table.pow(exponent) == pow(987654321, exponent, (1 << 61) - 1)
+
+    def test_memo_eviction_bounded(self):
+        from repro.crypto.cgbe import FixedBaseExp
+        from repro.framework.metrics import CacheStats
+
+        stats = CacheStats()
+        table = FixedBaseExp(3, 1_000_003, max_memo=8, stats=stats)
+        for exponent in range(1, 33):
+            table.pow(exponent)
+        assert len(table._memo) <= 8
+        assert stats.evictions == 32 - 8
+        assert stats.misses == 32
+        # Evicted exponents still compute correctly (off the table).
+        assert table.pow(1) == 3
+
+    def test_validation(self):
+        from repro.crypto.cgbe import FixedBaseExp
+
+        with pytest.raises(ValueError, match="modulus"):
+            FixedBaseExp(2, 1)
+        with pytest.raises(ValueError, match="window"):
+            FixedBaseExp(2, 17, window=0)
+        with pytest.raises(ValueError, match="max_memo"):
+            FixedBaseExp(2, 17, max_memo=0)
+        with pytest.raises(ValueError, match="exponent"):
+            FixedBaseExp(2, 17).pow(-1)
+
+    def test_shared_table_reused_across_instances(self):
+        from repro.crypto.cgbe import _FIXED_BASE_TABLES, shared_fixed_base
+
+        a = shared_fixed_base(7, 1_000_003)
+        b = shared_fixed_base(7, 1_000_003)
+        assert a is b
+        assert len(_FIXED_BASE_TABLES) <= 16
+
+    def test_decrypt_uses_unblind_table(self, scheme):
+        """decrypt() runs through the memoized unblinding table -- values
+        must match the naive ``c * (g^-x)^power`` formula and the memo
+        must see traffic."""
+        p = scheme.params
+        before = scheme.decrypt_stats.snapshot()
+        for m in (1, 2, 7):
+            c = scheme.encrypt(m)
+            naive = (c.value * pow(scheme._gx_inv, c.power, p.modulus)
+                     ) % p.modulus
+            assert scheme.decrypt(c) == naive
+            assert scheme.decrypt(c) % m == 0  # blinded plaintext m * r
+        delta = scheme.decrypt_stats.delta(before)
+        assert delta.lookups >= 3
+
+
+class TestCiphertextPowerCache:
+    def test_matches_naive_power(self, scheme):
+        from repro.crypto.cgbe import CiphertextPowerCache
+
+        base = scheme.encrypt(1)
+        cache = CiphertextPowerCache(scheme.params, base)
+        for k in (1, 2, 3, 5, 8, 13, 15):
+            expected = CGBE.power(scheme.params, base, k)
+            got = cache.power(k)
+            assert got.value == expected.value
+            assert got.power == expected.power
+            assert got.value_bits == expected.value_bits
+
+    def test_memo_bound_and_stats(self, scheme):
+        from repro.crypto.cgbe import CiphertextPowerCache
+        from repro.framework.metrics import CacheStats
+
+        stats = CacheStats()
+        base = scheme.encrypt(1)
+        cache = CiphertextPowerCache(scheme.params, base, max_entries=4,
+                                     stats=stats)
+        for k in range(1, 11):
+            cache.power(k)
+        assert len(cache._memo) <= 4
+        assert stats.evictions > 0
+        before = stats.snapshot()
+        cache.power(10)
+        assert stats.delta(before).hits == 1
+
+    def test_validation(self, scheme):
+        from repro.crypto.cgbe import CiphertextPowerCache
+
+        base = scheme.encrypt(1)
+        with pytest.raises(ValueError, match="max_entries"):
+            CiphertextPowerCache(scheme.params, base, max_entries=0)
+        with pytest.raises(ValueError, match="exponent"):
+            CiphertextPowerCache(scheme.params, base).power(0)

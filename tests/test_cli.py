@@ -11,7 +11,11 @@ class TestParser:
         for argv in (["stats", "dblp"],
                      ["run", "dblp"],
                      ["workloads"],
-                     ["prune", "dblp"]):
+                     ["prune", "dblp"],
+                     ["serve-batch", "dblp"],
+                     ["store", "build", "dblp", "/tmp/x"],
+                     ["store", "inspect", "/tmp/x"],
+                     ["store", "verify", "/tmp/x"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 
@@ -44,3 +48,63 @@ class TestExecution:
                      "--diameter", "2"]) == 0
         out = capsys.readouterr().out
         assert "twiglet" in out
+
+    def test_serve_batch(self, capsys):
+        assert main(["--scale", "0.05", "--modulus", "512", "serve-batch",
+                     "slashdot", "--batch", "3", "--distinct", "2",
+                     "--size", "4", "--diameter", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 3 queries" in out
+        assert "CMM cache:" in out
+
+
+class TestStoreCommands:
+    BASE = ["--scale", "0.05", "--modulus", "512"]
+
+    @pytest.fixture(scope="class")
+    def store_root(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-store") / "artifacts"
+        assert main([*self.BASE, "store", "build", "slashdot", str(root),
+                     "--radii", "1,2", "--no-bf"]) == 0
+        return root
+
+    def test_build_then_inspect(self, store_root, capsys):
+        capsys.readouterr()
+        assert main(["store", "inspect", str(store_root)]) == 0
+        out = capsys.readouterr().out
+        assert '"balls": 400' in out
+        assert '"radii"' in out
+
+    def test_verify(self, store_root, capsys):
+        assert main([*self.BASE, "store", "verify", str(store_root)]) == 0
+        assert main([*self.BASE, "store", "verify", str(store_root),
+                     "--with-key"]) == 0
+        out = capsys.readouterr().out
+        assert "decrypt-authenticated" in out
+
+    def test_verify_detects_tamper(self, store_root, tmp_path, capsys):
+        import shutil
+
+        copy = tmp_path / "tampered"
+        shutil.copytree(store_root, copy)
+        pack = copy / "balls.pack"
+        data = bytearray(pack.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        pack.write_bytes(bytes(data))
+        assert main(["store", "verify", str(copy)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+
+    def test_run_with_store(self, store_root, capsys):
+        assert main([*self.BASE, "run", "slashdot", "--size", "4",
+                     "--diameter", "2", "--store", str(store_root)]) == 0
+        out = capsys.readouterr().out
+        assert "candidates:" in out
+
+    def test_serve_batch_with_store(self, store_root, capsys):
+        assert main([*self.BASE, "serve-batch", "slashdot", "--batch", "4",
+                     "--distinct", "2", "--size", "4", "--diameter", "2",
+                     "--store", str(store_root)]) == 0
+        out = capsys.readouterr().out
+        assert "served 4 queries" in out
+        assert "hit rate" in out

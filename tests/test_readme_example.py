@@ -42,3 +42,32 @@ def test_readme_example_scripts_exist():
             name = line.split("`")[1]
             if name.endswith(".py"):
                 assert (examples / name).is_file(), f"README lists {name}"
+
+
+def test_readme_batch_serving_runs():
+    from repro import Semantics
+    from repro.framework import PriloConfig, PriloStar, QueryBatchEngine
+    from repro.graph import Query
+    from repro.graph.generators import social_graph
+
+    graph = social_graph(num_vertices=600, lattice_neighbors=3,
+                         rewire_probability=0.05, num_labels=12, seed=42)
+    query = Query.from_edges(
+        labels={"a": 3, "b": 7, "c": 5},
+        edges=[("b", "a"), ("c", "b")],
+        semantics=Semantics.HOM)
+    query2 = Query.from_edges(
+        labels={"a": 2, "b": 7, "c": 5},
+        edges=[("b", "a"), ("c", "b")],
+        semantics=Semantics.HOM)
+
+    batch = QueryBatchEngine(PriloStar.setup(graph, PriloConfig(seed=7)))
+    report = batch.serve([query, query2, query])
+    summary = report.summary()
+    assert summary["queries"] == 3
+    assert summary["distinct_signatures"] == 2
+    # The repeated query hits the cache and answers like a solo run.
+    solo = PriloStar.setup(graph, PriloConfig(seed=7)).run(query)
+    assert report.results[0].match_ball_ids == solo.match_ball_ids
+    assert report.results[2].match_ball_ids == solo.match_ball_ids
+    assert report.cache_stats.hits > 0

@@ -1,0 +1,264 @@
+"""Batch serving (:mod:`repro.framework.server`).
+
+The load-bearing property: serving a batch through
+:class:`QueryBatchEngine` -- cached enumeration, pattern-grouped
+verification -- is *value-identical* to running the same queries through
+a fresh engine one at a time, across semantics, pruning settings and
+executor backends.  Plus the cache contract: bounded weight, LRU
+eviction, shared :class:`CacheStats` counters, and the signature
+agreement between the user-side and SP-side key builders.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.bf_pruning import BFConfig
+from repro.framework.metrics import CacheStats
+from repro.framework.prilo import Prilo
+from repro.framework.prilo_star import PriloStar
+from repro.framework.server import (
+    CMMCache,
+    QueryBatchEngine,
+    enumeration_signature,
+    prepare_ball,
+    signature_of_view,
+)
+from repro.graph.query import QueryLabelView, Semantics
+
+
+def _queries(dataset, semantics, count=3, distinct=2):
+    base = dataset.random_queries(distinct, size=4, diameter=2,
+                                  semantics=semantics, seed=13)
+    return [base[i % distinct] for i in range(count)]
+
+
+def _result_key(result):
+    return (result.candidate_ids, result.pm_positive_ids,
+            result.verified_ids, result.match_ball_ids,
+            result.num_matches, sorted(result.matches))
+
+
+def _pruning_config(test_config):
+    return replace(test_config, use_twiglet=True, use_bf=True,
+                   bf=BFConfig(eta=16, expected_trees=200))
+
+
+class TestBatchEqualsSequential:
+    @pytest.mark.parametrize("semantics", [Semantics.HOM,
+                                           Semantics.SUB_ISO,
+                                           Semantics.SSIM])
+    @pytest.mark.parametrize("pruning", [False, True])
+    def test_serial_backend(self, dataset, test_config, semantics, pruning):
+        config = _pruning_config(test_config) if pruning else test_config
+        graph = dataset.graph_for(semantics)
+        queries = _queries(dataset, semantics)
+
+        # One engine for all sequential runs: the CGBE randomness stream
+        # is positional, so the batch side must consume it identically.
+        engine_cls = PriloStar if pruning else Prilo
+        sequential_engine = engine_cls.setup(graph, config)
+        sequential = [sequential_engine.run(q) for q in queries]
+
+        batch_engine = QueryBatchEngine(engine_cls.setup(graph, config))
+        report = batch_engine.serve(queries)
+
+        assert len(report.results) == len(queries)
+        for seq, bat in zip(sequential, report.results):
+            assert _result_key(seq) == _result_key(bat)
+
+    @pytest.mark.parametrize("semantics", [Semantics.HOM, Semantics.SSIM])
+    def test_process_backend(self, dataset, test_config, semantics):
+        config = replace(test_config, executor="process", parallelism=2)
+        graph = dataset.graph_for(semantics)
+        queries = _queries(dataset, semantics, count=2)
+
+        with Prilo.setup(graph, config) as sequential_engine:
+            sequential = [sequential_engine.run(q) for q in queries]
+        with Prilo.setup(graph, config) as engine:
+            report = QueryBatchEngine(engine).serve(queries)
+
+        for seq, bat in zip(sequential, report.results):
+            assert _result_key(seq) == _result_key(bat)
+
+    def test_grouping_and_hits(self, dataset, test_config):
+        queries = _queries(dataset, Semantics.HOM, count=4, distinct=2)
+        report = QueryBatchEngine(
+            Prilo.setup(dataset.graph, test_config)).serve(queries)
+        assert report.distinct_signatures == 2
+        assert sorted(i for g in report.signature_groups.values()
+                      for i in g) == [0, 1, 2, 3]
+        # Queries 2-3 re-see every ball their signature twin enumerated.
+        assert report.cache_stats.hits > 0
+        assert report.cache_stats.hit_rate >= 0.5
+        summary = report.summary()
+        assert summary["queries"] == 4
+        assert summary["distinct_signatures"] == 2
+        assert len(summary["latency_seconds"]) == 4
+
+    def test_ssim_bypasses_cache(self, dataset, test_config):
+        """SSIM verification is not CMM-shaped -- the engine must fall
+        back to the streaming kernel and leave the cache untouched."""
+        queries = _queries(dataset, Semantics.SSIM, count=2, distinct=1)
+        engine = Prilo.setup(dataset.graph_for(Semantics.SSIM), test_config)
+        report = QueryBatchEngine(engine).serve(queries)
+        assert report.cache_stats.lookups == 0
+        assert report.cache_stats.entries == 0
+
+
+class TestCMMCache:
+    def _view_and_balls(self, dataset, count=4):
+        from repro.graph.ball import BallIndex
+
+        query = dataset.random_queries(1, size=4, diameter=2, seed=13)[0]
+        view = QueryLabelView(
+            labels=tuple(query.label(u) for u in query.vertex_order),
+            diameter=query.diameter, semantics=query.semantics)
+        index = BallIndex(dataset.graph, (2,))
+        balls = []
+        for center in dataset.graph.vertices():
+            ball = index.ball(center, 2)
+            prepared = prepare_ball(view, ball, enumeration_limit=2000,
+                                    cmm_bound_bypass=2000)
+            if prepared.enumerated > 0:
+                balls.append(ball)
+            if len(balls) == count:
+                break
+        assert len(balls) == count, "tiny dataset should offer enough balls"
+        return view, balls
+
+    def test_weight_bound_and_eviction(self, dataset):
+        view, balls = self._view_and_balls(dataset)
+        weights = [prepare_ball(view, b, enumeration_limit=2000,
+                                cmm_bound_bypass=2000).weight for b in balls]
+        cache = CMMCache(max_weight=max(weights[:2]) + min(weights[:2]))
+        for ball in balls:
+            cache.prepare(view, ball, enumeration_limit=2000,
+                          cmm_bound_bypass=2000)
+            assert cache.weight <= cache.max_weight or len(cache) == 1
+        assert cache.stats.evictions > 0
+        assert cache.stats.misses == len(balls)
+        assert cache.stats.entries == len(cache)
+        assert cache.stats.weight == cache.weight
+        assert cache.stats.capacity == cache.max_weight
+
+    def test_lru_order(self, dataset):
+        view, balls = self._view_and_balls(dataset, count=3)
+        a, b, c = balls
+        kwargs = dict(enumeration_limit=2000, cmm_bound_bypass=2000)
+        wa, wb = (prepare_ball(view, x, **kwargs).weight for x in (a, b))
+        cache = CMMCache(max_weight=wa + wb)
+        cache.prepare(view, a, **kwargs)
+        cache.prepare(view, b, **kwargs)
+        cache.prepare(view, a, **kwargs)          # refresh a
+        cache.prepare(view, c, **kwargs)          # evicts b, not a
+        before = cache.stats.snapshot()
+        cache.prepare(view, a, **kwargs)
+        assert cache.stats.delta(before).hits == 1
+        before = cache.stats.snapshot()
+        cache.prepare(view, b, **kwargs)
+        assert cache.stats.delta(before).misses == 1
+
+    def test_build_seconds_zero_on_hit(self, dataset):
+        view, balls = self._view_and_balls(dataset, count=1)
+        cache = CMMCache()
+        kwargs = dict(enumeration_limit=2000, cmm_bound_bypass=2000)
+        cache.prepare(view, balls[0], **kwargs)
+        assert cache.last_build_seconds > 0
+        cache.prepare(view, balls[0], **kwargs)
+        assert cache.last_build_seconds == 0.0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="weight"):
+            CMMCache(max_weight=0)
+
+    def test_shared_stats_instance(self, dataset):
+        view, balls = self._view_and_balls(dataset, count=1)
+        shared = CacheStats()
+        cache = CMMCache(stats=shared)
+        cache.prepare(view, balls[0], enumeration_limit=2000,
+                      cmm_bound_bypass=2000)
+        assert shared.misses == 1
+
+
+class TestSignatures:
+    def test_user_and_sp_signatures_agree(self, dataset, test_config):
+        """The cache key the engine builds from the SP-side message must
+        equal the grouping key the server builds from the query."""
+        query = dataset.random_queries(1, size=4, diameter=2, seed=13)[0]
+        engine = Prilo.setup(dataset.graph, test_config)
+        batch = QueryBatchEngine(engine)
+        batch.serve([query])
+        expected = enumeration_signature(
+            query, enumeration_limit=test_config.enumeration_limit,
+            cmm_bound_bypass=test_config.cmm_bound_bypass)
+        signatures = {sig for _, sig in batch.cache._entries}
+        assert signatures == {expected}
+
+    def test_signature_of_view_matches(self, dataset, test_config):
+        query = dataset.random_queries(1, size=4, diameter=2, seed=13)[0]
+        view = QueryLabelView(
+            labels=tuple(query.label(u) for u in query.vertex_order),
+            diameter=query.diameter, semantics=query.semantics)
+        assert signature_of_view(
+            view, enumeration_limit=2000, cmm_bound_bypass=2000,
+        ) == enumeration_signature(
+            query, enumeration_limit=2000, cmm_bound_bypass=2000)
+
+    def test_signature_distinguishes_bounds(self, dataset):
+        query = dataset.random_queries(1, size=4, diameter=2, seed=13)[0]
+        a = enumeration_signature(query, enumeration_limit=10,
+                                  cmm_bound_bypass=2000)
+        b = enumeration_signature(query, enumeration_limit=2000,
+                                  cmm_bound_bypass=2000)
+        assert a != b
+
+
+class TestPreparedVerdicts:
+    """prepare_ball must reproduce the streaming kernel's bypass logic."""
+
+    def _view(self, dataset):
+        query = dataset.random_queries(1, size=4, diameter=2, seed=13)[0]
+        return QueryLabelView(
+            labels=tuple(query.label(u) for u in query.vertex_order),
+            diameter=query.diameter, semantics=query.semantics)
+
+    def _some_ball(self, dataset, view):
+        from repro.graph.ball import BallIndex
+
+        index = BallIndex(dataset.graph, (2,))
+        for center in dataset.graph.vertices():
+            ball = index.ball(center, 2)
+            prepared = prepare_ball(view, ball, enumeration_limit=2000,
+                                    cmm_bound_bypass=2000)
+            if prepared.enumerated > 1:
+                return ball, prepared
+        pytest.skip("no multi-CMM ball in the tiny dataset")
+
+    def test_truncation(self, dataset):
+        view = self._view(dataset)
+        ball, full = self._some_ball(dataset, view)
+        limit = full.enumerated - 1
+        truncated = prepare_ball(view, ball, enumeration_limit=limit,
+                                 cmm_bound_bypass=2000)
+        assert truncated.truncated
+        assert truncated.bypassed
+        assert truncated.enumerated == limit
+        assert truncated.patterns == ()
+
+    def test_bound_bypass(self, dataset):
+        view = self._view(dataset)
+        ball, _ = self._some_ball(dataset, view)
+        bypassed = prepare_ball(view, ball, enumeration_limit=2000,
+                                cmm_bound_bypass=0)
+        assert bypassed.bound_bypassed
+        assert bypassed.enumerated == 0
+
+    def test_pattern_indices_cover_order(self, dataset):
+        view = self._view(dataset)
+        _, prepared = self._some_ball(dataset, view)
+        assert len(prepared.pattern_of_cmm) == prepared.enumerated
+        assert set(prepared.pattern_of_cmm) == set(range(len(
+            prepared.patterns)))
+        assert prepared.weight == (len(prepared.pattern_of_cmm)
+                                   + len(prepared.patterns))
