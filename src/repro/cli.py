@@ -24,6 +24,7 @@ import sys
 
 from repro.core.bf_pruning import BFConfig
 from repro.crypto.keys import DataOwnerKey
+from repro.framework.faults import ChaosPolicy
 from repro.framework.prilo import Prilo, PriloConfig
 from repro.framework.prilo_star import PriloStar
 from repro.framework.server import QueryBatchEngine
@@ -37,11 +38,28 @@ from repro.workloads.experiments import (
 )
 
 
+def _chaos(args: argparse.Namespace) -> ChaosPolicy | None:
+    """Build a :class:`ChaosPolicy` from ``--chaos-seed``/``--fault-rate``.
+
+    Chaos mode is opt-in: with neither flag the config carries no policy
+    and the engine takes the zero-overhead fast paths.
+    """
+    seed = getattr(args, "chaos_seed", None)
+    rate = getattr(args, "fault_rate", None)
+    if seed is None and not rate:
+        return None
+    return ChaosPolicy(seed=seed if seed is not None else 0,
+                       fault_rate=rate if rate is not None else 0.1)
+
+
 def _config(args: argparse.Namespace, store=None) -> PriloConfig:
     config = PriloConfig(k_players=args.players, modulus_bits=args.modulus,
                          q_bits=16 if args.modulus <= 1024 else 32,
                          r_bits=16 if args.modulus <= 1024 else 32,
-                         seed=args.seed)
+                         seed=args.seed,
+                         executor=getattr(args, "executor", "serial"),
+                         parallelism=getattr(args, "parallelism", 1),
+                         chaos=_chaos(args))
     if store is not None:
         # Ball ids are a function of (vertex order, radii): an engine
         # served from a store must address exactly the stored radii.
@@ -78,7 +96,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     store = _open_store(args)
     engine = PriloStar.setup(dataset.graph_for(semantics),
                              _config(args, store), store=store)
-    result = engine.run(query)
+    try:
+        result = engine.run(query)
+    finally:
+        engine.close()
     timings = result.metrics.timings
     print(f"candidates: {len(result.candidate_ids)}  "
           f"PM-positives: {len(result.pm_positive_ids)}  "
@@ -91,6 +112,8 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"pm={timings.pm_computation:.3f}s "
           f"eval={timings.evaluation:.3f}s "
           f"match={timings.user_matching:.3f}s")
+    if result.metrics.faults:
+        print(f"faults:  {result.metrics.faults.summary_line()}")
     return 0
 
 
@@ -105,8 +128,8 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     store = _open_store(args)
     engine = engine_cls.setup(dataset.graph_for(semantics),
                               _config(args, store), store=store)
-    server = QueryBatchEngine(engine)
-    report = server.serve(queries)
+    with QueryBatchEngine(engine) as server:
+        report = server.serve(queries)
     summary = report.summary()
     print(f"dataset: {dataset.graph}")
     print(f"served {summary['queries']} queries "
@@ -122,6 +145,12 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         print(f"  q{i}: candidates={len(result.candidate_ids)} "
               f"verified={len(result.verified_ids)} "
               f"matches={result.num_matches} latency={latency:.3f}s")
+    injected = sum(r.metrics.faults.injected for r in report.results)
+    if injected:
+        recovered = sum(r.metrics.faults.recovered for r in report.results)
+        degraded = sum(r.metrics.faults.degraded for r in report.results)
+        print(f"faults: injected={injected} recovered={recovered} "
+              f"degraded={degraded}")
     return 0
 
 
@@ -153,16 +182,30 @@ def cmd_store_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_store_verify(args: argparse.Namespace) -> int:
-    store = ArtifactStore.open(args.root)
-    key = DataOwnerKey.generate(args.seed) if args.with_key else None
+    """Exit 0 when every artifact is ok, 2 on staleness only, 3 on any
+    integrity failure (tampered or missing) -- scriptable triage."""
     try:
-        report = store.verify(key)
+        store = ArtifactStore.open(args.root)
     except StoreError as exc:
         print(f"FAILED: {exc}")
-        return 1
-    print(f"ok: {report['files']} files checksummed, "
-          f"{report['balls']} balls indexed, "
-          f"{report['decrypted']} blobs decrypt-authenticated")
+        return 3
+    key = DataOwnerKey.generate(args.seed) if args.with_key else None
+    report = store.verify(key)
+    for pack in report.packs:
+        line = f"{pack.name}: {pack.status}"
+        if pack.reason:
+            line += f" ({pack.reason})"
+        print(line)
+    print(f"{report.balls} balls indexed, "
+          f"{report.decrypted} blobs decrypt-authenticated")
+    if report.tampered:
+        print(f"FAILED: {len(report.tampered)} artifact(s) tampered "
+              f"or missing")
+        return 3
+    if report.stale:
+        print(f"STALE: {len(report.stale)} artifact(s) stale")
+        return 2
+    print("ok: store verified")
     return 0
 
 
@@ -198,6 +241,22 @@ def cmd_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", default="serial",
+                        choices=["serial", "process"],
+                        help="ball-evaluation backend")
+    parser.add_argument("--parallelism", type=int, default=1,
+                        help="worker processes for --executor process")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        metavar="N",
+                        help="enable seeded fault injection (chaos mode); "
+                             "the same seed replays the same fault schedule")
+    parser.add_argument("--fault-rate", type=float, default=None,
+                        metavar="P",
+                        help="per-decision fault probability in [0,1] "
+                             "(default 0.1 when --chaos-seed is given)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--store", default=None, metavar="DIR",
                        help="cold-start from an artifact store built with "
                             "the same dataset/scale/semantics/seed")
+    _add_execution_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_batch = sub.add_parser(
@@ -242,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--engine", default="prilo",
                          choices=["prilo", "prilo-star"])
     p_batch.add_argument("--store", default=None, metavar="DIR")
+    _add_execution_flags(p_batch)
     p_batch.set_defaults(func=cmd_serve_batch)
 
     p_store = sub.add_parser("store",

@@ -14,6 +14,9 @@
   end-to-end engines (Alg. 3 and its optimized variant).
 * :mod:`~repro.framework.server` -- multi-query batch serving with
   cross-query CMM reuse (the throughput layer over the engines).
+* :mod:`~repro.framework.faults` -- seeded fault injection
+  (:class:`ChaosPolicy`) and the recovery policy threaded through the
+  executor, roles, TEE channel and artifact store.
 """
 
 from repro.framework.executor import (
@@ -21,6 +24,13 @@ from repro.framework.executor import (
     ProcessExecutor,
     SerialExecutor,
     create_executor,
+)
+from repro.framework.faults import (
+    ChaosPolicy,
+    FaultInjector,
+    FaultRecoveryExhausted,
+    FaultReport,
+    RecoveryPolicy,
 )
 from repro.framework.metrics import CacheStats, ConfusionCounts, PhaseTimings
 from repro.framework.prilo import Prilo, PriloConfig, QueryResult
@@ -39,9 +49,13 @@ __all__ = [
     "BatchReport",
     "CMMCache",
     "CacheStats",
+    "ChaosPolicy",
     "ConfusionCounts",
     "DataOwner",
     "Dealer",
+    "FaultInjector",
+    "FaultRecoveryExhausted",
+    "FaultReport",
     "PhaseTimings",
     "Player",
     "Prilo",
@@ -50,6 +64,7 @@ __all__ = [
     "ProcessExecutor",
     "QueryBatchEngine",
     "QueryResult",
+    "RecoveryPolicy",
     "ScheduleOutcome",
     "SerialExecutor",
     "User",

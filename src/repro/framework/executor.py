@@ -19,10 +19,23 @@ consulted, and shares are merged in sequence order with
 first-evaluation-wins per ball id.  The only things that differ are the
 measured wall-clocks.
 
+Fault tolerance: every call carries a stable key (its protocol
+coordinate), so a share lost to a crashed or hung worker can be
+re-dispatched -- and only the *lost* shares are re-run.  The process
+backend survives ``BrokenProcessPool`` (worker death, injected via
+``os._exit`` under chaos) and per-share deadlines by respawning the pool
+with exponential backoff; because share evaluation is pure, the merged
+results are value-identical to a fault-free serial run under any injected
+schedule.  Fault decisions come from the installed
+:class:`~repro.framework.faults.FaultInjector` (see ``PriloConfig.chaos``)
+and every injection/detection/retry is recorded in its report.
+
 Obliviousness is unaffected: the executor schedules *shares*, which are
 derived from the Dealer's sequences only -- never from ciphertext values,
 verdicts, or any other query-dependent signal -- and every ball in a share
-is evaluated unconditionally.  See DESIGN.md ("Executor architecture").
+is evaluated unconditionally.  Chaos decisions, likewise, hash public
+coordinates only.  See DESIGN.md ("Executor architecture", "Fault model
+and recovery").
 
 Worker payloads are ``(message, balls)`` rather than whole
 :class:`~repro.framework.roles.Player` objects: players hold the full ball
@@ -33,13 +46,24 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
 from repro.core.aggregation import BallCiphertextResult, aggregate_items
 from repro.core.bf_pruning import BFConfig
 from repro.core.verification import verification_plan, verify_projected_rows
 from repro.crypto.cgbe import CiphertextPowerCache
+from repro.framework.faults import (
+    ChaosPolicy,
+    FaultAction,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultRecoveryExhausted,
+    InjectedFault,
+    RecoveryPolicy,
+)
 from repro.framework.messages import (
     EncryptedQueryMessage,
     EvaluationResult,
@@ -125,6 +149,9 @@ class PmShareOutcome:
     pms: PruningMessages
     pm_costs: dict[int, float]
     timings: PhaseTimings
+    #: Fault events observed inside the kernel (enclave/channel recovery),
+    #: merged into the run's fault report by the engine.
+    faults: list[FaultEvent] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -220,15 +247,36 @@ def _compute_pm_share(enclave: Enclave,
                       bf_config: BFConfig,
                       twiglet_h: int,
                       twiglet_features: dict[int, frozenset] | None,
+                      chaos: ChaosPolicy | None = None,
                       ) -> PmShareOutcome:
     started = time.perf_counter()
-    pms, pm_costs, timings = compute_pms_kernel(
+    pms, pm_costs, timings, fault_events = compute_pms_kernel(
         enclave, message, list(balls),
         bf_config=bf_config, twiglet_h=twiglet_h,
-        twiglet_features=twiglet_features)
+        twiglet_features=twiglet_features,
+        chaos=chaos, player_id=player)
     return PmShareOutcome(player=player,
                           wall_seconds=time.perf_counter() - started,
-                          pms=pms, pm_costs=pm_costs, timings=timings)
+                          pms=pms, pm_costs=pm_costs, timings=timings,
+                          faults=fault_events)
+
+
+def _chaos_call(policy: ChaosPolicy | None, key: str, attempt: int,
+                fn, *args):
+    """Worker-side chaos shim: fail as the schedule dictates, then run the
+    real kernel.  A worker crash is a *real* ``os._exit`` (the parent sees
+    a genuine ``BrokenProcessPool``, not a simulated exception); a hang is
+    a real sleep past the deadline.  The parent records the injection event
+    at submit time by re-evaluating the same pure decision."""
+    if policy is not None:
+        if policy.decides(FaultKind.WORKER_CRASH, key, attempt):
+            os._exit(66)
+        if policy.decides(FaultKind.SHARE_TIMEOUT, key, attempt):
+            time.sleep(policy.timeout_sleep_seconds)
+            raise InjectedFault(
+                FaultKind.SHARE_TIMEOUT,
+                f"injected hang on {key} (attempt {attempt})")
+    return fn(*args)
 
 
 # ----------------------------------------------------------------------
@@ -237,17 +285,27 @@ def _compute_pm_share(enclave: Enclave,
 class BallExecutor:
     """Maps Player shares onto compute resources.
 
-    Subclasses implement :meth:`_run_all`, which must return outcomes in
-    the submission order of its inputs -- merging stays deterministic no
-    matter how the backend schedules the work.
+    Subclasses implement :meth:`_run_all` over ``(key, fn, args)`` calls
+    and must return outcomes in submission order -- merging stays
+    deterministic no matter how the backend schedules (or re-dispatches)
+    the work.  ``install_faults`` binds the current run's injector; the
+    default is the inert null injector, so the recovery machinery is
+    always armed for *real* faults even with chaos off.
     """
 
     backend = "abstract"
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1,
+                 recovery: RecoveryPolicy | None = None) -> None:
         if workers < 1:
             raise ValueError("executor needs at least one worker")
         self.workers = workers
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.faults = FaultInjector()
+
+    def install_faults(self, injector: FaultInjector) -> None:
+        """Bind the fault injector/report for the next run(s)."""
+        self.faults = injector
 
     # -- public API ----------------------------------------------------
     def evaluate_shares(self, message: EncryptedQueryMessage,
@@ -256,9 +314,10 @@ class BallExecutor:
                         cmm_bound_bypass: int) -> list[ShareOutcome]:
         """Evaluate every share; outcomes come back in share order."""
         calls = [
-            (_evaluate_share,
+            (f"eval:{i}:p{share.player}",
+             _evaluate_share,
              (message, share, enumeration_limit, cmm_bound_bypass))
-            for share in shares
+            for i, share in enumerate(shares)
         ]
         return self._run_all(calls)
 
@@ -270,7 +329,9 @@ class BallExecutor:
         bound bypass were already decided when the patterns were built, and
         travel inside each :class:`PreparedBall`.
         """
-        calls = [(_verify_share, (message, share)) for share in shares]
+        calls = [(f"verify:{i}:p{share.player}", _verify_share,
+                  (message, share))
+                 for i, share in enumerate(shares)]
         return self._run_all(calls)
 
     def compute_pm_shares(self, message: EncryptedQueryMessage,
@@ -283,7 +344,10 @@ class BallExecutor:
 
         ``twiglet_features`` (artifact-store output) is sliced per share
         so process workers only pickle the features of their own balls.
+        The active chaos policy travels into the kernel so enclave/channel
+        faults fire inside the worker, where the enclave actually runs.
         """
+        chaos = self.faults.policy if self.faults.active else None
         calls = []
         for player, enclave, balls in shares:
             subset = None
@@ -292,13 +356,18 @@ class BallExecutor:
                           for ball in balls
                           if ball.ball_id in twiglet_features}
             calls.append(
-                (_compute_pm_share,
+                (f"pm:p{player}", _compute_pm_share,
                  (enclave, message, player, balls, bf_config, twiglet_h,
-                  subset)))
-        return self._run_all(calls)
+                  subset, chaos)))
+        outcomes = self._run_all(calls)
+        for outcome in outcomes:
+            if outcome.faults:
+                self.faults.report.extend(outcome.faults)
+                outcome.faults = []
+        return outcomes
 
     # -- backend hook --------------------------------------------------
-    def _run_all(self, calls: list[tuple[object, tuple]]) -> list:
+    def _run_all(self, calls: list[tuple[str, object, tuple]]) -> list:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -312,15 +381,64 @@ class BallExecutor:
 
 
 class SerialExecutor(BallExecutor):
-    """In-process, in-order execution -- the determinism/debug baseline."""
+    """In-process, in-order execution -- the determinism/debug baseline.
+
+    Under chaos, crash/hang injections surface as in-process
+    :class:`InjectedFault` stand-ins and go through the same
+    detect/backoff/retry loop as the process backend, so the fault
+    *schedule* and the recovery decisions are backend-independent.
+    """
 
     backend = "serial"
 
-    def __init__(self) -> None:
-        super().__init__(workers=1)
+    def __init__(self, recovery: RecoveryPolicy | None = None) -> None:
+        super().__init__(workers=1, recovery=recovery)
 
-    def _run_all(self, calls: list[tuple[object, tuple]]) -> list:
-        return [fn(*args) for fn, args in calls]
+    def _run_all(self, calls: list[tuple[str, object, tuple]]) -> list:
+        if not self.faults.active:
+            return [fn(*args) for _key, fn, args in calls]
+        return [self._run_one(key, fn, args) for key, fn, args in calls]
+
+    def _run_one(self, key: str, fn, args: tuple):
+        injector = self.faults
+        attempt = 0
+        last_kind: str | None = None
+        while True:
+            try:
+                if injector.should(FaultKind.WORKER_CRASH, key,
+                                   attempt=attempt,
+                                   detail="worker crash (serial stand-in)"):
+                    raise InjectedFault(
+                        FaultKind.WORKER_CRASH,
+                        f"injected worker crash on {key}")
+                if injector.should(FaultKind.SHARE_TIMEOUT, key,
+                                   attempt=attempt,
+                                   detail="share deadline (serial stand-in)"):
+                    raise InjectedFault(
+                        FaultKind.SHARE_TIMEOUT,
+                        f"injected share timeout on {key}")
+                result = fn(*args)
+            except InjectedFault as fault:
+                injector.record(fault.kind, key, FaultAction.DETECTED,
+                                detail=str(fault), attempt=attempt)
+                if attempt >= self.recovery.max_retries:
+                    raise FaultRecoveryExhausted(
+                        f"share {key} still failing after "
+                        f"{attempt + 1} attempts "
+                        f"(max_retries={self.recovery.max_retries})"
+                    ) from fault
+                time.sleep(self.recovery.backoff_for(attempt))
+                injector.record(fault.kind, key, FaultAction.RETRIED,
+                                detail="re-running share in-process",
+                                attempt=attempt)
+                last_kind = fault.kind
+                attempt += 1
+                continue
+            if last_kind is not None:
+                injector.record(last_kind, key, FaultAction.RECOVERED,
+                                detail=f"share succeeded on attempt "
+                                       f"{attempt}", attempt=attempt)
+            return result
 
 
 class ProcessExecutor(BallExecutor):
@@ -330,15 +448,28 @@ class ProcessExecutor(BallExecutor):
     the fork/spawn cost is paid once per engine, not once per run.  Results
     are gathered in submission order, which keeps merging bit-compatible
     with :class:`SerialExecutor`.
+
+    The dispatch loop is *always* resilient (chaos merely makes failures
+    likely): a dead worker breaks the whole pool, so the loop harvests
+    whatever completed, discards the broken pool, respawns it after
+    exponential backoff, and re-dispatches only the shares that never
+    returned.  ``RecoveryPolicy.share_timeout`` adds a per-share deadline
+    for hung workers.  Because every share is a pure function of its
+    arguments, a re-dispatched share returns the same value it would have
+    the first time.
     """
 
     backend = "process"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None,
+                 recovery: RecoveryPolicy | None = None) -> None:
         if workers is None:
             workers = max(os.cpu_count() or 1, 1)
-        super().__init__(workers=workers)
+        super().__init__(workers=workers, recovery=recovery)
         self._pool: ProcessPoolExecutor | None = None
+        #: Pool respawns over this executor's lifetime (observable in
+        #: tests and the fault report's detail strings).
+        self.respawns = 0
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -354,11 +485,103 @@ class ProcessExecutor(BallExecutor):
                                              mp_context=context)
         return self._pool
 
-    def _run_all(self, calls: list[tuple[object, tuple]]) -> list:
-        pool = self._ensure_pool()
-        futures: list[Future] = [pool.submit(fn, *args)
-                                 for fn, args in calls]
-        return [future.result() for future in futures]
+    def _reset_pool(self) -> None:
+        """Discard a broken/hung pool; the next dispatch respawns it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self.respawns += 1
+
+    def _run_all(self, calls: list[tuple[str, object, tuple]]) -> list:
+        injector = self.faults
+        policy = injector.policy if injector.active else None
+        recovery = self.recovery
+        results: list = [None] * len(calls)
+        pending = list(range(len(calls)))
+        attempts = [0] * len(calls)
+        incident = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures: dict[int, Future] = {}
+            for i in pending:
+                key, fn, args = calls[i]
+                if policy is not None:
+                    # The worker decides the same pure coin flips; record
+                    # the injection here because a killed child cannot.
+                    if policy.decides(FaultKind.WORKER_CRASH, key,
+                                      attempts[i]):
+                        injector.record(FaultKind.WORKER_CRASH, key,
+                                        FaultAction.INJECTED,
+                                        detail="worker os._exit(66)",
+                                        attempt=attempts[i])
+                    elif policy.decides(FaultKind.SHARE_TIMEOUT, key,
+                                        attempts[i]):
+                        injector.record(FaultKind.SHARE_TIMEOUT, key,
+                                        FaultAction.INJECTED,
+                                        detail="worker hang injected",
+                                        attempt=attempts[i])
+                futures[i] = pool.submit(_chaos_call, policy, key,
+                                         attempts[i], fn, *args)
+            failed: dict[int, str] = {}
+            pool_broken = False
+            pool_hung = False
+            for i in pending:
+                key = calls[i][0]
+                try:
+                    results[i] = futures[i].result(
+                        timeout=recovery.share_timeout)
+                except InjectedFault as fault:
+                    failed[i] = fault.kind
+                    injector.record(fault.kind, key, FaultAction.DETECTED,
+                                    detail=str(fault), attempt=attempts[i])
+                except BrokenExecutor as exc:
+                    # One dead worker breaks the whole pool; innocent
+                    # still-pending shares land here too and are simply
+                    # re-dispatched on the fresh pool.
+                    pool_broken = True
+                    failed[i] = FaultKind.WORKER_CRASH
+                    injector.record(FaultKind.WORKER_CRASH, key,
+                                    FaultAction.DETECTED,
+                                    detail=type(exc).__name__,
+                                    attempt=attempts[i])
+                except FutureTimeoutError:
+                    pool_hung = True
+                    failed[i] = FaultKind.SHARE_TIMEOUT
+                    injector.record(
+                        FaultKind.SHARE_TIMEOUT, key, FaultAction.DETECTED,
+                        detail=f"no result within {recovery.share_timeout}s",
+                        attempt=attempts[i])
+            for i in pending:
+                if i not in failed and attempts[i] > 0:
+                    injector.record(
+                        FaultKind.WORKER_CRASH, calls[i][0],
+                        FaultAction.RECOVERED,
+                        detail=f"share recovered on attempt {attempts[i]}",
+                        attempt=attempts[i])
+            still_pending: list[int] = []
+            for i, kind in failed.items():
+                attempts[i] += 1
+                if attempts[i] > recovery.max_retries:
+                    raise FaultRecoveryExhausted(
+                        f"share {calls[i][0]} still failing after "
+                        f"{attempts[i]} attempts "
+                        f"(max_retries={recovery.max_retries})")
+                still_pending.append(i)
+            pending = still_pending
+            if pending:
+                if pool_broken or pool_hung:
+                    self._reset_pool()
+                delay = recovery.backoff_for(incident)
+                incident += 1
+                if delay > 0:
+                    time.sleep(delay)
+                for i in pending:
+                    injector.record(
+                        failed[i], calls[i][0], FaultAction.RETRIED,
+                        detail=f"re-dispatch (pool respawn #{self.respawns}, "
+                               f"backoff {delay:.3f}s)",
+                        attempt=attempts[i] - 1)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
@@ -366,12 +589,13 @@ class ProcessExecutor(BallExecutor):
             self._pool = None
 
 
-def create_executor(backend: str, parallelism: int) -> BallExecutor:
+def create_executor(backend: str, parallelism: int,
+                    recovery: RecoveryPolicy | None = None) -> BallExecutor:
     """Build the configured backend (``PriloConfig.executor``)."""
     if backend == "serial":
-        return SerialExecutor()
+        return SerialExecutor(recovery=recovery)
     if backend == "process":
-        return ProcessExecutor(workers=parallelism)
+        return ProcessExecutor(workers=parallelism, recovery=recovery)
     raise ValueError(f"unknown executor backend {backend!r}; "
                      f"choose one of {EXECUTOR_BACKENDS}")
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.framework.faults import FaultReport
+
 
 class Stopwatch:
     """Accumulating wall-clock timer: ``with watch: ...`` adds to total."""
@@ -206,6 +208,9 @@ class RunMetrics:
     #: for the verification pad-power caches, ``"decrypt"`` for the user's
     #: CGBE unblinding memo).
     caches: dict[str, CacheStats] = field(default_factory=dict)
+    #: Every fault injected, detected, retried, recovered or degraded-past
+    #: during this run (chaos-injected and genuine alike).
+    faults: FaultReport = field(default_factory=FaultReport)
 
     def record_cache(self, name: str, stats: CacheStats) -> None:
         """Merge one cache's counters into this run's record."""

@@ -17,8 +17,16 @@ import logging
 from dataclasses import dataclass, field, replace
 
 from repro.core.bf_pruning import BFConfig
-from repro.core.retrieval import PlayerSequence
+from repro.core.retrieval import PlayerSequence, rsg_sequences
 from repro.crypto.keys import UserKeyring
+from repro.framework.faults import (
+    ChaosPolicy,
+    FaultAction,
+    FaultInjector,
+    FaultKind,
+    FaultReport,
+    RecoveryPolicy,
+)
 from repro.framework.messages import (
     DecryptedPMs,
     EncryptedQueryMessage,
@@ -74,16 +82,46 @@ class PriloConfig:
     executor: str = "serial"
     #: Worker processes for the "process" backend (ignored by "serial").
     parallelism: int = 1
+    #: Seeded fault-injection schedule (None: chaos off).  Injection
+    #: decisions are pure functions of the policy, so the same policy
+    #: replays the same faults on any backend.
+    chaos: ChaosPolicy | None = None
+    #: Retry/timeout/degradation knobs of the recovery layer (always
+    #: active -- genuine faults take the same paths chaos exercises).
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
     def __post_init__(self) -> None:
-        if self.k_players < 1:
-            raise ValueError("k_players must be positive")
+        # Eager validation with actionable messages: a bad backend name or
+        # worker count must fail here, not deep inside pool setup.
+        if (isinstance(self.k_players, bool)
+                or not isinstance(self.k_players, int)
+                or self.k_players < 1):
+            raise ValueError(
+                f"k_players must be an int >= 1 (one Player server per "
+                f"sequence); got {self.k_players!r}")
         if self.executor not in EXECUTOR_BACKENDS:
             raise ValueError(
                 f"unknown executor backend {self.executor!r}; choose one "
                 f"of {EXECUTOR_BACKENDS}")
-        if self.parallelism < 1:
-            raise ValueError("parallelism must be positive")
+        if (isinstance(self.parallelism, bool)
+                or not isinstance(self.parallelism, int)
+                or self.parallelism < 1):
+            raise ValueError(
+                f"parallelism must be an int >= 1 (worker processes for "
+                f"the 'process' backend); got {self.parallelism!r}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an int; got {self.seed!r}")
+        if self.chaos is not None and not isinstance(self.chaos,
+                                                     ChaosPolicy):
+            raise ValueError(
+                f"chaos must be a repro.framework.faults.ChaosPolicy or "
+                f"None; got {type(self.chaos).__name__} "
+                f"({self.chaos!r}) -- e.g. "
+                f"ChaosPolicy(seed=7, fault_rate=0.1)")
+        if not isinstance(self.recovery, RecoveryPolicy):
+            raise ValueError(
+                f"recovery must be a repro.framework.faults.RecoveryPolicy;"
+                f" got {type(self.recovery).__name__}")
         if self.use_ssg and self.k_players < 2:
             raise ValueError("SSG requires at least two players (Sec. 2.3)")
         if not 3 <= self.twiglet_h <= 5:
@@ -168,8 +206,35 @@ class Prilo:
         #: DataOwner) and twiglet pruning reuses the stored per-ball
         #: feature sets.
         self.store = store
-        self.owner = DataOwner(graph, config.radii, seed=config.seed,
-                               store=store)
+        #: Setup-time fault events (e.g. a stale store degraded past);
+        #: replayed into every run's ``RunMetrics.faults``.
+        self.fault_log = FaultReport()
+        if store is not None:
+            from repro.storage import StoreError
+
+            try:
+                self.owner = DataOwner(graph, config.radii, seed=config.seed,
+                                       store=store)
+            except StoreError as exc:
+                if not config.recovery.recompute_on_stale_store:
+                    raise
+                # The persisted outsourcing output no longer matches the
+                # live graph/radii/key.  Serving it would be wrong; with
+                # the opt-in fallback we log the degradation and rebuild
+                # the offline artifacts in-process instead.
+                self.fault_log.record(FaultKind.STORE_STALE, "store",
+                                      FaultAction.DETECTED, detail=str(exc))
+                self.fault_log.record(
+                    FaultKind.STORE_STALE, "store", FaultAction.DEGRADED,
+                    detail="stale artifact store ignored; recomputing "
+                           "offline outsourcing in-process")
+                logger.warning("stale artifact store (%s); recomputing", exc)
+                self.store = None
+                self.owner = DataOwner(graph, config.radii, seed=config.seed)
+            else:
+                store.quarantine_enabled = config.recovery.quarantine_store
+        else:
+            self.owner = DataOwner(graph, config.radii, seed=config.seed)
         if keyring is None:
             keyring = UserKeyring.generate(modulus_bits=config.modulus_bits,
                                            seed=config.seed)
@@ -187,7 +252,7 @@ class Prilo:
                         for i in range(config.k_players)]
         self.dealer = Dealer(self.owner.dealer_store())
         self.executor: BallExecutor = create_executor(
-            config.executor, config.parallelism)
+            config.executor, config.parallelism, recovery=config.recovery)
 
     def close(self) -> None:
         """Shut down the evaluation backend (idempotent)."""
@@ -243,6 +308,15 @@ class Prilo:
         timings = metrics.timings
         sizes = metrics.sizes
 
+        # One injector per run, recording straight into this run's
+        # metrics; threaded through the executor, the store, the user's
+        # channel establishment and the final retrieval.
+        injector = FaultInjector(config.chaos, report=metrics.faults)
+        metrics.faults.extend(self.fault_log.events)
+        self.executor.install_faults(injector)
+        if self.store is not None:
+            self.store.install_faults(injector)
+
         label, candidates = self.candidate_balls(query)
         metrics.candidate_balls = len(candidates)
         candidate_ids = tuple(ball.ball_id for ball in candidates)
@@ -262,6 +336,8 @@ class Prilo:
             enclaves=[p.enclave for p in self.players],
             sizes=sizes,
             timings=timings,
+            faults=injector,
+            degrade_bf=config.recovery.degrade_bf,
         )
 
         # Steps 2-4: pruning messages (Prilo* only).
@@ -286,6 +362,7 @@ class Prilo:
             sequences, mode = self.dealer.generate_sequences(
                 decrypted, config.k_players, use_ssg=config.use_ssg,
                 seed=config.seed)
+            sequences = self._replan_dropouts(sequences, injector)
         timings.sequence_generation += watch.total
 
         # Step 7: Players evaluate (each unique ball once; dummies reuse
@@ -303,7 +380,9 @@ class Prilo:
         verified = self.user.decrypt_results(results.values(), timings)
         verified &= set(decrypted.positives)
         matches = self.user.retrieve_and_match(
-            verified, self.dealer, query, sizes, timings)
+            verified, self.dealer, query, sizes, timings, faults=injector)
+        if metrics.faults:
+            logger.info("faults: %s", metrics.faults.summary_line())
         logger.info("verified %d balls, %d contain matches "
                     "(%s mode, all positives by t=%.4fs of %.4fs)",
                     len(verified), len(matches), mode,
@@ -326,6 +405,73 @@ class Prilo:
     #: Serving-layer name for the end-to-end call (``QueryBatchEngine``
     #: and the docs speak of "answering" queries).
     answer = run
+
+    # ------------------------------------------------------------------
+    def _replan_dropouts(self, sequences: list[PlayerSequence],
+                         injector: FaultInjector) -> list[PlayerSequence]:
+        """Dealer-side dropout recovery (step 5.5, chaos-driven).
+
+        Players the schedule declares unreachable are removed and any ball
+        that only *they* would have evaluated is re-planned across the
+        survivors (a fresh RSG partition appended to their sequences; SSG's
+        dummy duplication already covers most orphans).  At least one
+        Player always survives.  Per-ball evaluation is a pure function of
+        ``(message, ball)``, so re-planning changes scheduling only --
+        never answers.  ``scp`` is dropped on extended sequences: the
+        cutoff bookkeeping no longer describes them.
+        """
+        policy = injector.policy
+        if (not injector.active
+                or FaultKind.PLAYER_DROPOUT not in policy.kinds
+                or not self.config.recovery.replan_dropouts):
+            return sequences
+        players = sorted({seq.player for seq in sequences})
+        dropped = [p for p in players
+                   if policy.decides(FaultKind.PLAYER_DROPOUT,
+                                     f"player:{p}")]
+        if not dropped:
+            return sequences
+        survivors = [p for p in players if p not in dropped]
+        if not survivors:
+            # Losing every Player is not recoverable by re-planning; keep
+            # the lowest id alive (the deterministic choice).
+            survivors = [dropped.pop(0)]
+        for p in dropped:
+            injector.record(FaultKind.PLAYER_DROPOUT, f"player:{p}",
+                            FaultAction.INJECTED,
+                            detail="player unreachable at evaluation start")
+            injector.record(FaultKind.PLAYER_DROPOUT, f"player:{p}",
+                            FaultAction.DETECTED,
+                            detail="sequence delivery failed")
+        surviving = [seq for seq in sequences if seq.player in survivors]
+        covered: set[int] = set()
+        for seq in surviving:
+            covered.update(seq.sequence)
+        orphans: set[int] = set()
+        for seq in sequences:
+            if seq.player in dropped:
+                orphans.update(seq.sequence)
+        orphans -= covered
+        if orphans:
+            extra = rsg_sequences(sorted(orphans), len(survivors),
+                                  seed=self.config.seed)
+            merged: list[PlayerSequence] = []
+            for index, seq in enumerate(surviving):
+                addition = extra[index % len(extra)].sequence
+                if addition:
+                    seq = PlayerSequence(
+                        player=seq.player,
+                        sequence=seq.sequence + addition,
+                        scp=None)
+                merged.append(seq)
+            surviving = merged
+        injector.record(
+            FaultKind.PLAYER_DROPOUT,
+            "players:" + ",".join(str(p) for p in dropped),
+            FaultAction.DEGRADED,
+            detail=f"re-planned {len(orphans)} orphaned balls across "
+                   f"{len(survivors)} surviving players")
+        return surviving
 
     # ------------------------------------------------------------------
     def _compute_pms(self, message: EncryptedQueryMessage,

@@ -42,6 +42,14 @@ from repro.core.twiglets import (
 )
 from repro.core.verification import verification_plan, verify_ball_streaming
 from repro.crypto.keys import DataOwnerKey, UserKeyring
+from repro.crypto.stream_cipher import AuthenticationError
+from repro.framework.faults import (
+    ChaosPolicy,
+    FaultAction,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+)
 from repro.framework.messages import (
     DecryptedPMs,
     EncryptedBallBlob,
@@ -55,8 +63,8 @@ from repro.graph.io import ball_from_bytes, ball_to_bytes
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query import Query, QueryLabelView, Semantics
 from repro.semantics.evaluate import find_matches
-from repro.tee.channel import SecureChannel
-from repro.tee.enclave import Enclave
+from repro.tee.channel import AttestationFailure, SecureChannel
+from repro.tee.enclave import ChannelIntegrityError, Enclave, EnclaveMemoryError
 
 
 # ----------------------------------------------------------------------
@@ -103,7 +111,11 @@ class DataOwner:
         calls must not discard the store's encryption cache)."""
         if self._dealer_store is None:
             if self._store is not None:
-                self._dealer_store = self._store.encrypted_store()
+                # The owner key enables the tamper fallback: a blob that
+                # fails authentication downstream is re-encrypted from the
+                # plaintext pack instead of aborting the query.
+                self._dealer_store = self._store.encrypted_store(
+                    key=self.key)
             else:
                 self._dealer_store = EncryptedBallStore(self.index, self.key)
         return self._dealer_store
@@ -140,6 +152,12 @@ class EncryptedBallStore:
             self._cache[ball_id] = blob
         return blob
 
+    def refetch(self, ball_id: int) -> EncryptedBallBlob:
+        """Discard the cached (possibly corrupted) blob and re-encrypt
+        from the authoritative plaintext index."""
+        self._cache.pop(ball_id, None)
+        return self.get(ball_id)
+
 
 # ----------------------------------------------------------------------
 # User
@@ -174,6 +192,8 @@ class User:
         enclaves: list[Enclave],
         sizes: MessageSizes,
         timings: PhaseTimings,
+        faults: FaultInjector | None = None,
+        degrade_bf: bool = True,
     ) -> tuple[EncryptedQueryMessage, UserQueryState]:
         cgbe = self.keyring.cgbe
         state = UserQueryState(query=query,
@@ -212,13 +232,34 @@ class User:
             if use_bf:
                 if not enclaves:
                     raise ValueError("BF pruning needs at least one enclave")
-                for enclave in enclaves:
-                    state.channels.append(SecureChannel.establish(
-                        enclave, self.keyring.enclave_key))
-                message.bf_message = user_prepare_encodings(
-                    query, state.codec, state.channels[0], bf_config)
-                sizes.add("bf_encodings",
-                          len(message.bf_message.sealed_blob))
+                injector = faults if faults is not None else FaultInjector()
+                try:
+                    for i, enclave in enumerate(enclaves):
+                        state.channels.append(SecureChannel.establish(
+                            enclave, self.keyring.enclave_key,
+                            faults=injector, fault_key=f"enclave:{i}"))
+                except AttestationFailure as exc:
+                    # Injected or genuine: the enclave fleet cannot be
+                    # trusted this run.  BF is the only TEE-dependent
+                    # pruning method; dropping it only keeps *more*
+                    # candidates (Prop. 3 is one-sided), so the final
+                    # match set is unchanged -- continue twiglet-only.
+                    if not degrade_bf:
+                        raise
+                    key = f"enclave:{len(state.channels)}"
+                    injector.record(FaultKind.ENCLAVE_ATTESTATION, key,
+                                    FaultAction.DETECTED, detail=str(exc))
+                    injector.record(
+                        FaultKind.ENCLAVE_ATTESTATION, key,
+                        FaultAction.DEGRADED,
+                        detail="BF pruning disabled for this query; "
+                               "continuing twiglet-only")
+                    state.channels.clear()
+                else:
+                    message.bf_message = user_prepare_encodings(
+                        query, state.codec, state.channels[0], bf_config)
+                    sizes.add("bf_encodings",
+                              len(message.bf_message.sealed_blob))
         timings.user_preprocessing += watch.total
         return message, state
 
@@ -284,14 +325,37 @@ class User:
         query: Query,
         sizes: MessageSizes,
         timings: PhaseTimings,
+        faults: FaultInjector | None = None,
     ) -> dict[int, list[LabeledGraph]]:
+        injector = faults if faults is not None else FaultInjector()
         cipher = self.keyring.ball_cipher()
         matches: dict[int, list[LabeledGraph]] = {}
         with Stopwatch() as watch:
             for ball_id in sorted(verified_ids):
                 blob = dealer.fetch_encrypted_ball(ball_id)
                 sizes.add("retrieved_balls", blob.size)
-                ball = ball_from_bytes(cipher.decrypt(blob.blob))
+                try:
+                    payload = cipher.decrypt(blob.blob)
+                except AuthenticationError as exc:
+                    # The ciphertext the Dealer served fails its MAC --
+                    # tampered or rotted.  Have the Dealer quarantine its
+                    # copy and re-serve from the authoritative source; the
+                    # retried blob authenticates or the run fails loudly.
+                    key = f"retrieve:b{ball_id}"
+                    injector.record(FaultKind.STORE_TAMPER, key,
+                                    FaultAction.DETECTED,
+                                    detail=f"ball blob failed "
+                                           f"authentication: {exc}")
+                    injector.record(FaultKind.STORE_TAMPER, key,
+                                    FaultAction.RETRIED,
+                                    detail="re-fetching from Dealer after "
+                                           "quarantine")
+                    blob = dealer.refetch_encrypted_ball(ball_id)
+                    payload = cipher.decrypt(blob.blob)
+                    injector.record(FaultKind.STORE_TAMPER, key,
+                                    FaultAction.RECOVERED,
+                                    detail="re-served blob authenticated")
+                ball = ball_from_bytes(payload)
                 found = find_matches(query, ball)
                 if found:
                     matches[ball_id] = found
@@ -350,6 +414,95 @@ def evaluate_ball_kernel(
         player=player_id, cmms=enumerated, bypassed=verdict.bypassed)
 
 
+#: Times a corrupted sealed payload is re-requested before the share
+#: degrades to twiglet-only.
+_CHANNEL_RETRIES = 3
+
+
+def _load_encodings_with_recovery(enclave: Enclave, blob: bytes,
+                                  injector: FaultInjector,
+                                  player_id: int) -> bool:
+    """Install the sealed BF payload, re-requesting it on corruption.
+
+    The channel is authenticated, so a flipped byte surfaces as
+    :class:`~repro.tee.enclave.ChannelIntegrityError` -- never as silently
+    wrong encodings.  Returns False when every attempt failed, in which
+    case the caller skips BF for this share (sound: a missing BF verdict
+    counts the ball positive downstream).
+    """
+    key = f"bf-blob:p{player_id}"
+    for attempt in range(_CHANNEL_RETRIES + 1):
+        payload = injector.corrupt(FaultKind.CHANNEL_CORRUPTION, key, blob,
+                                   attempt=attempt)
+        try:
+            enclave.load_query_encodings(payload)
+        except ChannelIntegrityError as exc:
+            injector.record(FaultKind.CHANNEL_CORRUPTION, key,
+                            FaultAction.DETECTED, detail=str(exc),
+                            attempt=attempt)
+            if attempt < _CHANNEL_RETRIES:
+                injector.record(FaultKind.CHANNEL_CORRUPTION, key,
+                                FaultAction.RETRIED,
+                                detail="re-requesting sealed BF payload",
+                                attempt=attempt)
+                continue
+            injector.record(
+                FaultKind.CHANNEL_CORRUPTION, key, FaultAction.DEGRADED,
+                detail="sealed payload unrecoverable; BF skipped for "
+                       "this share", attempt=attempt)
+            return False
+        if attempt > 0:
+            injector.record(FaultKind.CHANNEL_CORRUPTION, key,
+                            FaultAction.RECOVERED,
+                            detail=f"payload accepted on attempt {attempt}",
+                            attempt=attempt)
+        return True
+    return False  # pragma: no cover - loop always returns
+
+
+def _bf_prune_with_recovery(enclave: Enclave, ball: Ball, codec: LabelCodec,
+                            bf_config: BFConfig, injector: FaultInjector,
+                            player_id: int):
+    """One BF ECALL with a single retry on enclave memory pressure.
+
+    EPC exhaustion is transient (the filter allocation is freed per call),
+    so one retry usually recovers; if the enclave aborts again the ball's
+    BF verdict is skipped (``None``) -- sound, since a ball without a BF
+    pruning message is treated as positive by the user.
+    """
+    key = f"enclave-mem:p{player_id}:b{ball.ball_id}"
+    for attempt in range(2):
+        try:
+            if injector.should(FaultKind.ENCLAVE_MEMORY, key,
+                               attempt=attempt,
+                               detail="ECALL aborted (EPC exhausted)"):
+                raise EnclaveMemoryError(
+                    f"injected EPC exhaustion on {key}")
+            outcome = player_bf_prune(enclave, ball, codec, bf_config)
+        except EnclaveMemoryError as exc:
+            injector.record(FaultKind.ENCLAVE_MEMORY, key,
+                            FaultAction.DETECTED, detail=str(exc),
+                            attempt=attempt)
+            if attempt == 0:
+                injector.record(FaultKind.ENCLAVE_MEMORY, key,
+                                FaultAction.RETRIED,
+                                detail="re-issuing ECALL", attempt=attempt)
+                continue
+            injector.record(
+                FaultKind.ENCLAVE_MEMORY, key, FaultAction.DEGRADED,
+                detail="BF verdict skipped for this ball (missing PM "
+                       "counts positive -- sound)", attempt=attempt)
+            return None
+        else:
+            if attempt > 0:
+                injector.record(FaultKind.ENCLAVE_MEMORY, key,
+                                FaultAction.RECOVERED,
+                                detail="ECALL succeeded on retry",
+                                attempt=attempt)
+            return outcome
+    return None  # pragma: no cover - loop always returns
+
+
 def compute_pms_kernel(
     enclave: Enclave,
     message: EncryptedQueryMessage,
@@ -358,25 +511,39 @@ def compute_pms_kernel(
     bf_config: BFConfig,
     twiglet_h: int,
     twiglet_features: dict[int, frozenset] | None = None,
-) -> tuple[PruningMessages, dict[int, float], PhaseTimings]:
+    chaos: ChaosPolicy | None = None,
+    player_id: int = 0,
+) -> tuple[PruningMessages, dict[int, float], PhaseTimings,
+           list[FaultEvent]]:
     """One player's share of the pruning messages (Secs. 4.1-4.2).
 
-    Returns fresh ``(pms, per-ball costs, phase timings)`` so executor
-    backends can run shares in worker processes and merge the results
-    deterministically in the parent.
+    Returns fresh ``(pms, per-ball costs, phase timings, fault events)``
+    so executor backends can run shares in worker processes and merge the
+    results deterministically in the parent.
+
+    ``chaos`` (the active fault schedule, if any) drives the enclave-side
+    injections -- sealed-payload corruption and EPC exhaustion -- which
+    must fire *inside* the worker where the enclave actually executes.
+    The recovery paths are shared with genuine failures, and every
+    degradation here is sound: BF pruning only ever removes provably
+    spurious balls, so skipping it keeps strictly more candidates and the
+    final match set is unchanged.
 
     ``twiglet_features`` supplies precomputed *full-alphabet* per-ball
     twiglet sets (the artifact store's offline output); they are
     restricted to the query alphabet here, yielding exactly the set the
     per-query DFS would enumerate.
     """
+    injector = FaultInjector(chaos)
     pms = PruningMessages()
     pm_costs: dict[int, float] = {}
     timings = PhaseTimings()
     codec = LabelCodec.from_alphabet(message.alphabet)
     params = message.params
+    bf_active = False
     if message.bf_message is not None:
-        enclave.load_query_encodings(message.bf_message.sealed_blob)
+        bf_active = _load_encodings_with_recovery(
+            enclave, message.bf_message.sealed_blob, injector, player_id)
     twiglet_plan = None
     if message.twiglet_tables:
         twiglet_plan = table_plan(params, len(message.twiglet_tables[0]))
@@ -389,10 +556,12 @@ def compute_pms_kernel(
                                    len(message.neighbor_tables[0]))
     for ball in balls:
         started = time.perf_counter()
-        if message.bf_message is not None:
+        if bf_active:
             bf_start = time.perf_counter()
-            pms.bf[ball.ball_id] = player_bf_prune(
-                enclave, ball, codec, bf_config)
+            outcome = _bf_prune_with_recovery(enclave, ball, codec,
+                                              bf_config, injector, player_id)
+            if outcome is not None:
+                pms.bf[ball.ball_id] = outcome
             timings.pm_bf += time.perf_counter() - bf_start
         if message.twiglet_tables:
             t_start = time.perf_counter()
@@ -421,7 +590,7 @@ def compute_pms_kernel(
         elapsed = time.perf_counter() - started
         pm_costs[ball.ball_id] = elapsed
         timings.pm_computation += elapsed
-    return pms, pm_costs, timings
+    return pms, pm_costs, timings, injector.report.events
 
 
 def merge_pms(into: PruningMessages, share: PruningMessages) -> None:
@@ -452,11 +621,17 @@ class Player:
         pms: PruningMessages,
         pm_costs: dict[int, float],
         timings: PhaseTimings,
+        faults: FaultInjector | None = None,
     ) -> None:
         """Compute this player's share of the PMs, appending into ``pms``."""
-        share, costs, share_timings = compute_pms_kernel(
+        share, costs, share_timings, events = compute_pms_kernel(
             self.enclave, message, balls,
-            bf_config=bf_config, twiglet_h=twiglet_h)
+            bf_config=bf_config, twiglet_h=twiglet_h,
+            chaos=faults.policy if faults is not None and faults.active
+            else None,
+            player_id=self.player_id)
+        if faults is not None:
+            faults.report.extend(events)
         merge_pms(pms, share)
         pm_costs.update(costs)
         timings.pm_bf += share_timings.pm_bf
@@ -506,4 +681,12 @@ class Dealer:
 
     def fetch_encrypted_ball(self, ball_id: int) -> EncryptedBallBlob:
         """Step 9: serve one encrypted ball."""
+        return self._store.get(ball_id)
+
+    def refetch_encrypted_ball(self, ball_id: int) -> EncryptedBallBlob:
+        """Re-serve a ball whose previous blob failed authentication,
+        bypassing (and evicting/quarantining) the bad copy."""
+        refetch = getattr(self._store, "refetch", None)
+        if refetch is not None:
+            return refetch(ball_id)
         return self._store.get(ball_id)

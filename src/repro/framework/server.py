@@ -247,6 +247,17 @@ class QueryBatchEngine:
         self.engine = engine
         self.cache = cache if cache is not None else CMMCache(max_cache_weight)
 
+    def close(self) -> None:
+        """Shut down the underlying engine's executor (idempotent) -- a
+        failed batch must not leak pool worker processes."""
+        self.engine.close()
+
+    def __enter__(self) -> "QueryBatchEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def serve(self, queries: list[Query]) -> BatchReport:
         """Answer every query; results are value-identical to independent
         ``engine.run`` calls in the same order."""

@@ -20,9 +20,11 @@ and tamper detection.
 from repro.storage.archive import ArchiveError, EncryptedBallArchive
 from repro.storage.store import (
     ArtifactStore,
+    PackReport,
     StoreBallIndex,
     StoreEncryptedBalls,
     StoreError,
+    VerifyReport,
     graph_digest,
     key_digest,
 )
@@ -31,9 +33,11 @@ __all__ = [
     "ArchiveError",
     "ArtifactStore",
     "EncryptedBallArchive",
+    "PackReport",
     "StoreBallIndex",
     "StoreEncryptedBalls",
     "StoreError",
+    "VerifyReport",
     "graph_digest",
     "key_digest",
 ]

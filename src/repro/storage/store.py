@@ -36,7 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import mmap
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.bf_pruning import BFConfig, PAD_ENCODING
@@ -53,8 +53,9 @@ from repro.core.twiglets import (
 )
 from repro.crypto.keys import DataOwnerKey
 from repro.filters.bloom import BloomFilter
+from repro.framework.faults import FaultAction, FaultInjector, FaultKind
 from repro.framework.messages import EncryptedBallBlob
-from repro.graph.ball import Ball, BallIndex
+from repro.graph.ball import Ball, BallIndex, extract_ball
 from repro.graph.io import ball_from_bytes, ball_to_bytes, graph_to_json
 from repro.graph.labeled_graph import LabeledGraph
 
@@ -68,6 +69,56 @@ _VERSION = 1
 
 class StoreError(RuntimeError):
     """Store is missing, stale, malformed, or failed verification."""
+
+
+@dataclass(frozen=True)
+class PackReport:
+    """Verification outcome for one artifact file."""
+
+    name: str
+    #: ``ok`` | ``stale`` | ``tampered`` | ``missing``
+    status: str
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "status": self.status,
+                "reason": self.reason}
+
+
+@dataclass
+class VerifyReport:
+    """The full integrity/staleness picture of one store.
+
+    Unlike the old first-failure raise, every artifact is checked and
+    reported, so an operator sees the complete damage in one sweep --
+    and ``repro store verify`` can map stale vs tampered to distinct
+    exit codes.
+    """
+
+    packs: list[PackReport] = field(default_factory=list)
+    balls: int = 0
+    #: Blobs that decrypt-authenticated AND matched the plaintext pack
+    #: during the keyed sweep (0 when no key was supplied).
+    decrypted: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(p.status == "ok" for p in self.packs)
+
+    @property
+    def stale(self) -> list[PackReport]:
+        return [p for p in self.packs if p.status == "stale"]
+
+    @property
+    def tampered(self) -> list[PackReport]:
+        """Integrity failures: tampered or missing artifacts."""
+        return [p for p in self.packs if p.status in ("tampered", "missing")]
+
+    def as_dict(self) -> dict:
+        return {"ok": self.ok,
+                "balls": self.balls,
+                "decrypted": self.decrypted,
+                "packs": [p.as_dict() for p in self.packs]}
 
 
 def graph_digest(graph: LabeledGraph) -> str:
@@ -141,6 +192,11 @@ class StoreBallIndex(BallIndex):
     id assignment is a pure function of ``(graph.vertices(), radii)``,
     so loaded balls land on exactly the ids the in-process index would
     assign (checked at load: the pack payload carries its id).
+
+    A ball that fails to load (corrupt payload, id mismatch) quarantines
+    ``balls.pack`` and falls back to re-extracting from the live graph --
+    extraction is the function that *built* the pack, so the recomputed
+    ball is exactly what an untampered pack would have served.
     """
 
     def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
@@ -154,30 +210,101 @@ class StoreBallIndex(BallIndex):
             raise KeyError(f"no ball for center={center!r} radius={radius}")
         cached = self._cache.get(key)
         if cached is None:
-            cached = self._store.load_ball(self._ids[key])
-            if cached.ball_id != self._ids[key]:
-                raise StoreError(
-                    f"stored ball id {cached.ball_id} does not match index "
-                    f"id {self._ids[key]} -- stale store?")
+            cached = self._load_or_recompute(center, radius, self._ids[key])
             self._cache[key] = cached
         return cached
+
+    def _load_or_recompute(self, center, radius, ball_id: int) -> Ball:
+        store = self._store
+        if not store.is_quarantined(_BALLS_PACK):
+            try:
+                loaded = store.load_ball(ball_id)
+                if loaded.ball_id != ball_id:
+                    raise StoreError(
+                        f"stored ball id {loaded.ball_id} does not match "
+                        f"index id {ball_id} -- stale store?")
+            except (StoreError, ValueError, KeyError, TypeError,
+                    UnicodeDecodeError) as exc:
+                if not store.quarantine_enabled:
+                    raise
+                store.quarantine(
+                    _BALLS_PACK,
+                    f"ball {ball_id} failed to load: {exc}")
+            else:
+                return loaded
+        return extract_ball(self._graph, center, radius, ball_id=ball_id)
 
 
 class StoreEncryptedBalls:
     """The Dealer's blob source backed by ``encrypted.pack`` (duck-types
-    :class:`repro.framework.roles.EncryptedBallStore`)."""
+    :class:`repro.framework.roles.EncryptedBallStore`).
 
-    def __init__(self, store: "ArtifactStore") -> None:
+    ``key`` (supplied by the DataOwner, who holds ``sk``) enables the
+    tamper fallback: a blob the user reports as failing authentication
+    quarantines ``encrypted.pack`` and is re-encrypted from the plaintext
+    pack -- the same bytes-in, so the re-served blob decrypts to the
+    identical ball.
+    """
+
+    def __init__(self, store: "ArtifactStore",
+                 key: DataOwnerKey | None = None) -> None:
         self._store = store
+        self._cipher = key.cipher() if key is not None else None
         self._cache: dict[int, EncryptedBallBlob] = {}
+
+    def _reencrypt(self, ball_id: int) -> EncryptedBallBlob:
+        key = f"reencrypt:b{ball_id}"
+        for attempt in range(2):
+            try:
+                payload = ball_to_bytes(self._store.load_ball(ball_id))
+            except (StoreError, ValueError, KeyError, TypeError,
+                    UnicodeDecodeError) as exc:
+                self._store.faults.record(
+                    FaultKind.STORE_TAMPER, key, FaultAction.DETECTED,
+                    detail=f"plaintext payload rejected: {exc}",
+                    attempt=attempt)
+                if attempt == 0:
+                    # Transient rot (or a chaos flip) on the first serve:
+                    # re-read the authoritative pack once.  Persistent
+                    # corruption still fails loudly below.
+                    self._store.faults.record(
+                        FaultKind.STORE_TAMPER, key, FaultAction.RETRIED,
+                        detail="re-reading plaintext pack", attempt=attempt)
+                    continue
+                raise StoreError(
+                    f"cannot re-encrypt ball {ball_id}: plaintext pack "
+                    f"unrecoverable ({exc})") from exc
+            return EncryptedBallBlob(ball_id=ball_id,
+                                     blob=self._cipher.encrypt(payload))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def get(self, ball_id: int) -> EncryptedBallBlob:
         blob = self._cache.get(ball_id)
         if blob is None:
-            blob = EncryptedBallBlob(
-                ball_id=ball_id, blob=self._store.load_encrypted(ball_id))
+            if (self._cipher is not None
+                    and self._store.is_quarantined(_ENCRYPTED_PACK)):
+                blob = self._reencrypt(ball_id)
+            else:
+                blob = EncryptedBallBlob(
+                    ball_id=ball_id,
+                    blob=self._store.load_encrypted(ball_id))
             self._cache[ball_id] = blob
         return blob
+
+    def refetch(self, ball_id: int) -> EncryptedBallBlob:
+        """Re-serve a ball whose blob failed authentication downstream:
+        drop the bad copy, quarantine the pack, re-encrypt from the
+        authoritative plaintext (when the owner key is available)."""
+        self._cache.pop(ball_id, None)
+        if self._cipher is not None:
+            if self._store.quarantine_enabled:
+                self._store.quarantine(
+                    _ENCRYPTED_PACK,
+                    f"blob for ball {ball_id} failed authentication")
+            blob = self._reencrypt(ball_id)
+            self._cache[ball_id] = blob
+            return blob
+        return self.get(ball_id)
 
 
 class ArtifactStore:
@@ -194,6 +321,56 @@ class ArtifactStore:
         self._encrypted_pack = _Pack(root / _ENCRYPTED_PACK)
         self._twiglets: dict[int, frozenset] | None = None
         self._trees: dict | None = None
+        #: The engine's per-run injector (inert by default).  Chaos may
+        #: flip bytes in served payloads; detection happens downstream
+        #: (parse failure, MAC failure) exactly like genuine rot.
+        self._faults = FaultInjector()
+        #: Whether a pack that serves corrupt data may be quarantined and
+        #: recomputed around (``RecoveryPolicy.quarantine_store``).
+        self.quarantine_enabled = True
+        self._quarantined: dict[str, str] = {}
+        self._load_attempts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # fault injection / quarantine
+    # ------------------------------------------------------------------
+    def install_faults(self, injector: FaultInjector) -> None:
+        """Bind the run's fault injector (chaos + event log)."""
+        self._faults = injector
+
+    @property
+    def faults(self) -> FaultInjector:
+        return self._faults
+
+    def is_quarantined(self, name: str) -> bool:
+        return name in self._quarantined
+
+    @property
+    def quarantined(self) -> dict[str, str]:
+        """Quarantined pack name -> reason."""
+        return dict(self._quarantined)
+
+    def quarantine(self, name: str, reason: str) -> None:
+        """Mark one artifact file as untrusted for the rest of this
+        store's lifetime; callers fall back to recomputing from the live
+        graph (balls) or re-encrypting from the plaintext pack (blobs)."""
+        if name in self._quarantined:
+            return
+        self._quarantined[name] = reason
+        self._faults.record(FaultKind.STORE_TAMPER, f"store:{name}",
+                            FaultAction.DETECTED, detail=reason)
+        self._faults.record(
+            FaultKind.STORE_TAMPER, f"store:{name}", FaultAction.DEGRADED,
+            detail=f"{name} quarantined; serving from fallback source")
+
+    def _served_bytes(self, kind_key: str, blob: bytes) -> bytes:
+        """Route one served payload through the chaos injector.  Only the
+        first serve of a key can be corrupted (the attempt counter
+        increments per call), so recovery paths that re-read converge."""
+        attempt = self._load_attempts.get(kind_key, 0)
+        self._load_attempts[kind_key] = attempt + 1
+        return self._faults.corrupt(FaultKind.STORE_TAMPER, kind_key, blob,
+                                    attempt=attempt)
 
     # ------------------------------------------------------------------
     # creation (data owner side)
@@ -381,44 +558,96 @@ class ArtifactStore:
             raise StoreError(
                 "store is stale: built under a different owner key")
 
-    def verify(self, key: DataOwnerKey | None = None) -> dict:
-        """Integrity sweep: re-hash every artifact file against the
-        manifest; with ``key``, additionally decrypt-authenticate every
-        encrypted blob and compare to the plaintext pack.
+    def verify(self, key: DataOwnerKey | None = None, *,
+               graph: LabeledGraph | None = None,
+               radii: tuple[int, ...] | None = None) -> VerifyReport:
+        """Full integrity/staleness sweep, reported per artifact.
 
-        Returns counters; raises :class:`StoreError` on the first
-        mismatch.
+        Every artifact file is re-hashed against the manifest; with
+        ``key``, every encrypted blob is additionally
+        decrypt-authenticated and compared to the plaintext pack (which
+        catches same-length blob swaps that survive a recomputed file
+        checksum).  ``graph``/``radii``/``key`` also drive staleness
+        checks, reported against ``manifest.json``.
+
+        Unlike :meth:`check`, nothing raises: all failures are collected
+        into the returned :class:`VerifyReport` so operators (and the
+        ``repro store verify`` exit codes) see the whole picture.
         """
+        report = VerifyReport(balls=len(self._slices))
         for name, expected in self._manifest["checksums"].items():
             path = self._root / name
             if not path.is_file():
-                raise StoreError(f"missing artifact file {name}")
+                report.packs.append(PackReport(
+                    name, "missing", f"artifact file missing at {path}"))
+                continue
             actual = _file_digest(path)
             if actual != expected:
-                raise StoreError(
-                    f"artifact {name} failed its checksum "
-                    f"({actual[:12]} != {expected[:12]}) -- tampered or "
-                    f"corrupt")
-        decrypted = 0
-        if key is not None:
+                report.packs.append(PackReport(
+                    name, "tampered",
+                    f"checksum {actual[:12]} != manifest {expected[:12]}"))
+            else:
+                report.packs.append(PackReport(name, "ok"))
+        by_name = {p.name: p for p in report.packs}
+
+        stale_key = (key is not None
+                     and key_digest(key) != self._manifest["key_digest"])
+        if graph is not None:
+            live = graph_digest(graph)
+            if live != self._manifest["graph_digest"]:
+                report.packs.append(PackReport(
+                    _MANIFEST, "stale",
+                    f"graph digest {live[:12]} != stored "
+                    f"{self._manifest['graph_digest'][:12]} (the data "
+                    f"graph changed since the store was built)"))
+        if radii is not None:
+            wanted = tuple(sorted(set(radii)))
+            if wanted != self.radii:
+                report.packs.append(PackReport(
+                    _MANIFEST, "stale",
+                    f"radii {wanted} != stored {self.radii} (ball ids "
+                    f"would not line up)"))
+        if stale_key:
+            report.packs.append(PackReport(
+                _MANIFEST, "stale", "built under a different owner key"))
+
+        sweepable = (key is not None and not stale_key
+                     and by_name.get(_ENCRYPTED_PACK,
+                                     PackReport("", "missing")).status
+                     != "missing"
+                     and by_name.get(_BALLS_PACK,
+                                     PackReport("", "missing")).status
+                     != "missing")
+        if sweepable:
             cipher = key.cipher()
+            bad = 0
+            first = ""
             for sl in self._slices.values():
                 blob = self._encrypted_pack.slice(sl.enc_offset,
                                                   sl.enc_length)
                 try:
                     payload = cipher.decrypt(blob)
                 except Exception as exc:
-                    raise StoreError(
-                        f"ball {sl.ball_id} failed authenticated "
-                        f"decryption: {exc}") from exc
+                    bad += 1
+                    first = first or (f"ball {sl.ball_id} failed "
+                                      f"authenticated decryption: {exc}")
+                    continue
                 if payload != self._balls_pack.slice(sl.offset, sl.length):
-                    raise StoreError(
-                        f"ball {sl.ball_id}: encrypted and plaintext packs "
-                        f"disagree")
-                decrypted += 1
-        return {"files": len(self._manifest["checksums"]),
-                "balls": len(self._slices),
-                "decrypted": decrypted}
+                    bad += 1
+                    first = first or (f"ball {sl.ball_id}: encrypted and "
+                                      f"plaintext packs disagree")
+                    continue
+                report.decrypted += 1
+            if bad:
+                entry = by_name[_ENCRYPTED_PACK]
+                reason = f"{bad} blob(s) failed the keyed sweep; {first}"
+                if entry.status == "ok":
+                    report.packs[report.packs.index(entry)] = PackReport(
+                        _ENCRYPTED_PACK, "tampered", reason)
+                else:
+                    report.packs.append(PackReport(
+                        _ENCRYPTED_PACK, "tampered", reason))
+        return report
 
     # ------------------------------------------------------------------
     # artifact access
@@ -427,22 +656,31 @@ class ArtifactStore:
         sl = self._slices.get(ball_id)
         if sl is None:
             raise StoreError(f"ball {ball_id} not in store")
-        return ball_from_bytes(self._balls_pack.slice(sl.offset, sl.length))
+        payload = self._served_bytes(f"store:ball:{ball_id}",
+                                     self._balls_pack.slice(sl.offset,
+                                                            sl.length))
+        return ball_from_bytes(payload)
 
     def load_encrypted(self, ball_id: int) -> bytes:
         sl = self._slices.get(ball_id)
         if sl is None:
             raise StoreError(f"ball {ball_id} not in store")
-        return self._encrypted_pack.slice(sl.enc_offset, sl.enc_length)
+        return self._served_bytes(
+            f"store:enc:{ball_id}",
+            self._encrypted_pack.slice(sl.enc_offset, sl.enc_length))
 
     def ball_index(self, graph: LabeledGraph) -> StoreBallIndex:
         """The Players' ball index, loading from the pack (cold-start
         path).  ``graph`` must be the store's graph (:meth:`check`)."""
         return StoreBallIndex(graph, self.radii, self)
 
-    def encrypted_store(self) -> StoreEncryptedBalls:
-        """The Dealer's blob source (no re-encryption at startup)."""
-        return StoreEncryptedBalls(self)
+    def encrypted_store(self,
+                        key: DataOwnerKey | None = None,
+                        ) -> StoreEncryptedBalls:
+        """The Dealer's blob source (no re-encryption at startup).  With
+        ``key`` the source can re-encrypt from the plaintext pack when a
+        served blob turns out tampered."""
+        return StoreEncryptedBalls(self, key=key)
 
     def twiglet_features(self) -> dict[int, frozenset]:
         """Per-ball full-alphabet twiglet sets (lazy-loaded once)."""
@@ -496,10 +734,12 @@ class ArtifactStore:
 
 __all__ = [
     "ArtifactStore",
+    "PackReport",
     "PackSlice",
     "StoreBallIndex",
     "StoreEncryptedBalls",
     "StoreError",
+    "VerifyReport",
     "graph_digest",
     "key_digest",
 ]

@@ -28,12 +28,29 @@ class SecureChannel:
     @classmethod
     def establish(cls, enclave: Enclave, session_key: bytes,
                   expected_identity: str = Enclave.APP_IDENTITY,
+                  *, faults=None, fault_key: str | None = None,
                   ) -> "SecureChannel":
-        """Attest ``enclave`` and provision ``session_key`` into it."""
+        """Attest ``enclave`` and provision ``session_key`` into it.
+
+        ``faults`` (a :class:`repro.framework.faults.FaultInjector`) may
+        decide the report is rejected -- the chaos stand-in for a revoked
+        measurement or an unreachable attestation service.  Injected and
+        genuine failures raise the same :class:`AttestationFailure`, so
+        callers recover from both identically.
+        """
         report = enclave.attest()
-        if not report.verify(expected_identity):
+        injected = False
+        if faults is not None:
+            from repro.framework.faults import FaultKind
+
+            injected = faults.should(
+                FaultKind.ENCLAVE_ATTESTATION,
+                fault_key if fault_key is not None else "enclave",
+                detail="attestation report rejected")
+        if injected or not report.verify(expected_identity):
             raise AttestationFailure(
-                f"enclave measurement does not match {expected_identity!r}")
+                f"enclave measurement does not match {expected_identity!r}"
+                + (" [injected]" if injected else ""))
         enclave._install_session_key(session_key)
         return cls(StreamCipher(session_key), report.enclave_id)
 

@@ -38,6 +38,16 @@ class EnclaveMemoryError(MemoryError):
     """A load would exceed the enclave's protected-memory budget."""
 
 
+class ChannelIntegrityError(ValueError):
+    """A sealed user->enclave payload failed authentication or parsing.
+
+    One exception type for every corruption symptom (MAC failure, garbage
+    JSON, malformed entries) so the Player-side recovery path can treat
+    "the sealed blob did not survive transit" uniformly: re-request the
+    payload, and degrade to twiglet-only pruning if it keeps failing.
+    """
+
+
 @dataclass
 class EnclaveMetrics:
     """Boundary-crossing and memory accounting for one enclave instance."""
@@ -114,17 +124,24 @@ class Enclave:
         if self._session is None:
             raise PermissionError("no attested session established")
         self.metrics.charge_in(len(encrypted_blob))
-        payload = json.loads(self._session.decrypt(encrypted_blob))
-        eta = int(payload["eta"])
-        if eta < 1:
-            raise ValueError("eta must be positive")
-        entries: list[tuple[str, tuple[int, ...]]] = []
-        for label_repr, encodings in payload["entries"]:
-            if len(encodings) != eta:
-                raise ValueError(
-                    f"entry for label {label_repr} has {len(encodings)} "
-                    f"encodings, expected eta={eta}")
-            entries.append((label_repr, tuple(int(e) for e in encodings)))
+        try:
+            payload = json.loads(self._session.decrypt(encrypted_blob))
+            eta = int(payload["eta"])
+            if eta < 1:
+                raise ValueError("eta must be positive")
+            entries: list[tuple[str, tuple[int, ...]]] = []
+            for label_repr, encodings in payload["entries"]:
+                if len(encodings) != eta:
+                    raise ValueError(
+                        f"entry for label {label_repr} has {len(encodings)} "
+                        f"encodings, expected eta={eta}")
+                entries.append((label_repr,
+                                tuple(int(e) for e in encodings)))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            # Includes StreamCipher's AuthenticationError (a ValueError):
+            # the sealed payload was corrupted in transit or is malformed.
+            raise ChannelIntegrityError(
+                f"sealed query-encoding payload rejected: {exc}") from exc
         nbytes = sum(8 * eta + len(l) for l, _ in entries)
         self._free_encodings()
         self.metrics.allocate(nbytes, self._memory_limit)

@@ -129,9 +129,11 @@ class TestTamperDetection:
 
     def test_verify_clean(self, store, key):
         report = store.verify(key)
-        assert report["files"] == 4
-        assert report["balls"] == len(store)
-        assert report["decrypted"] == len(store)
+        assert report.ok
+        assert report.balls == len(store)
+        assert report.decrypted == len(store)
+        assert {p.status for p in report.packs} == {"ok"}
+        assert len(report.packs) == 4
 
     @pytest.mark.parametrize("filename", ["balls.pack", "encrypted.pack",
                                           "twiglets.json"])
@@ -140,8 +142,23 @@ class TestTamperDetection:
         data = bytearray(path.read_bytes())
         data[len(data) // 2] ^= 0xFF
         path.write_bytes(bytes(data))
-        with pytest.raises(StoreError, match="checksum"):
-            ArtifactStore.open(copy).verify()
+        report = ArtifactStore.open(copy).verify()
+        assert not report.ok
+        bad = {p.name for p in report.tampered}
+        assert bad == {filename}
+        assert "checksum" in report.tampered[0].reason
+
+    def test_flipped_byte_reports_all_files(self, copy):
+        """Unlike the old first-failure raise, every damaged artifact is
+        reported in one sweep."""
+        for filename in ("balls.pack", "twiglets.json"):
+            path = copy / filename
+            data = bytearray(path.read_bytes())
+            data[len(data) // 2] ^= 0xFF
+            path.write_bytes(bytes(data))
+        report = ArtifactStore.open(copy).verify()
+        assert {p.name for p in report.tampered} == {"balls.pack",
+                                                     "twiglets.json"}
 
     def test_blob_swap_detected_with_key(self, copy, key):
         """Swapping two same-length ciphertexts defeats per-file hashes
@@ -161,8 +178,21 @@ class TestTamperDetection:
         manifest["checksums"]["encrypted.pack"] = hashlib.sha256(
             bytes(pack)).hexdigest()
         (copy / "manifest.json").write_text(json.dumps(manifest))
-        with pytest.raises(StoreError):
-            ArtifactStore.open(copy).verify(key)
+        report = ArtifactStore.open(copy).verify(key)
+        assert not report.ok
+        assert {p.name for p in report.tampered} == {"encrypted.pack"}
+        assert "keyed sweep" in report.tampered[0].reason
+
+    def test_stale_key_reported_not_fatal(self, copy):
+        """A wrong owner key is staleness (rebuild with the right key),
+        not tampering -- and the keyed sweep is skipped, not failed."""
+        from repro.crypto.keys import DataOwnerKey
+
+        report = ArtifactStore.open(copy).verify(DataOwnerKey.generate(999))
+        assert not report.ok
+        assert not report.tampered
+        assert report.stale
+        assert report.decrypted == 0
 
 
 class TestServingEquivalence:

@@ -57,6 +57,32 @@ class TestExecution:
         assert "served 3 queries" in out
         assert "CMM cache:" in out
 
+    def test_run_chaos_mode(self, capsys):
+        """``--chaos-seed`` injects faults yet the run still succeeds and
+        reports what happened."""
+        assert main(["--scale", "0.08", "--players", "2", "run", "dblp",
+                     "--size", "4", "--diameter", "2",
+                     "--chaos-seed", "7", "--fault-rate", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+        assert "faults:" in out
+        assert "injected=" in out
+
+    def test_chaos_results_match_fault_free(self, capsys):
+        argv = ["--scale", "0.08", "--players", "2", "run", "dblp",
+                "--size", "4", "--diameter", "2"]
+        assert main(argv) == 0
+        clean = capsys.readouterr().out
+        assert main([*argv, "--chaos-seed", "3", "--fault-rate", "0.25"]) == 0
+        chaotic = capsys.readouterr().out
+
+        def matches(out: str) -> str:
+            # degradation may change intermediate counts (e.g. BF-less
+            # PM-positives) but never the answer
+            return out.split("matches: ")[1].split()[0]
+
+        assert matches(chaotic) == matches(clean)
+
 
 class TestStoreCommands:
     BASE = ["--scale", "0.05", "--modulus", "512"]
@@ -81,6 +107,7 @@ class TestStoreCommands:
                      "--with-key"]) == 0
         out = capsys.readouterr().out
         assert "decrypt-authenticated" in out
+        assert "ok: store verified" in out
 
     def test_verify_detects_tamper(self, store_root, tmp_path, capsys):
         import shutil
@@ -91,9 +118,10 @@ class TestStoreCommands:
         data = bytearray(pack.read_bytes())
         data[len(data) // 2] ^= 0xFF
         pack.write_bytes(bytes(data))
-        assert main(["store", "verify", str(copy)]) == 1
+        assert main(["store", "verify", str(copy)]) == 3
         out = capsys.readouterr().out
         assert "FAILED" in out
+        assert "balls.pack: tampered" in out
 
     def test_run_with_store(self, store_root, capsys):
         assert main([*self.BASE, "run", "slashdot", "--size", "4",
