@@ -8,28 +8,42 @@ Commands:
 * ``serve-batch <dataset>``       -- serve a query batch through the
                                      CMM-reuse batch engine.
 * ``store build|inspect|verify``  -- the persistent offline artifact store.
+* ``journal inspect <path>``      -- summarize a write-ahead run journal.
 * ``workloads``                   -- the ten LDBC BI workloads (Fig. 18).
 * ``prune <dataset>``             -- pruning-technique ablation (Fig. 2a).
 
 All commands accept ``--scale`` (dataset size multiplier) and ``--seed``.
 A store is tied to (dataset, scale, semantics, radii, seed): build and
 consume it with the same global flags.
+
+Exit codes are scriptable triage (documented in ``docs/operations.md``):
+0 success, 1 usage/unexpected error, 2 stale artifacts (``store
+verify``), 3 integrity failure (tampered/missing artifacts, journal
+mismatch), 4 deadline-exceeded queries (``run``/``serve-batch`` with
+``--deadline-ms``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.bf_pruning import BFConfig
 from repro.crypto.keys import DataOwnerKey
-from repro.framework.faults import ChaosPolicy
-from repro.framework.prilo import Prilo, PriloConfig
+from repro.framework.faults import VALID_KINDS, ChaosPolicy
+from repro.framework.prilo import DeadlineExceeded, Prilo, PriloConfig
 from repro.framework.prilo_star import PriloStar
-from repro.framework.server import QueryBatchEngine
+from repro.framework.server import QueryBatchEngine, QueryStatus
 from repro.graph.query import Semantics
-from repro.storage import ArtifactStore, StoreError
+from repro.storage import (
+    ArtifactStore,
+    JournalError,
+    RunJournal,
+    StoreError,
+    journal_key,
+)
 from repro.workloads.datasets import DATASET_SPECS, load_dataset
 from repro.workloads.experiments import (
     dataset_statistics,
@@ -37,19 +51,38 @@ from repro.workloads.experiments import (
     pruning_study,
 )
 
+#: Distinct exit code for deadline-exceeded queries (see module docstring).
+EXIT_DEADLINE = 4
+
 
 def _chaos(args: argparse.Namespace) -> ChaosPolicy | None:
     """Build a :class:`ChaosPolicy` from ``--chaos-seed``/``--fault-rate``.
 
-    Chaos mode is opt-in: with neither flag the config carries no policy
-    and the engine takes the zero-overhead fast paths.
+    Chaos mode is opt-in: with neither flag (and no ``REPRO_CHAOS_SEED``
+    in the environment) the config carries no policy and the engine takes
+    the zero-overhead fast paths.  ``--chaos-kinds`` selects the fault
+    vocabulary -- this is how the opt-in ``kill_process`` kind (a real
+    SIGKILL at a durable checkpoint) is enabled from the command line.
     """
     seed = getattr(args, "chaos_seed", None)
+    if seed is None and os.environ.get("REPRO_CHAOS_SEED"):
+        seed = int(os.environ["REPRO_CHAOS_SEED"])
     rate = getattr(args, "fault_rate", None)
+    kinds = getattr(args, "chaos_kinds", None)
     if seed is None and not rate:
         return None
-    return ChaosPolicy(seed=seed if seed is not None else 0,
-                       fault_rate=rate if rate is not None else 0.1)
+    policy = ChaosPolicy(seed=seed if seed is not None else 0,
+                         fault_rate=rate if rate is not None else 0.1)
+    if kinds:
+        chosen = tuple(k.strip() for k in kinds.split(",") if k.strip())
+        bad = [k for k in chosen if k not in VALID_KINDS]
+        if bad:
+            raise SystemExit(f"unknown chaos kind(s) {bad}; "
+                             f"valid: {', '.join(VALID_KINDS)}")
+        from dataclasses import replace
+
+        policy = replace(policy, kinds=chosen)
+    return policy
 
 
 def _config(args: argparse.Namespace, store=None) -> PriloConfig:
@@ -59,7 +92,9 @@ def _config(args: argparse.Namespace, store=None) -> PriloConfig:
                          seed=args.seed,
                          executor=getattr(args, "executor", "serial"),
                          parallelism=getattr(args, "parallelism", 1),
-                         chaos=_chaos(args))
+                         chaos=_chaos(args),
+                         deadline_ms=getattr(args, "deadline_ms", None),
+                         ball_budget=getattr(args, "ball_budget", None))
     if store is not None:
         # Ball ids are a function of (vertex order, radii): an engine
         # served from a store must address exactly the stored radii.
@@ -86,6 +121,56 @@ def _open_store(args: argparse.Namespace):
     return ArtifactStore.open(args.store)
 
 
+def _open_journal(args: argparse.Namespace) -> RunJournal | None:
+    """Build the write-ahead journal from ``--journal``/``--resume``.
+
+    An existing journal file is only reused under an explicit
+    ``--resume`` -- silently appending to a leftover journal would splice
+    a previous invocation's checkpoints into this one."""
+    path = getattr(args, "journal", None)
+    if not path:
+        return None
+    if os.path.exists(path) and not getattr(args, "resume", False):
+        raise SystemExit(f"journal {path} already exists; pass --resume to "
+                         f"continue it or choose a fresh path")
+    return RunJournal(path, journal_key(args.seed))
+
+
+def _print_outcomes(report) -> None:
+    for outcome in report.outcomes:
+        if outcome.ok:
+            result = outcome.result
+            print(f"  q{outcome.index}: candidates="
+                  f"{len(result.candidate_ids)} "
+                  f"verified={len(result.verified_ids)} "
+                  f"matches={result.num_matches} "
+                  f"latency={outcome.latency_seconds:.3f}s")
+        else:
+            print(f"  q{outcome.index}: {outcome.status.upper()} "
+                  f"({outcome.detail})")
+
+
+def _print_batch_counters(report) -> None:
+    summary = report.summary()
+    if "admission" in summary:
+        print(f"admission: {report.admission.summary_line()}")
+    if report.journal:
+        print(f"journal: {report.journal.summary_line()}")
+    injected = sum(r.metrics.faults.injected for r in report.results)
+    if injected:
+        recovered = sum(r.metrics.faults.recovered for r in report.results)
+        degraded = sum(r.metrics.faults.degraded for r in report.results)
+        print(f"faults: injected={injected} recovered={recovered} "
+              f"degraded={degraded}")
+
+
+def _batch_exit_code(report) -> int:
+    if any(o.status == QueryStatus.DEADLINE_EXCEEDED
+           for o in report.outcomes):
+        return EXIT_DEADLINE
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale)
     semantics = Semantics(args.semantics)
@@ -94,10 +179,35 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"dataset: {dataset.graph}")
     print(f"query:   {query}")
     store = _open_store(args)
+    journal = _open_journal(args)
     engine = PriloStar.setup(dataset.graph_for(semantics),
                              _config(args, store), store=store)
     try:
-        result = engine.run(query)
+        if journal is not None:
+            # The batch engine (batch of one) owns admission, journal
+            # checkpointing and resume -- `run --journal` gets the exact
+            # crash-resume semantics of serve-batch.
+            with journal, QueryBatchEngine(engine, journal=journal) as server:
+                report = server.serve([query])
+            _print_outcomes(report)
+            _print_batch_counters(report)
+            if not report.results:
+                return _batch_exit_code(report) or 1
+            result = report.results[0]
+        else:
+            try:
+                result = engine.run(query)
+            except DeadlineExceeded as exc:
+                print(f"DEADLINE EXCEEDED: {exc}")
+                if exc.metrics is not None:
+                    print(f"partial state: "
+                          f"{exc.metrics.candidate_balls} candidates, "
+                          f"{exc.metrics.journal.shares_evaluated} shares "
+                          f"evaluated before the abort")
+                return EXIT_DEADLINE
+    except JournalError as exc:
+        print(f"JOURNAL ERROR: {exc}")
+        return 3
     finally:
         engine.close()
     timings = result.metrics.timings
@@ -114,6 +224,8 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"match={timings.user_matching:.3f}s")
     if result.metrics.faults:
         print(f"faults:  {result.metrics.faults.summary_line()}")
+    if result.metrics.journal:
+        print(f"journal: {result.metrics.journal.summary_line()}")
     return 0
 
 
@@ -126,10 +238,19 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     queries = [distinct[i % len(distinct)] for i in range(args.batch)]
     engine_cls = _engine_class(args.engine)
     store = _open_store(args)
+    journal = _open_journal(args)
     engine = engine_cls.setup(dataset.graph_for(semantics),
                               _config(args, store), store=store)
-    with QueryBatchEngine(engine) as server:
-        report = server.serve(queries)
+    try:
+        with QueryBatchEngine(engine, journal=journal,
+                              queue_bound=args.queue_bound) as server:
+            report = server.serve(queries)
+    except JournalError as exc:
+        print(f"JOURNAL ERROR: {exc}")
+        return 3
+    finally:
+        if journal is not None:
+            journal.close()
     summary = report.summary()
     print(f"dataset: {dataset.graph}")
     print(f"served {summary['queries']} queries "
@@ -140,18 +261,29 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     print(f"CMM cache: {cache['hits']} hits / {cache['misses']} misses "
           f"(hit rate {cache['hit_rate']:.2f}), "
           f"{cache['evictions']} evictions, weight {cache['weight']}")
-    for i, (result, latency) in enumerate(zip(report.results,
-                                              report.latencies)):
-        print(f"  q{i}: candidates={len(result.candidate_ids)} "
-              f"verified={len(result.verified_ids)} "
-              f"matches={result.num_matches} latency={latency:.3f}s")
-    injected = sum(r.metrics.faults.injected for r in report.results)
-    if injected:
-        recovered = sum(r.metrics.faults.recovered for r in report.results)
-        degraded = sum(r.metrics.faults.degraded for r in report.results)
-        print(f"faults: injected={injected} recovered={recovered} "
-              f"degraded={degraded}")
-    return 0
+    _print_outcomes(report)
+    _print_batch_counters(report)
+    if args.json_summary:
+        with open(args.json_summary, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, default=str)
+    return _batch_exit_code(report)
+
+
+def cmd_journal_inspect(args: argparse.Namespace) -> int:
+    """Summarize a run journal: record counts, last checkpoint, torn-tail
+    and tamper reports.  Inspection is non-destructive (a torn tail is
+    reported, not truncated)."""
+    if not os.path.exists(args.path):
+        print(f"FAILED: no journal at {args.path}")
+        return 3
+    journal = RunJournal(args.path, journal_key(args.seed))
+    try:
+        summary = journal.inspect()
+    except JournalError as exc:
+        print(f"JOURNAL ERROR: {exc}")
+        return 3
+    print(json.dumps(summary, indent=2))
+    return 3 if summary["tampered_records"] else 0
 
 
 def _parse_radii(text: str) -> tuple[int, ...]:
@@ -255,6 +387,28 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="P",
                         help="per-decision fault probability in [0,1] "
                              "(default 0.1 when --chaos-seed is given)")
+    parser.add_argument("--chaos-kinds", default=None, metavar="K1,K2",
+                        help="comma-separated fault kinds to inject "
+                             "(default: every injectable kind; add "
+                             "kill_process to SIGKILL the process at a "
+                             "durable checkpoint)")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="write-ahead run journal: checkpoint every "
+                             "executor share durably so a killed process "
+                             "can resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue an existing --journal file, "
+                             "replaying its checkpoints instead of "
+                             "recomputing them")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-query wall-clock budget; an exceeded "
+                             "query aborts with partial state and the "
+                             "command exits 4")
+    parser.add_argument("--ball-budget", type=int, default=None,
+                        metavar="N",
+                        help="reject queries whose candidate ball count "
+                             "exceeds N (admission control)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -302,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--engine", default="prilo",
                          choices=["prilo", "prilo-star"])
     p_batch.add_argument("--store", default=None, metavar="DIR")
+    p_batch.add_argument("--queue-bound", type=int, default=None,
+                         metavar="N",
+                         help="admission bound: queries past the first N "
+                              "are shed with REJECTED(overload)")
+    p_batch.add_argument("--json-summary", default=None, metavar="FILE",
+                         help="also write the batch summary as JSON")
     _add_execution_flags(p_batch)
     p_batch.set_defaults(func=cmd_serve_batch)
 
@@ -338,6 +498,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also decrypt-authenticate every ball blob "
                                "with the seed-derived owner key")
     p_verify.set_defaults(func=cmd_store_verify)
+
+    p_journal = sub.add_parser("journal",
+                               help="write-ahead run journal tools")
+    journal_sub = p_journal.add_subparsers(dest="journal_command",
+                                           required=True)
+    p_jinspect = journal_sub.add_parser(
+        "inspect", help="record counts, last checkpoint, torn-tail and "
+                        "tamper report (non-destructive)")
+    p_jinspect.add_argument("path")
+    p_jinspect.set_defaults(func=cmd_journal_inspect)
 
     p_work = sub.add_parser("workloads",
                             help="LDBC BI workloads (Fig. 18)")

@@ -79,6 +79,18 @@ from repro.tee.enclave import Enclave
 EXECUTOR_BACKENDS = ("serial", "process")
 
 
+def eval_share_key(index: int, player: int) -> str:
+    """The stable protocol coordinate of one evaluation share -- the same
+    string keys the chaos schedule, the fault report, and the run
+    journal's checkpoint records."""
+    return f"eval:{index}:p{player}"
+
+
+def verify_share_key(index: int, player: int) -> str:
+    """The stable coordinate of one prepared-verification share."""
+    return f"verify:{index}:p{player}"
+
+
 @dataclass(frozen=True)
 class EvaluationShare:
     """One worker's slice of the evaluation work: the balls that first
@@ -261,6 +273,26 @@ def _compute_pm_share(enclave: Enclave,
                           faults=fault_events)
 
 
+def _watch_parent(parent_pid: int) -> None:
+    """Pool-worker initializer: exit when the spawning engine dies.
+
+    A ``kill -9`` of the engine process (the crash-recovery model of
+    DESIGN.md section 9) must not leak idle pool workers -- they would
+    otherwise block forever on the call queue.  A daemon thread polls the
+    parent pid and hard-exits the worker once it is reparented; the poll
+    touches no query state, so obliviousness is unaffected.
+    """
+    import threading
+
+    def watch() -> None:
+        while os.getppid() == parent_pid:
+            time.sleep(0.5)
+        os._exit(0)
+
+    threading.Thread(target=watch, daemon=True,
+                     name="parent-watchdog").start()
+
+
 def _chaos_call(policy: ChaosPolicy | None, key: str, attempt: int,
                 fn, *args):
     """Worker-side chaos shim: fail as the schedule dictates, then run the
@@ -311,28 +343,52 @@ class BallExecutor:
     def evaluate_shares(self, message: EncryptedQueryMessage,
                         shares: list[EvaluationShare],
                         *, enumeration_limit: int,
-                        cmm_bound_bypass: int) -> list[ShareOutcome]:
-        """Evaluate every share; outcomes come back in share order."""
+                        cmm_bound_bypass: int,
+                        completed: dict[str, ShareOutcome] | None = None,
+                        on_result=None) -> list[ShareOutcome]:
+        """Evaluate every share; outcomes come back in share order.
+
+        ``completed`` maps share keys to already-known outcomes (a resumed
+        run's journaled checkpoints): those shares are never dispatched,
+        their outcomes are spliced back in place.  ``on_result(key,
+        outcome)`` fires in the parent as each *newly computed* share
+        outcome is harvested -- the journal's checkpoint hook -- without
+        ever blocking the worker pool.
+        """
         calls = [
-            (f"eval:{i}:p{share.player}",
+            (eval_share_key(i, share.player),
              _evaluate_share,
              (message, share, enumeration_limit, cmm_bound_bypass))
             for i, share in enumerate(shares)
         ]
-        return self._run_all(calls)
+        return self._run_with_completed(calls, completed, on_result)
 
     def verify_shares(self, message: EncryptedQueryMessage,
-                      shares: list[PreparedShare]) -> list[ShareOutcome]:
+                      shares: list[PreparedShare],
+                      completed: dict[str, ShareOutcome] | None = None,
+                      on_result=None) -> list[ShareOutcome]:
         """Verify every prepared share; outcomes come back in share order.
 
         The prepared path carries no enumeration parameters: truncation and
         bound bypass were already decided when the patterns were built, and
-        travel inside each :class:`PreparedBall`.
+        travel inside each :class:`PreparedBall`.  ``completed`` and
+        ``on_result`` behave as in :meth:`evaluate_shares`.
         """
-        calls = [(f"verify:{i}:p{share.player}", _verify_share,
+        calls = [(verify_share_key(i, share.player), _verify_share,
                   (message, share))
                  for i, share in enumerate(shares)]
-        return self._run_all(calls)
+        return self._run_with_completed(calls, completed, on_result)
+
+    def _run_with_completed(self, calls, completed, on_result) -> list:
+        """Dispatch only the calls whose key has no known outcome, then
+        splice the known outcomes back into call order."""
+        if not completed:
+            return self._run_all(calls, on_result=on_result)
+        pending = [(key, fn, args) for key, fn, args in calls
+                   if key not in completed]
+        fresh = iter(self._run_all(pending, on_result=on_result))
+        return [completed[key] if key in completed else next(fresh)
+                for key, _fn, _args in calls]
 
     def compute_pm_shares(self, message: EncryptedQueryMessage,
                           shares: list[tuple[int, Enclave, tuple[Ball, ...]]],
@@ -367,7 +423,8 @@ class BallExecutor:
         return outcomes
 
     # -- backend hook --------------------------------------------------
-    def _run_all(self, calls: list[tuple[str, object, tuple]]) -> list:
+    def _run_all(self, calls: list[tuple[str, object, tuple]],
+                 on_result=None) -> list:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -394,10 +451,18 @@ class SerialExecutor(BallExecutor):
     def __init__(self, recovery: RecoveryPolicy | None = None) -> None:
         super().__init__(workers=1, recovery=recovery)
 
-    def _run_all(self, calls: list[tuple[str, object, tuple]]) -> list:
-        if not self.faults.active:
-            return [fn(*args) for _key, fn, args in calls]
-        return [self._run_one(key, fn, args) for key, fn, args in calls]
+    def _run_all(self, calls: list[tuple[str, object, tuple]],
+                 on_result=None) -> list:
+        results = []
+        for key, fn, args in calls:
+            if not self.faults.active:
+                result = fn(*args)
+            else:
+                result = self._run_one(key, fn, args)
+            if on_result is not None:
+                on_result(key, result)
+            results.append(result)
+        return results
 
     def _run_one(self, key: str, fn, args: tuple):
         injector = self.faults
@@ -482,7 +547,9 @@ class ProcessExecutor(BallExecutor):
             except ValueError:  # pragma: no cover - non-POSIX hosts
                 context = multiprocessing.get_context()
             self._pool = ProcessPoolExecutor(max_workers=self.workers,
-                                             mp_context=context)
+                                             mp_context=context,
+                                             initializer=_watch_parent,
+                                             initargs=(os.getpid(),))
         return self._pool
 
     def _reset_pool(self) -> None:
@@ -492,7 +559,8 @@ class ProcessExecutor(BallExecutor):
             self._pool = None
             self.respawns += 1
 
-    def _run_all(self, calls: list[tuple[str, object, tuple]]) -> list:
+    def _run_all(self, calls: list[tuple[str, object, tuple]],
+                 on_result=None) -> list:
         injector = self.faults
         policy = injector.policy if injector.active else None
         recovery = self.recovery
@@ -530,6 +598,15 @@ class ProcessExecutor(BallExecutor):
                 try:
                     results[i] = futures[i].result(
                         timeout=recovery.share_timeout)
+                    if attempts[i] > 0:
+                        injector.record(
+                            FaultKind.WORKER_CRASH, key,
+                            FaultAction.RECOVERED,
+                            detail=f"share recovered on attempt "
+                                   f"{attempts[i]}",
+                            attempt=attempts[i])
+                    if on_result is not None:
+                        on_result(key, results[i])
                 except InjectedFault as fault:
                     failed[i] = fault.kind
                     injector.record(fault.kind, key, FaultAction.DETECTED,
@@ -550,13 +627,6 @@ class ProcessExecutor(BallExecutor):
                     injector.record(
                         FaultKind.SHARE_TIMEOUT, key, FaultAction.DETECTED,
                         detail=f"no result within {recovery.share_timeout}s",
-                        attempt=attempts[i])
-            for i in pending:
-                if i not in failed and attempts[i] > 0:
-                    injector.record(
-                        FaultKind.WORKER_CRASH, calls[i][0],
-                        FaultAction.RECOVERED,
-                        detail=f"share recovered on attempt {attempts[i]}",
                         attempt=attempts[i])
             still_pending: list[int] = []
             for i, kind in failed.items():
@@ -634,6 +704,8 @@ __all__ = [
     "SerialExecutor",
     "ShareOutcome",
     "create_executor",
+    "eval_share_key",
     "partition_shares",
     "verify_prepared_kernel",
+    "verify_share_key",
 ]

@@ -58,10 +58,20 @@ class FaultKind:
     #: Detection-only label: a store found stale at engine setup (never
     #: injected -- staleness comes from the manifest check).
     STORE_STALE = "store_stale"
+    #: The whole serving process dies uncleanly (``SIGKILL``), exactly as
+    #: an OOM kill or host restart would -- exercised by the crash-resume
+    #: harness at journal checkpoint boundaries.  Opt-in only: it is
+    #: *not* part of :data:`INJECTABLE_KINDS`, so a plain
+    #: ``ChaosPolicy(fault_rate=...)`` never kills the process.
+    KILL_PROCESS = "kill_process"
+    #: Detection-only label: a journal record failed its keyed digest on
+    #: replay (never injected -- tampering comes from the disk bytes).
+    JOURNAL_TAMPER = "journal_tamper"
 
 
-#: Every kind :class:`ChaosPolicy` may inject (``STORE_STALE`` is
-#: detection-only and deliberately absent).
+#: Every kind :class:`ChaosPolicy` injects by default (``STORE_STALE``
+#: and ``JOURNAL_TAMPER`` are detection-only; ``KILL_PROCESS`` must be
+#: requested explicitly because only journal-backed runs survive it).
 INJECTABLE_KINDS = (
     FaultKind.WORKER_CRASH,
     FaultKind.SHARE_TIMEOUT,
@@ -71,6 +81,10 @@ INJECTABLE_KINDS = (
     FaultKind.STORE_TAMPER,
     FaultKind.PLAYER_DROPOUT,
 )
+
+#: Kinds accepted by ``ChaosPolicy.kinds`` (the defaults plus the opt-in
+#: process kill).
+VALID_KINDS = INJECTABLE_KINDS + (FaultKind.KILL_PROCESS,)
 
 
 class FaultAction:
@@ -137,11 +151,11 @@ class ChaosPolicy:
             raise ValueError(
                 f"ChaosPolicy.fault_rate must be in [0, 1] (a per-decision "
                 f"probability); got {self.fault_rate!r}")
-        unknown = set(self.kinds) - set(INJECTABLE_KINDS)
+        unknown = set(self.kinds) - set(VALID_KINDS)
         if unknown:
             raise ValueError(
                 f"unknown fault kinds {sorted(unknown)}; choose from "
-                f"{list(INJECTABLE_KINDS)}")
+                f"{list(VALID_KINDS)}")
         if self.faulted_attempts < 1:
             raise ValueError("faulted_attempts must be >= 1")
         if self.timeout_sleep_seconds <= 0:
@@ -354,4 +368,5 @@ __all__ = [
     "INJECTABLE_KINDS",
     "InjectedFault",
     "RecoveryPolicy",
+    "VALID_KINDS",
 ]

@@ -160,6 +160,72 @@ class CacheStats:
 
 
 @dataclass
+class JournalCounters:
+    """Write-ahead journal and admission-control counters of one run.
+
+    ``checkpoints_written`` counts durable records this run appended;
+    ``records_replayed``/``shares_skipped`` count what a resume reused
+    instead of recomputing; ``replayed_fault_events`` counts pre-crash
+    fault events merged into this run's report (each journaled event is
+    replayed exactly once); ``tampered_records`` counts journal records
+    that failed their keyed digest and were re-evaluated instead;
+    ``pm_replays`` counts pruning-message records a resume reused (each
+    gated on ``reattestations`` fresh enclave attestations -- journaled
+    BF verdicts are never trusted by a new process without one).
+    """
+
+    checkpoints_written: int = 0
+    records_replayed: int = 0
+    shares_skipped: int = 0
+    shares_evaluated: int = 0
+    tampered_records: int = 0
+    replayed_fault_events: int = 0
+    deadline_hits: int = 0
+    pm_replays: int = 0
+    reattestations: int = 0
+
+    def merge(self, other: "JournalCounters") -> None:
+        self.checkpoints_written += other.checkpoints_written
+        self.records_replayed += other.records_replayed
+        self.shares_skipped += other.shares_skipped
+        self.shares_evaluated += other.shares_evaluated
+        self.tampered_records += other.tampered_records
+        self.replayed_fault_events += other.replayed_fault_events
+        self.deadline_hits += other.deadline_hits
+        self.pm_replays += other.pm_replays
+        self.reattestations += other.reattestations
+
+    def __bool__(self) -> bool:
+        return any((self.checkpoints_written, self.records_replayed,
+                    self.shares_skipped, self.shares_evaluated,
+                    self.tampered_records, self.replayed_fault_events,
+                    self.deadline_hits, self.pm_replays,
+                    self.reattestations))
+
+    def as_dict(self) -> dict:
+        return {
+            "checkpoints_written": self.checkpoints_written,
+            "records_replayed": self.records_replayed,
+            "shares_skipped": self.shares_skipped,
+            "shares_evaluated": self.shares_evaluated,
+            "tampered_records": self.tampered_records,
+            "replayed_fault_events": self.replayed_fault_events,
+            "deadline_hits": self.deadline_hits,
+            "pm_replays": self.pm_replays,
+            "reattestations": self.reattestations,
+        }
+
+    def summary_line(self) -> str:
+        return (f"checkpoints={self.checkpoints_written} "
+                f"replayed={self.records_replayed} "
+                f"skipped={self.shares_skipped} "
+                f"evaluated={self.shares_evaluated} "
+                f"tampered={self.tampered_records} "
+                f"pm_replays={self.pm_replays} "
+                f"deadline_hits={self.deadline_hits}")
+
+
+@dataclass
 class MessageSizes:
     """Byte counters for EXP-1 (Sec. 6.2)."""
 
@@ -209,8 +275,13 @@ class RunMetrics:
     #: CGBE unblinding memo).
     caches: dict[str, CacheStats] = field(default_factory=dict)
     #: Every fault injected, detected, retried, recovered or degraded-past
-    #: during this run (chaos-injected and genuine alike).
+    #: during this run (chaos-injected and genuine alike).  On a resumed
+    #: run this *includes* the journaled pre-crash events, replayed
+    #: exactly once -- see :class:`JournalCounters`.
     faults: FaultReport = field(default_factory=FaultReport)
+    #: Write-ahead journal / crash-resume counters (all zero when the run
+    #: is not journal-backed).
+    journal: JournalCounters = field(default_factory=JournalCounters)
 
     def record_cache(self, name: str, stats: CacheStats) -> None:
         """Merge one cache's counters into this run's record."""

@@ -14,6 +14,9 @@ measurements that every benchmark consumes.
 from __future__ import annotations
 
 import logging
+import os
+import signal
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.core.bf_pruning import BFConfig
@@ -38,8 +41,11 @@ from repro.framework.executor import (
     BallExecutor,
     EvaluationShare,
     PreparedShare,
+    ShareOutcome,
     create_executor,
+    eval_share_key,
     partition_shares,
+    verify_share_key,
 )
 from repro.framework.metrics import MessageSizes, RunMetrics, Stopwatch
 from repro.framework.roles import DataOwner, Dealer, Player, User, merge_pms
@@ -47,8 +53,69 @@ from repro.framework.simulator import ScheduleOutcome, simulate_schedule
 from repro.graph.ball import Ball
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.query import Query, QueryLabelView, Semantics
+from repro.tee.enclave import Enclave
 
 logger = logging.getLogger(__name__)
+
+
+class AdmissionError(RuntimeError):
+    """A query was refused before evaluation (admission control)."""
+
+
+class BallBudgetExceeded(AdmissionError):
+    """The query's candidate set exceeds the configured ball budget --
+    admitting it would monopolize the serving engine."""
+
+    def __init__(self, candidates: int, budget: int) -> None:
+        super().__init__(
+            f"query admits {candidates} candidate balls, over the "
+            f"configured ball budget of {budget}")
+        self.candidates = candidates
+        self.budget = budget
+
+
+class DeadlineExceeded(RuntimeError):
+    """A query ran past its per-query deadline.
+
+    Carries the partial :class:`RunMetrics` (everything measured up to
+    the abort point) so overload reports stay observable -- and, under a
+    journal, every share completed before the deadline is already a
+    durable checkpoint a later resume can reuse.
+    """
+
+    def __init__(self, where: str, elapsed_ms: float,
+                 budget_ms: float) -> None:
+        super().__init__(
+            f"deadline of {budget_ms:.0f}ms exceeded {where} "
+            f"(elapsed {elapsed_ms:.0f}ms)")
+        self.where = where
+        self.elapsed_ms = elapsed_ms
+        self.budget_ms = budget_ms
+        self.metrics: RunMetrics | None = None
+
+
+class Deadline:
+    """A per-query wall-clock budget, checked at protocol boundaries
+    (phase transitions and executor-share completions)."""
+
+    def __init__(self, budget_ms: float) -> None:
+        if budget_ms < 0:
+            raise ValueError("deadline budget must be >= 0 milliseconds")
+        self.budget_ms = budget_ms
+        self._started = time.perf_counter()
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (time.perf_counter() - self._started) * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return self.elapsed_ms > self.budget_ms
+
+    def check(self, where: str) -> None:
+        elapsed = self.elapsed_ms
+        if elapsed > self.budget_ms:
+            raise DeadlineExceeded(where, elapsed, self.budget_ms)
 
 
 @dataclass(frozen=True)
@@ -89,6 +156,15 @@ class PriloConfig:
     #: Retry/timeout/degradation knobs of the recovery layer (always
     #: active -- genuine faults take the same paths chaos exercises).
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: Per-query wall-clock deadline in milliseconds (None: unbounded).
+    #: Checked at phase boundaries and after every executor share; an
+    #: expired query raises :class:`DeadlineExceeded` with its partial
+    #: metrics attached.
+    deadline_ms: float | None = None
+    #: Admission bound on candidate balls per query (None: unbounded).
+    #: A query whose candidate set exceeds the budget is refused with
+    #: :class:`BallBudgetExceeded` before any evaluation starts.
+    ball_budget: int | None = None
 
     def __post_init__(self) -> None:
         # Eager validation with actionable messages: a bad backend name or
@@ -130,6 +206,20 @@ class PriloConfig:
             raise ValueError("enumeration bounds must be positive")
         if not self.radii:
             raise ValueError("at least one ball radius is required")
+        if self.deadline_ms is not None and (
+                not isinstance(self.deadline_ms, (int, float))
+                or isinstance(self.deadline_ms, bool)
+                or self.deadline_ms <= 0):
+            raise ValueError(
+                f"deadline_ms must be positive milliseconds or None "
+                f"(no deadline); got {self.deadline_ms!r}")
+        if self.ball_budget is not None and (
+                isinstance(self.ball_budget, bool)
+                or not isinstance(self.ball_budget, int)
+                or self.ball_budget < 1):
+            raise ValueError(
+                f"ball_budget must be an int >= 1 or None (unbounded); "
+                f"got {self.ball_budget!r}")
 
     def paper_crypto(self) -> "PriloConfig":
         """The exact Sec. 6.1 CGBE parameters (slower in pure Python)."""
@@ -292,7 +382,9 @@ class Prilo:
         return label, list(self.index.candidate_balls(label, query.diameter))
 
     # ------------------------------------------------------------------
-    def run(self, query: Query, *, cmm_cache=None) -> QueryResult:
+    def run(self, query: Query, *, cmm_cache=None, journal=None,
+            query_key: str = "", resume=None,
+            deadline: Deadline | None = None) -> QueryResult:
         """Answer one query end to end.
 
         ``cmm_cache`` (a :class:`repro.framework.server.CMMCache`) routes
@@ -300,11 +392,35 @@ class Prilo:
         path; results are value-identical to the streaming path.  The
         batch server passes its shared cache here; ``None`` keeps the
         faithful single-pass pipeline.
+
+        ``journal`` (a :class:`repro.storage.journal.RunJournal`) turns
+        every executor-share completion into a durable checkpoint keyed
+        by ``query_key``; ``resume`` (the query's replayed
+        :class:`~repro.storage.journal.QueryJournalState`) feeds those
+        checkpoints back so only unjournaled shares are re-evaluated.
+        ``deadline`` aborts the query with :class:`DeadlineExceeded` when
+        its wall-clock budget runs out (defaults to a fresh deadline when
+        ``config.deadline_ms`` is set).
         """
         config = self.config
+        if deadline is None and config.deadline_ms is not None:
+            deadline = Deadline(config.deadline_ms)
         metrics = RunMetrics()
         metrics.executor_backend = self.executor.backend
         metrics.workers = self.executor.workers
+        try:
+            return self._run(query, metrics, cmm_cache=cmm_cache,
+                             journal=journal, query_key=query_key,
+                             resume=resume, deadline=deadline)
+        except DeadlineExceeded as exc:
+            metrics.journal.deadline_hits += 1
+            exc.metrics = metrics
+            raise
+
+    def _run(self, query: Query, metrics: RunMetrics, *, cmm_cache,
+             journal, query_key: str, resume,
+             deadline: Deadline | None) -> QueryResult:
+        config = self.config
         timings = metrics.timings
         sizes = metrics.sizes
 
@@ -319,6 +435,9 @@ class Prilo:
 
         label, candidates = self.candidate_balls(query)
         metrics.candidate_balls = len(candidates)
+        if (config.ball_budget is not None
+                and len(candidates) > config.ball_budget):
+            raise BallBudgetExceeded(len(candidates), config.ball_budget)
         candidate_ids = tuple(ball.ball_id for ball in candidates)
         by_id = {ball.ball_id: ball for ball in candidates}
         logger.info("run %s: label=%r, %d candidate balls",
@@ -340,14 +459,29 @@ class Prilo:
             degrade_bf=config.recovery.degrade_bf,
         )
 
-        # Steps 2-4: pruning messages (Prilo* only).
+        if deadline is not None:
+            deadline.check("after query preprocessing")
+
+        # Steps 2-4: pruning messages (Prilo* only).  A resume replays
+        # the journaled (already Dealer-visible) PM verdicts instead of
+        # recomputing them -- but only after every player's enclave
+        # re-attests; a failed attestation falls back to recomputation.
         pms = PruningMessages()
         pm_per_method: dict[str, dict[int, bool]] = {}
         if config.any_pruning:
-            self._compute_pms(message, candidates, pms, metrics)
-            decrypted, pm_per_method = self.user.decrypt_pms(
-                pms, candidate_ids, state, timings)
-            self._account_pm_sizes(message, pms, sizes)
+            replayed = self._replayed_pms(metrics, resume, injector,
+                                          query_key)
+            if replayed is not None:
+                decrypted, pm_per_method = replayed
+            else:
+                self._compute_pms(message, candidates, pms, metrics)
+                decrypted, pm_per_method = self.user.decrypt_pms(
+                    pms, candidate_ids, state, timings)
+                self._account_pm_sizes(message, pms, sizes)
+                self._journal_pms(journal, query_key, decrypted,
+                                  pm_per_method, metrics, injector)
+            if deadline is not None:
+                deadline.check("after pruning messages")
         else:
             decrypted = DecryptedPMs(ball_ids=tuple(sorted(candidate_ids)),
                                      positives=frozenset(candidate_ids))
@@ -365,12 +499,20 @@ class Prilo:
             sequences = self._replan_dropouts(sequences, injector)
         timings.sequence_generation += watch.total
 
+        if deadline is not None:
+            deadline.check("after sequence generation")
+
         # Step 7: Players evaluate (each unique ball once; dummies reuse
         # the measured cost in the schedule replay).
         results = self._evaluate(message, sequences, by_id, metrics,
-                                 cmm_cache=cmm_cache)
+                                 cmm_cache=cmm_cache, journal=journal,
+                                 query_key=query_key, resume=resume,
+                                 deadline=deadline, injector=injector)
         sizes.add("ciphertext_results",
                   sum(self._verdict_bytes(r) for r in results.values()))
+
+        if deadline is not None:
+            deadline.check("after evaluation")
 
         # Schedule replay: the paper's time-to-results metrics.
         schedule = simulate_schedule(sequences, metrics.per_ball_eval_cost,
@@ -505,11 +647,185 @@ class Prilo:
             timings.pm_computation += outcome.timings.pm_computation
             metrics.per_worker_pm_wall[outcome.player] = outcome.wall_seconds
 
+    def _replayed_shares(self, keys: list[str], metrics: RunMetrics,
+                         resume) -> dict[str, ShareOutcome]:
+        """Journaled outcomes for this fan-out, keyed by share key.
+
+        Each replayed record's fault events are merged into this run's
+        report *here* -- once per share, exactly once per resumed run --
+        which is what keeps post-resume fault totals equal to an
+        uninterrupted run's (pre-crash injections are not recounted, not
+        dropped).  A journaled payload of the wrong shape counts as
+        tampered and the share is re-evaluated from the live pipeline.
+        """
+        completed: dict[str, ShareOutcome] = {}
+        if resume is None or not resume.shares:
+            return completed
+        counters = metrics.journal
+        for key in keys:
+            entry = resume.shares.get(key)
+            if entry is None:
+                continue
+            if not isinstance(entry.outcome, ShareOutcome):
+                counters.tampered_records += 1
+                metrics.faults.record(
+                    FaultKind.JOURNAL_TAMPER, f"journal:{key}",
+                    FaultAction.DETECTED,
+                    detail="journaled share payload has the wrong shape; "
+                           "re-evaluating")
+                continue
+            completed[key] = entry.outcome
+            counters.records_replayed += 1
+            counters.shares_skipped += 1
+            for event in entry.events:
+                metrics.faults.record(
+                    event.get("kind", "unknown"), event.get("key", ""),
+                    event.get("action", ""), detail=event.get("detail", ""),
+                    attempt=event.get("attempt", 0))
+                counters.replayed_fault_events += 1
+        return completed
+
+    #: Journal share key of a query's pruning-message record.  PM-phase
+    #: fault events fire on these coordinate prefixes (sealed-channel
+    #: re-requests and enclave ECALL retries), so the record carries them
+    #: for the exactly-once replay guarantee.
+    PM_SHARE_KEY = "pm"
+    _PM_EVENT_PREFIXES = ("bf-blob:", "enclave-mem:")
+
+    def _journal_pms(self, journal, query_key: str, decrypted: DecryptedPMs,
+                     pm_per_method: dict, metrics: RunMetrics,
+                     injector: FaultInjector) -> None:
+        """Checkpoint the decrypted PM verdicts.
+
+        What is persisted -- ball ids with their positive bits and the
+        per-method breakdown -- is exactly the :class:`DecryptedPMs` the
+        user already reveals to the Dealer in step 4, so the journal
+        widens the leakage surface by nothing.  The sealed ``c_sgx``
+        blobs are deliberately *not* persisted: they only authenticate
+        under the dead process's session key.
+        """
+        if journal is None:
+            return
+        events = [e.as_dict() for e in metrics.faults.events
+                  if e.key.startswith(self._PM_EVENT_PREFIXES)]
+        journal.append_share(query_key, self.PM_SHARE_KEY, {
+            "ball_ids": tuple(decrypted.ball_ids),
+            "positives": tuple(sorted(decrypted.positives)),
+            "pm_per_method": {method: dict(verdicts)
+                              for method, verdicts in pm_per_method.items()},
+        }, events)
+        metrics.journal.checkpoints_written += 1
+        self._maybe_kill(injector, f"kill:{query_key}:{self.PM_SHARE_KEY}")
+
+    def _replayed_pms(self, metrics: RunMetrics, resume,
+                      injector: FaultInjector, query_key: str):
+        """The journaled ``(DecryptedPMs, pm_per_method)`` of a resumed
+        query, or ``None`` to recompute.
+
+        Reuse is gated on re-attestation: the journaled BF verdicts were
+        produced inside the previous process's enclaves, so each player's
+        enclave must present a fresh attestation report with the expected
+        measurement before a new process trusts them.  Any failed
+        attestation (or a chaos-injected rejection) degrades to full PM
+        recomputation -- sound, merely slower."""
+        if resume is None:
+            return None
+        entry = resume.shares.get(self.PM_SHARE_KEY)
+        if entry is None:
+            return None
+        counters = metrics.journal
+        outcome = entry.outcome
+        if (not isinstance(outcome, dict)
+                or not isinstance(outcome.get("ball_ids"), tuple)
+                or not isinstance(outcome.get("positives"), tuple)
+                or not isinstance(outcome.get("pm_per_method"), dict)):
+            counters.tampered_records += 1
+            metrics.faults.record(
+                FaultKind.JOURNAL_TAMPER, "journal:pm",
+                FaultAction.DETECTED,
+                detail="journaled PM payload has the wrong shape; "
+                       "recomputing pruning messages")
+            return None
+        for player in self.players:
+            key = f"reattest:{query_key}:p{player.player_id}"
+            counters.reattestations += 1
+            report = player.enclave.attest()
+            if not report.verify(Enclave.APP_IDENTITY) or injector.should(
+                    FaultKind.ENCLAVE_ATTESTATION, key,
+                    detail="re-attestation rejected on resume"):
+                injector.record(
+                    FaultKind.ENCLAVE_ATTESTATION, key,
+                    FaultAction.DEGRADED,
+                    detail="resume re-attestation failed; journaled BF "
+                           "verdicts discarded, recomputing pruning "
+                           "messages")
+                return None
+        for event in entry.events:
+            metrics.faults.record(
+                event.get("kind", "unknown"), event.get("key", ""),
+                event.get("action", ""), detail=event.get("detail", ""),
+                attempt=event.get("attempt", 0))
+            counters.replayed_fault_events += 1
+        counters.records_replayed += 1
+        counters.shares_skipped += 1
+        counters.pm_replays += 1
+        decrypted = DecryptedPMs(
+            ball_ids=tuple(outcome["ball_ids"]),
+            positives=frozenset(outcome["positives"]))
+        pm_per_method = {method: dict(verdicts)
+                         for method, verdicts
+                         in outcome["pm_per_method"].items()}
+        return decrypted, pm_per_method
+
+    def _checkpoint_hook(self, metrics: RunMetrics, journal, query_key: str,
+                         injector: FaultInjector,
+                         deadline: Deadline | None):
+        """The executor's ``on_result`` callback: journal each completed
+        share durably (with the fault events observed since the previous
+        checkpoint), fire the chaos kill if scheduled, then enforce the
+        deadline.  ``None`` when neither a journal nor a deadline is
+        active, so the hot path stays callback-free."""
+        if journal is None and deadline is None:
+            return None
+
+        def hook(key: str, outcome: ShareOutcome) -> None:
+            metrics.journal.shares_evaluated += 1
+            if journal is not None:
+                # Exact attribution: executor fault events carry the share
+                # key they fired on, so each share's record journals its
+                # own injections/retries and nothing else.  A journaled
+                # share is never re-dispatched, so its events replay
+                # exactly once across any number of crashes.
+                events = [e.as_dict() for e in metrics.faults.events
+                          if e.key == key]
+                journal.append_share(query_key, key, outcome, events)
+                metrics.journal.checkpoints_written += 1
+                self._maybe_kill(injector, f"kill:{query_key}:{key}")
+            if deadline is not None:
+                deadline.check(f"after share {key}")
+
+        return hook
+
+    @staticmethod
+    def _maybe_kill(injector: FaultInjector, coordinate: str) -> None:
+        """The ``KILL_PROCESS`` chaos hook: die as ``kill -9`` would,
+        immediately after a durable checkpoint.  The journal record for
+        this coordinate is already fsync'd, so the kill point is exactly
+        the crash-consistency boundary a resume must survive."""
+        if not injector.active:
+            return
+        if injector.policy.decides(FaultKind.KILL_PROCESS, coordinate):
+            logger.warning("chaos: SIGKILL at %s", coordinate)
+            os.kill(os.getpid(), signal.SIGKILL)
+
     def _evaluate(self, message: EncryptedQueryMessage,
                   sequences: list[PlayerSequence],
                   by_id: dict[int, Ball],
                   metrics: RunMetrics,
-                  cmm_cache=None) -> dict[int, EvaluationResult]:
+                  cmm_cache=None, journal=None, query_key: str = "",
+                  resume=None, deadline: Deadline | None = None,
+                  injector: FaultInjector | None = None,
+                  ) -> dict[int, EvaluationResult]:
         """Step 7 over the configured executor.
 
         The Dealer's sequences are deduplicated into disjoint shares
@@ -521,17 +837,34 @@ class Prilo:
         prepared through the cache and verified pattern-grouped; the
         enumeration time paid on cache misses is folded into the per-ball
         evaluation cost so the schedule replay stays honest.
+
+        With a journal, every share completion is checkpointed durably;
+        with ``resume``, journaled shares are spliced in without being
+        dispatched (their enumeration is skipped too -- the prepared form
+        is only built for shares that will actually verify).
         """
+        if injector is None:
+            injector = FaultInjector(report=metrics.faults)
         shares = partition_shares(sequences, by_id, len(self.players))
+        prepared_path = (cmm_cache is not None
+                         and message.semantics is not Semantics.SSIM)
+        key_of = verify_share_key if prepared_path else eval_share_key
+        keys = [key_of(i, share.player) for i, share in enumerate(shares)]
+        completed = self._replayed_shares(keys, metrics, resume)
+        on_result = self._checkpoint_hook(metrics, journal, query_key,
+                                          injector, deadline)
         build_costs: dict[int, float] = {}
-        if cmm_cache is not None and message.semantics is not Semantics.SSIM:
+        if prepared_path:
             outcomes = self._verify_prepared(message, shares, cmm_cache,
-                                             metrics, build_costs)
+                                             metrics, build_costs,
+                                             completed=completed,
+                                             on_result=on_result)
         else:
             outcomes = self.executor.evaluate_shares(
                 message, shares,
                 enumeration_limit=self.config.enumeration_limit,
-                cmm_bound_bypass=self.config.cmm_bound_bypass)
+                cmm_bound_bypass=self.config.cmm_bound_bypass,
+                completed=completed, on_result=on_result)
         results: dict[int, EvaluationResult] = {}
         for outcome in outcomes:
             metrics.per_worker_eval_wall[outcome.player] = max(
@@ -555,16 +888,29 @@ class Prilo:
     def _verify_prepared(self, message: EncryptedQueryMessage,
                          shares: list[EvaluationShare], cmm_cache,
                          metrics: RunMetrics,
-                         build_costs: dict[int, float]) -> list:
+                         build_costs: dict[int, float],
+                         completed: dict[str, ShareOutcome] | None = None,
+                         on_result=None) -> list:
         """Prepared-path fan-out: distill each share's balls through the
-        CMM cache, then verify the pattern groups on the executor."""
+        CMM cache, then verify the pattern groups on the executor.
+
+        Shares whose outcome is already journaled (``completed``) keep
+        their slot as an empty placeholder: the executor splices the
+        journaled outcome back in without dispatching, and -- just as
+        important for resume speed -- their balls never go through
+        ``cmm_cache.prepare`` at all, so no enumeration is repaid.
+        """
         config = self.config
         view = QueryLabelView(labels=message.vertex_labels,
                               diameter=message.diameter,
                               semantics=message.semantics)
         before = cmm_cache.stats.snapshot()
         prepared_shares: list[PreparedShare] = []
-        for share in shares:
+        for i, share in enumerate(shares):
+            if completed and verify_share_key(i, share.player) in completed:
+                prepared_shares.append(
+                    PreparedShare(player=share.player, balls=()))
+                continue
             prepared = []
             for ball in share.balls:
                 prepared.append(cmm_cache.prepare(
@@ -574,7 +920,9 @@ class Prilo:
                 build_costs[ball.ball_id] = cmm_cache.last_build_seconds
             prepared_shares.append(
                 PreparedShare(player=share.player, balls=tuple(prepared)))
-        outcomes = self.executor.verify_shares(message, prepared_shares)
+        outcomes = self.executor.verify_shares(message, prepared_shares,
+                                               completed=completed,
+                                               on_result=on_result)
         metrics.record_cache("cmm", cmm_cache.stats.delta(before))
         return outcomes
 

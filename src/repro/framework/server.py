@@ -40,17 +40,36 @@ pass per scheduled ball.  See DESIGN.md ("Batch serving").
 
 from __future__ import annotations
 
+import logging
+import signal
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.enumeration import count_cmm_upper_bound, iter_cmms
 from repro.framework.executor import PreparedBall
-from repro.framework.metrics import CacheStats
-from repro.framework.prilo import Prilo, QueryResult
+from repro.framework.metrics import CacheStats, JournalCounters, RunMetrics
+from repro.framework.prilo import (
+    BallBudgetExceeded,
+    DeadlineExceeded,
+    Prilo,
+    QueryResult,
+)
 from repro.graph.ball import Ball
 from repro.graph.matrix import ProjectionCache
 from repro.graph.query import Query, QueryLabelView, Semantics
+from repro.storage.journal import (
+    JournalError,
+    RecordType,
+    RunJournal,
+    answer_digest,
+    config_fingerprint,
+    query_idempotency_key,
+)
+from repro.storage.store import graph_digest
+
+logger = logging.getLogger(__name__)
 
 #: Default CMM cache capacity, in CMM units (see ``PreparedBall.weight``).
 #: 512k units is ~a few hundred MB of tuple data at the paper's query
@@ -199,6 +218,77 @@ class CMMCache:
         self.stats.weight = self._weight
 
 
+class QueryStatus:
+    """Admission-control vocabulary for one submitted query."""
+
+    #: Ran to completion (possibly replayed from the journal).
+    OK = "ok"
+    #: Shed at admission: the batch exceeded the queue bound.
+    REJECTED_OVERLOAD = "rejected(overload)"
+    #: Shed pre-evaluation: candidate balls exceeded ``config.ball_budget``.
+    REJECTED_BALL_BUDGET = "rejected(ball_budget)"
+    #: Aborted mid-run by the per-query wall-clock deadline.
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    #: Never started: a graceful drain (SIGTERM/SIGINT) was requested.
+    DRAINED = "drained"
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one submitted query -- one entry per submission,
+    in submission order, whatever its fate.  ``result`` is None for every
+    non-``OK`` status; ``metrics`` carries the partial run state of a
+    deadline-exceeded query (phases completed before the abort, fault and
+    journal counters) so callers observe *where* the budget ran out."""
+
+    index: int
+    status: str
+    result: QueryResult | None = None
+    latency_seconds: float = 0.0
+    detail: str = ""
+    metrics: RunMetrics | None = None
+    #: Journal idempotency key ("" when the batch is not journaled).
+    query_key: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == QueryStatus.OK
+
+
+@dataclass
+class AdmissionStats:
+    """Admission-control counters of one ``serve`` call."""
+
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    shed_overload: int = 0
+    shed_ball_budget: int = 0
+    deadline_exceeded: int = 0
+    drained: int = 0
+    #: Queries whose committed answer was replayed and cross-checked
+    #: against the journal instead of recomputed from scratch.
+    replayed_commits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed_overload": self.shed_overload,
+            "shed_ball_budget": self.shed_ball_budget,
+            "deadline_exceeded": self.deadline_exceeded,
+            "drained": self.drained,
+            "replayed_commits": self.replayed_commits,
+        }
+
+    def summary_line(self) -> str:
+        return (f"submitted={self.submitted} admitted={self.admitted} "
+                f"completed={self.completed} "
+                f"shed={self.shed_overload + self.shed_ball_budget} "
+                f"deadline={self.deadline_exceeded} drained={self.drained}")
+
+
 @dataclass
 class BatchReport:
     """What one ``serve`` call did, for benchmarks and the CLI."""
@@ -212,13 +302,20 @@ class BatchReport:
     signature_groups: dict[tuple, list[int]] = field(default_factory=dict)
     #: CMM cache counters accumulated over this batch.
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: One entry per *submitted* query (``results`` holds completed runs
+    #: only; shed/drained/deadline queries appear here, not there).
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+    #: Admission-control counters for the batch.
+    admission: AdmissionStats = field(default_factory=AdmissionStats)
+    #: Journal counters merged across every run of the batch.
+    journal: JournalCounters = field(default_factory=JournalCounters)
 
     @property
     def distinct_signatures(self) -> int:
         return len(self.signature_groups)
 
     def summary(self) -> dict:
-        return {
+        report = {
             "queries": len(self.results),
             "distinct_signatures": self.distinct_signatures,
             "makespan_seconds": self.makespan,
@@ -228,6 +325,12 @@ class BatchReport:
             "cmm_cache": self.cache_stats.as_dict(),
             "matches": [r.num_matches for r in self.results],
         }
+        if self.outcomes:
+            report["statuses"] = [o.status for o in self.outcomes]
+            report["admission"] = self.admission.as_dict()
+        if self.journal:
+            report["journal"] = self.journal.as_dict()
+        return report
 
 
 class QueryBatchEngine:
@@ -243,9 +346,26 @@ class QueryBatchEngine:
 
     def __init__(self, engine: Prilo,
                  cache: CMMCache | None = None,
-                 max_cache_weight: int = DEFAULT_CMM_CACHE_WEIGHT) -> None:
+                 max_cache_weight: int = DEFAULT_CMM_CACHE_WEIGHT,
+                 journal: RunJournal | None = None,
+                 queue_bound: int | None = None) -> None:
+        if queue_bound is not None and (isinstance(queue_bound, bool)
+                                        or queue_bound < 1):
+            raise ValueError("queue_bound must be a positive int or None")
         self.engine = engine
         self.cache = cache if cache is not None else CMMCache(max_cache_weight)
+        #: Optional :class:`repro.storage.RunJournal`.  When set, every
+        #: batch admission, query begin/commit and executor-share result
+        #: is checkpointed durably; a journal file left behind by a killed
+        #: process is replayed at the next ``serve`` and only unjournaled
+        #: work is re-evaluated.
+        self.journal = journal
+        #: Admission bound: queries past this many per batch are shed
+        #: deterministically (the earliest ``queue_bound`` run, the rest
+        #: are rejected up front with ``REJECTED(overload)`` -- they never
+        #: wait, so overload can't stall the queries that were admitted).
+        self.queue_bound = queue_bound
+        self._drain = threading.Event()
 
     def close(self) -> None:
         """Shut down the underlying engine's executor (idempotent) -- a
@@ -258,35 +378,203 @@ class QueryBatchEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- graceful drain -------------------------------------------------
+    def request_drain(self) -> None:
+        """Stop admitting new queries; the in-flight query finishes (its
+        shares are already being checkpointed) and ``serve`` returns with
+        the remaining queries marked ``drained``."""
+        self._drain.set()
+
+    def _on_drain_signal(self, signum: int, frame: object) -> None:
+        logger.warning("received signal %d: draining batch (in-flight "
+                       "query checkpoints, the rest are not admitted)",
+                       signum)
+        self.request_drain()
+
+    def _install_drain_handlers(self) -> dict | None:
+        """SIGTERM/SIGINT -> graceful drain, main thread only (signal
+        handlers cannot be installed elsewhere); returns the previous
+        handlers for restoration."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, self._on_drain_signal)
+        return previous
+
+    # -- journal hand-off -----------------------------------------------
+    def fingerprint(self) -> str:
+        """This engine's journal identity: every answer- or
+        partition-shaping config field plus the graph digest."""
+        return config_fingerprint(self.engine.config,
+                                  graph_digest(self.engine.graph))
+
+    def _load_journal_state(self):
+        """Replay (and tail-truncate) the journal, refusing a fingerprint
+        mismatch: a journal written under another config/graph would
+        splice foreign ciphertexts into this engine's shares."""
+        state = self.journal.replay()
+        fingerprint = self.fingerprint()
+        if state.fingerprint and state.fingerprint != fingerprint:
+            raise JournalError(
+                f"journal {self.journal.path} was written by a different "
+                f"engine configuration (fingerprint "
+                f"{state.fingerprint[:12]}.. != {fingerprint[:12]}..); "
+                f"refusing to resume")
+        return state, fingerprint
+
     def serve(self, queries: list[Query]) -> BatchReport:
-        """Answer every query; results are value-identical to independent
-        ``engine.run`` calls in the same order."""
+        """Answer every admitted query; results are value-identical to
+        independent ``engine.run`` calls in the same order.
+
+        With a journal attached this is also the resume entry point: call
+        it again after a crash with the *same* submission list and every
+        journaled share (and every committed query's answer) is replayed
+        instead of recomputed.  Queries execute strictly in submission
+        order -- ``prepare_query`` consumes the user's CGBE randomness,
+        so order preservation is what makes a resumed run's messages
+        bit-identical to the uninterrupted run's.
+        """
         config = self.engine.config
+        state = fingerprint = None
+        if self.journal is not None:
+            state, fingerprint = self._load_journal_state()
+        admission = AdmissionStats(submitted=len(queries))
+        journal_counters = JournalCounters()
+        outcomes: list[QueryOutcome] = []
+        bound = self.queue_bound
+        admitted = queries if bound is None else queries[:bound]
+        admission.admitted = len(admitted)
+        admission.shed_overload = len(queries) - len(admitted)
+
         groups: dict[tuple, list[int]] = {}
         results: list[QueryResult] = []
         latencies: list[float] = []
         before = self.cache.stats.snapshot()
+        previous_handlers = self._install_drain_handlers()
         batch_started = time.perf_counter()
-        for index, query in enumerate(queries):
-            signature = enumeration_signature(
-                query,
-                enumeration_limit=config.enumeration_limit,
-                cmm_bound_bypass=config.cmm_bound_bypass)
-            groups.setdefault(signature, []).append(index)
-            started = time.perf_counter()
-            results.append(self.engine.run(query, cmm_cache=self.cache))
-            latencies.append(time.perf_counter() - started)
+        try:
+            if self.journal is not None:
+                self.journal.append(RecordType.BATCH_ADMIT,
+                                    {"fingerprint": fingerprint,
+                                     "submitted": len(queries),
+                                     "admitted": len(admitted)})
+            for index, query in enumerate(admitted):
+                if self._drain.is_set():
+                    admission.drained += len(admitted) - index
+                    outcomes.extend(
+                        QueryOutcome(index=i, status=QueryStatus.DRAINED,
+                                     detail="graceful drain requested")
+                        for i in range(index, len(admitted)))
+                    if self.journal is not None:
+                        self.journal.append(RecordType.DRAIN,
+                                            {"at_index": index})
+                    break
+                outcomes.append(self._serve_one(
+                    index, query, state, groups, results, latencies,
+                    admission, journal_counters))
+        finally:
+            if previous_handlers is not None:
+                for signum, handler in previous_handlers.items():
+                    signal.signal(signum, handler)
+        outcomes.extend(
+            QueryOutcome(index=i, status=QueryStatus.REJECTED_OVERLOAD,
+                         detail=f"queue bound {bound} exceeded")
+            for i in range(len(admitted), len(queries)))
         makespan = time.perf_counter() - batch_started
         return BatchReport(results=results, latencies=latencies,
                            makespan=makespan, signature_groups=groups,
-                           cache_stats=self.cache.stats.delta(before))
+                           cache_stats=self.cache.stats.delta(before),
+                           outcomes=outcomes, admission=admission,
+                           journal=journal_counters)
+
+    def _serve_one(self, index: int, query: Query, state, groups: dict,
+                   results: list, latencies: list,
+                   admission: AdmissionStats,
+                   journal_counters: JournalCounters) -> QueryOutcome:
+        """Admit, run, and (when journaled) commit one query."""
+        config = self.engine.config
+        signature = enumeration_signature(
+            query,
+            enumeration_limit=config.enumeration_limit,
+            cmm_bound_bypass=config.cmm_bound_bypass)
+        groups.setdefault(signature, []).append(index)
+        query_key = ""
+        resume = None
+        if self.journal is not None:
+            query_key = query_idempotency_key(self.journal.key, query, index)
+            resume = state.queries.get(query_key)
+            self.journal.append(RecordType.QUERY_BEGIN,
+                                {"query": query_key, "index": index})
+        started = time.perf_counter()
+        try:
+            result = self.engine.run(query, cmm_cache=self.cache,
+                                     journal=self.journal,
+                                     query_key=query_key, resume=resume)
+        except BallBudgetExceeded as exc:
+            admission.shed_ball_budget += 1
+            logger.warning("query %d shed: %s", index, exc)
+            return QueryOutcome(index=index,
+                                status=QueryStatus.REJECTED_BALL_BUDGET,
+                                latency_seconds=time.perf_counter() - started,
+                                detail=str(exc), query_key=query_key)
+        except DeadlineExceeded as exc:
+            admission.deadline_exceeded += 1
+            if exc.metrics is not None:
+                journal_counters.merge(exc.metrics.journal)
+            logger.warning("query %d aborted: %s", index, exc)
+            return QueryOutcome(index=index,
+                                status=QueryStatus.DEADLINE_EXCEEDED,
+                                latency_seconds=time.perf_counter() - started,
+                                detail=str(exc), metrics=exc.metrics,
+                                query_key=query_key)
+        latency = time.perf_counter() - started
+        if self.journal is not None:
+            self._commit(query_key, index, result, resume, admission)
+        journal_counters.merge(result.metrics.journal)
+        admission.completed += 1
+        results.append(result)
+        latencies.append(latency)
+        return QueryOutcome(index=index, status=QueryStatus.OK,
+                            result=result, latency_seconds=latency,
+                            metrics=result.metrics, query_key=query_key)
+
+    def _commit(self, query_key: str, index: int, result: QueryResult,
+                resume, admission: AdmissionStats) -> None:
+        """Durably commit one answer -- or, when the journal already holds
+        a commit for this submission, cross-check it: a digest mismatch on
+        a *committed* answer is an integrity violation, never a recovery
+        (the journaled shares fed the recomputation, so only tampering or
+        a foreign journal can get here)."""
+        digest = answer_digest(self.journal.key, result.verified_ids,
+                               result.match_ball_ids, result.num_matches)
+        if resume is not None and resume.committed:
+            if resume.answer_digest != digest:
+                raise JournalError(
+                    f"journaled commit for query #{index} does not match "
+                    f"the recomputed answer ({resume.answer_digest[:12]}.. "
+                    f"!= {digest[:12]}..); journal integrity violated")
+            admission.replayed_commits += 1
+            return
+        faults = result.metrics.faults
+        self.journal.append(RecordType.QUERY_COMMIT,
+                            {"query": query_key, "index": index,
+                             "answer_digest": digest,
+                             "faults": {"injected": faults.injected,
+                                        "detected": faults.detected,
+                                        "retries": faults.retries,
+                                        "recovered": faults.recovered,
+                                        "degraded": faults.degraded}})
 
 
 __all__ = [
     "DEFAULT_CMM_CACHE_WEIGHT",
+    "AdmissionStats",
     "BatchReport",
     "CMMCache",
     "QueryBatchEngine",
+    "QueryOutcome",
+    "QueryStatus",
     "enumeration_signature",
     "prepare_ball",
     "signature_of_view",

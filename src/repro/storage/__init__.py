@@ -15,9 +15,24 @@ the *full* offline outsourcing output: plaintext + encrypted ball packs
 (mmap cold start for Players and Dealer alike), per-ball twiglet feature
 sets, tree/BF artifacts, all under a versioned manifest with staleness
 and tamper detection.
+
+:class:`~repro.storage.journal.RunJournal` is the *online* durability
+counterpart: a write-ahead, CRC-framed, keyed-digest journal of batch
+admissions and executor-share results, so a killed serving process
+resumes from its last durable checkpoint re-evaluating only unjournaled
+shares.
 """
 
 from repro.storage.archive import ArchiveError, EncryptedBallArchive
+from repro.storage.journal import (
+    JournalError,
+    JournalState,
+    RecordType,
+    RunJournal,
+    config_fingerprint,
+    journal_key,
+    query_idempotency_key,
+)
 from repro.storage.store import (
     ArtifactStore,
     PackReport,
@@ -33,7 +48,14 @@ __all__ = [
     "ArchiveError",
     "ArtifactStore",
     "EncryptedBallArchive",
+    "JournalError",
+    "JournalState",
     "PackReport",
+    "RecordType",
+    "RunJournal",
+    "config_fingerprint",
+    "journal_key",
+    "query_idempotency_key",
     "StoreBallIndex",
     "StoreEncryptedBalls",
     "StoreError",

@@ -123,6 +123,35 @@ class TestStoreCommands:
         assert "FAILED" in out
         assert "balls.pack: tampered" in out
 
+    def test_verify_stale_key_exits_2(self, store_root, capsys):
+        # verifying with a key derived from a different seed makes the
+        # store stale (built under a different owner key) -> exit 2
+        assert main([*self.BASE, "--seed", "1", "store", "verify",
+                     str(store_root), "--with-key"]) == 2
+        out = capsys.readouterr().out
+        assert "STALE" in out
+        assert "different owner key" in out
+
+    def test_verify_tampered_wins_over_stale(self, store_root, tmp_path,
+                                             capsys):
+        # combined stale + tampered: the integrity failure must take
+        # precedence, so scripts keying off exit 2 for "just rebuild"
+        # never miss an active tamper -> exit 3, both surfaced in output
+        import shutil
+
+        copy = tmp_path / "stale-and-tampered"
+        shutil.copytree(store_root, copy)
+        pack = copy / "balls.pack"
+        data = bytearray(pack.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        pack.write_bytes(bytes(data))
+        assert main([*self.BASE, "--seed", "1", "store", "verify",
+                     str(copy), "--with-key"]) == 3
+        out = capsys.readouterr().out
+        assert "balls.pack: tampered" in out
+        assert "manifest.json: stale" in out
+        assert "FAILED" in out
+
     def test_run_with_store(self, store_root, capsys):
         assert main([*self.BASE, "run", "slashdot", "--size", "4",
                      "--diameter", "2", "--store", str(store_root)]) == 0

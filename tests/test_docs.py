@@ -51,3 +51,18 @@ def test_design_module_map_paths_exist():
         name = match.group(1)
         hits = list((ROOT / "src" / "repro").rglob(name))
         assert hits, f"DESIGN.md module map lists missing file {name}"
+
+
+def test_operations_doc_matches_cli_contract():
+    """docs/operations.md is the exit-code contract the CLI docstring
+    points at -- it must exist, reference real tests, and spell out the
+    tampered-wins precedence that test_cli asserts."""
+    text = (ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+    for ref in re.findall(r"tests/(test_[a-z_]+\.py)", text):
+        assert (ROOT / "tests" / ref).is_file(), f"operations.md: {ref}"
+    lowered = text.lower()
+    for needle in ("exit 2", "exits 3", "tampered wins over stale",
+                   "--resume", "--deadline-ms", "journal inspect"):
+        assert needle in lowered, f"operations.md must document {needle!r}"
+    cli_doc = (ROOT / "src" / "repro" / "cli.py").read_text("utf-8")
+    assert "docs/operations.md" in cli_doc

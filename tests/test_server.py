@@ -109,8 +109,14 @@ class TestBatchEqualsSequential:
 class TestCMMCache:
     def _view_and_balls(self, dataset, count=4):
         from repro.graph.ball import BallIndex
+        from repro.workloads.datasets import tiny_dataset
 
-        query = dataset.random_queries(1, size=4, diameter=2, seed=13)[0]
+        # A fresh dataset instance pins the query to the first draw of a
+        # fresh QGen stream: the shared session fixture's streams are
+        # stateful, so going through it would make this cache-weight
+        # test depend on how many queries *earlier test files* drew.
+        query = tiny_dataset(seed=2).random_queries(
+            1, size=4, diameter=2, seed=13)[0]
         view = QueryLabelView(
             labels=tuple(query.label(u) for u in query.vertex_order),
             diameter=query.diameter, semantics=query.semantics)
