@@ -1,0 +1,166 @@
+"""Tracing overhead: the <3% bound behind ``--trace`` (DESIGN.md
+section 10).
+
+The observability layer's performance contract has two halves, both
+measured on a PriloStar batch over slashdot:
+
+(a) *Identity*: a traced run returns byte-identical answers to an
+    untraced one -- spans observe the protocol, they never steer it.
+(b) *Overhead*: the traced batch costs <= 3% more wall-clock than the
+    untraced one (whose engine carries the inert ``NULL_TRACER``).  The
+    per-span cost is one redaction check plus a list append, so the
+    bound is generous; it exists to catch a future span landing inside
+    a per-ball or per-CMM inner loop, where "one cheap append" times
+    |balls| * |CMMs| stops being cheap.
+
+Timings are min-of-N: the true tracing cost is milliseconds against a
+multi-second batch, so single-shot numbers are scheduler noise.
+
+Scale: slashdot at 0.2x the registry default, matching
+``bench_batch_serving.py`` -- the numbers are relative costs of the
+tracing layer, not paper figures.
+"""
+
+import json
+import time
+
+from _common import (
+    OUT_DIR,
+    SCALE,
+    bench_config,
+    emit,
+    format_row,
+    parse_cli,
+)
+
+from repro.framework.prilo_star import PriloStar
+from repro.framework.server import QueryBatchEngine
+from repro.graph.query import Semantics
+from repro.observability import Tracer, audit_spans
+from repro.workloads.datasets import load_dataset
+
+BATCH = 8
+DISTINCT_QUERIES = 4
+QUERY_SIZE = 8
+QUERY_DIAMETER = 3
+BENCH_SCALE = 0.2 * SCALE
+MAX_OVERHEAD = 0.03
+REPEATS = 3
+
+
+def _setup():
+    ds = load_dataset("slashdot", scale=BENCH_SCALE)
+    graph = ds.graph_for(Semantics.HOM)
+    config = bench_config(radii=(QUERY_DIAMETER,))
+    distinct = ds.random_queries(DISTINCT_QUERIES, size=QUERY_SIZE,
+                                 diameter=QUERY_DIAMETER,
+                                 semantics=Semantics.HOM, seed=5)
+    queries = [distinct[i % DISTINCT_QUERIES] for i in range(BATCH)]
+    return graph, config, queries
+
+
+def _answer_key(result):
+    return (result.candidate_ids,
+            tuple(sorted(result.verified_ids)),
+            tuple(sorted(result.match_ball_ids)),
+            result.num_matches)
+
+
+def _serve(graph, config, queries, tracer):
+    """Serve the batch on a fresh engine; return (report, seconds).
+
+    Engine setup is excluded from the clock: it is identical for the
+    traced and untraced paths, and the bound is on the serving work the
+    spans instrument."""
+    engine = PriloStar.setup(graph, config, tracer=tracer)
+    with QueryBatchEngine(engine) as server:
+        started = time.perf_counter()
+        report = server.serve(queries)
+        seconds = time.perf_counter() - started
+    return report, seconds
+
+
+def trace_overhead_study() -> dict:
+    graph, config, queries = _setup()
+
+    untraced_times, traced_times = [], []
+    for _ in range(REPEATS):
+        untraced, seconds = _serve(graph, config, queries, None)
+        untraced_times.append(seconds)
+        tracer = Tracer()
+        traced, seconds = _serve(graph, config, queries, tracer)
+        traced_times.append(seconds)
+        assert ([_answer_key(r) for r in traced.results]
+                == [_answer_key(r) for r in untraced.results]), (
+            "tracing changed the answers")
+
+    assert tracer.spans, "traced batch produced no spans"
+    audit = audit_spans(tracer.spans)
+    assert audit.ok, [str(v) for v in audit.violations]
+
+    untraced_seconds = min(untraced_times)
+    traced_seconds = min(traced_times)
+    overhead = ((traced_seconds - untraced_seconds) / untraced_seconds
+                if untraced_seconds > 0 else 0.0)
+    return {
+        "batch": BATCH,
+        "distinct_queries": DISTINCT_QUERIES,
+        "untraced_seconds": untraced_seconds,
+        "traced_seconds": traced_seconds,
+        "trace_overhead": overhead,
+        "spans": len(tracer.spans),
+        "restricted_spans": audit.restricted_spans,
+        "audit_ok": audit.ok,
+        "identical_answers": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_trace_overhead(benchmark):
+    study = benchmark.pedantic(trace_overhead_study, rounds=1,
+                               iterations=1)
+    assert study["identical_answers"]
+    assert study["audit_ok"]
+    assert study["trace_overhead"] <= MAX_OVERHEAD, (
+        f"tracing overhead {study['trace_overhead']:.1%} > "
+        f"{MAX_OVERHEAD:.0%}")
+
+
+# ----------------------------------------------------------------------
+# Script mode (--json writes benchmarks/out/BENCH_trace.json)
+# ----------------------------------------------------------------------
+def main(argv=None) -> None:
+    args = parse_cli(argv)
+    study = trace_overhead_study()
+
+    widths = (22, 12, 12)
+    lines = [format_row(("configuration", "seconds", "relative"), widths)]
+    lines.append(format_row(
+        ("batch (untraced)", f"{study['untraced_seconds']:.3f}", "-"),
+        widths))
+    lines.append(format_row(
+        ("batch (traced)", f"{study['traced_seconds']:.3f}",
+         f"+{study['trace_overhead']:.1%}"), widths))
+    lines.append("")
+    lines.append(
+        f"{study['spans']} spans ({study['restricted_spans']} "
+        f"restricted-scope), leakage audit ok, answers identical")
+    emit("trace_overhead", lines)
+
+    assert study["trace_overhead"] <= MAX_OVERHEAD, (
+        f"tracing overhead {study['trace_overhead']:.1%} > "
+        f"{MAX_OVERHEAD:.0%}")
+
+    if args.json:
+        payload = {"benchmark": "trace_overhead", "dataset": "slashdot",
+                   "scale": BENCH_SCALE, "semantics": "hom", **study}
+        path = OUT_DIR / "BENCH_trace.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,8 @@ from repro.analysis.adversary import (
     within_front_accuracy,
 )
 from repro.analysis.leakage import (
+    SPAN_OBSERVABLE_KEYS,
+    SPAN_STRING_KEYS,
     LeakageProfile,
     assert_query_independent,
     diff_profiles,
@@ -45,6 +47,8 @@ from repro.analysis.traces import (
 __all__ = [
     "CGBEDistinguisher",
     "LeakageProfile",
+    "SPAN_OBSERVABLE_KEYS",
+    "SPAN_STRING_KEYS",
     "SequenceAdversary",
     "assert_query_independent",
     "cgbe_false_violation_rate",

@@ -77,6 +77,47 @@ def diff_profiles(a: LeakageProfile, b: LeakageProfile) -> dict[str, tuple]:
 DISCLOSURE_DEPENDENT = frozenset({"sequence_lengths", "evaluations"})
 
 
+# ---------------------------------------------------------------------------
+# The allowed-observation model for trace spans
+# ---------------------------------------------------------------------------
+#: Span-attribute vocabulary of the paper's access-pattern bound: every
+#: attribute a restricted-scope (``dealer``/``player``/``enclave``/``sp``)
+#: trace span may carry.  It is the :class:`LeakageProfile` fields recast
+#: per protocol step -- counts, sizes, orderings and public protocol
+#: coordinates; nothing here is a function of the query's *edge structure*
+#: beyond what steps 4-9 already reveal (candidate counts, the user's
+#: deliberate positive/negative disclosure, and schedule geometry).
+#: :class:`repro.observability.spans.RedactionPolicy` enforces this set at
+#: span construction; :func:`repro.observability.audit.audit_spans`
+#: re-checks serialized traces against it (``repro run --leakage-audit``).
+SPAN_OBSERVABLE_KEYS = frozenset({
+    # protocol cardinalities (LeakageProfile: num_candidates,
+    # sequence_lengths, evaluations, bypassed_balls)
+    "candidates", "positives", "balls", "cmms", "bypassed", "sequences",
+    "evaluations", "queries", "index",
+    # message/boundary sizes (LeakageProfile: pm_message_bytes,
+    # result_ciphertexts; EnclaveMetrics byte meters)
+    "bytes", "bytes_in", "bytes_out", "ecalls",
+    # public protocol coordinates and engine topology
+    "share_key", "mode", "backend", "kind", "semantics", "diameter",
+    "workers", "attempt",
+    # serving/journal machinery (already operator-visible state)
+    "replayed", "records", "tampered", "truncated_bytes", "checkpoints",
+    "submitted", "admitted", "shed", "drained", "committed",
+    # cache counters (functions of public label views and ball ids)
+    "hits", "misses", "evictions", "entries", "weight",
+})
+
+#: The subset of :data:`SPAN_OBSERVABLE_KEYS` whose values may be strings
+#: -- each names a public coordinate with a closed vocabulary (a share
+#: key like ``eval:0:p1``, a sequence mode, a backend or artifact-kind
+#: name).  Every other allowed key must carry a number or bool, so
+#: plaintext cannot ride along in a value.
+SPAN_STRING_KEYS = frozenset({
+    "share_key", "mode", "backend", "kind", "semantics",
+})
+
+
 def assert_query_independent(a: QueryResult, b: QueryResult,
                              ignore: frozenset[str] = frozenset()) -> None:
     """Raise AssertionError naming any observable that distinguishes two

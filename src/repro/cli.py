@@ -9,18 +9,27 @@ Commands:
                                      CMM-reuse batch engine.
 * ``store build|inspect|verify``  -- the persistent offline artifact store.
 * ``journal inspect <path>``      -- summarize a write-ahead run journal.
+* ``trace summarize <path>``      -- per-role/per-phase latency histograms
+                                     of a ``--trace`` JSONL file.
+* ``trace audit <path>``          -- re-run the leakage audit offline.
 * ``workloads``                   -- the ten LDBC BI workloads (Fig. 18).
 * ``prune <dataset>``             -- pruning-technique ablation (Fig. 2a).
 
 All commands accept ``--scale`` (dataset size multiplier) and ``--seed``.
 A store is tied to (dataset, scale, semantics, radii, seed): build and
-consume it with the same global flags.
+consume it with the same global flags.  ``run`` and ``serve-batch``
+accept ``--trace [FILE]`` (role-scoped span trace as JSON lines) and
+``--leakage-audit`` (diff the trace against the allowed-observation
+model); ``serve-batch`` additionally takes ``--metrics-out FILE`` for a
+Prometheus text snapshot.
 
 Exit codes are scriptable triage (documented in ``docs/operations.md``):
 0 success, 1 usage/unexpected error, 2 stale artifacts (``store
 verify``), 3 integrity failure (tampered/missing artifacts, journal
 mismatch), 4 deadline-exceeded queries (``run``/``serve-batch`` with
-``--deadline-ms``).
+``--deadline-ms``), 5 leakage-audit failure.  When one invocation hits
+several conditions, :func:`combine_exit` picks the most severe under the
+lattice ``0 < 2 < 4 < 5 < 3`` (integrity trumps everything).
 """
 
 from __future__ import annotations
@@ -51,8 +60,34 @@ from repro.workloads.experiments import (
     pruning_study,
 )
 
+#: Stale (rebuildable) artifacts detected by ``store verify``.
+EXIT_STALE = 2
+#: Integrity failure: tampered/missing artifacts or a journal mismatch.
+EXIT_INTEGRITY = 3
 #: Distinct exit code for deadline-exceeded queries (see module docstring).
 EXIT_DEADLINE = 4
+#: The leakage audit found a restricted-scope span carrying
+#: query-dependent data.
+EXIT_LEAKAGE = 5
+
+#: The one exit-code precedence lattice every command composes through:
+#: success < stale < deadline < leakage < integrity < usage.  Rationale
+#: (docs/operations.md): staleness is rebuildable, a deadline is a
+#: per-query overload symptom, leakage is a policy violation that still
+#: produced correct answers, and an integrity failure means nothing the
+#: command printed can be trusted -- so tampered wins over stale, and
+#: integrity wins over everything.
+_EXIT_SEVERITY = {0: 0, EXIT_STALE: 1, EXIT_DEADLINE: 2,
+                  EXIT_LEAKAGE: 3, EXIT_INTEGRITY: 4, 1: 5}
+
+
+def combine_exit(*codes: int) -> int:
+    """The most severe of ``codes`` under the documented lattice.
+
+    Unknown codes rank above everything known: a new failure mode must
+    never be masked by an old, milder one."""
+    return max(codes, default=0,
+               key=lambda code: _EXIT_SEVERITY.get(code, len(_EXIT_SEVERITY)))
 
 
 def _chaos(args: argparse.Namespace) -> ChaosPolicy | None:
@@ -136,6 +171,51 @@ def _open_journal(args: argparse.Namespace) -> RunJournal | None:
     return RunJournal(path, journal_key(args.seed))
 
 
+def _tracer_for(args: argparse.Namespace):
+    """A live :class:`~repro.observability.Tracer` when any tracing
+    surface (``--trace``, ``--leakage-audit``, ``--metrics-out``, the
+    hidden taint hook) is requested; ``None`` keeps the engines on the
+    zero-overhead ``NULL_TRACER`` path."""
+    wanted = (getattr(args, "trace", None) is not None
+              or getattr(args, "leakage_audit", False)
+              or getattr(args, "metrics_out", None)
+              or getattr(args, "trace_taint", False))
+    if not wanted:
+        return None
+    from repro.observability import Tracer
+
+    return Tracer()
+
+
+def _finish_trace(args: argparse.Namespace, tracer) -> int:
+    """Post-run trace plumbing: taint injection (test hook), trace-file
+    export, leakage audit.  Returns the audit's exit-code contribution."""
+    if tracer is None:
+        return 0
+    if getattr(args, "trace_taint", False):
+        # Negative control for the leakage audit: smuggle a
+        # query-dependent attribute into a dealer-scope span, bypassing
+        # construction-time redaction the way a buggy/hostile span
+        # emitter would.  The audit MUST flag this.
+        tracer.inject_unchecked("taint_probe", "dealer",
+                                ball_answer="match@ball:17")
+    path = getattr(args, "trace", None)
+    if path:
+        from repro.observability import write_trace
+
+        write_trace(path, tracer.spans)
+        print(f"trace: {len(tracer.spans)} spans -> {path}")
+    if not getattr(args, "leakage_audit", False):
+        return 0
+    from repro.observability import audit_spans
+
+    report = audit_spans(tracer.spans)
+    print(report.summary_line())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.ok else EXIT_LEAKAGE
+
+
 def _print_outcomes(report) -> None:
     for outcome in report.outcomes:
         if outcome.ok:
@@ -180,8 +260,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"query:   {query}")
     store = _open_store(args)
     journal = _open_journal(args)
+    tracer = _tracer_for(args)
     engine = PriloStar.setup(dataset.graph_for(semantics),
-                             _config(args, store), store=store)
+                             _config(args, store), store=store,
+                             tracer=tracer)
+    result = None
+    code = 0
     try:
         if journal is not None:
             # The batch engine (batch of one) owns admission, journal
@@ -191,9 +275,10 @@ def cmd_run(args: argparse.Namespace) -> int:
                 report = server.serve([query])
             _print_outcomes(report)
             _print_batch_counters(report)
-            if not report.results:
-                return _batch_exit_code(report) or 1
-            result = report.results[0]
+            if report.results:
+                result = report.results[0]
+            else:
+                code = _batch_exit_code(report) or 1
         else:
             try:
                 result = engine.run(query)
@@ -204,29 +289,30 @@ def cmd_run(args: argparse.Namespace) -> int:
                           f"{exc.metrics.candidate_balls} candidates, "
                           f"{exc.metrics.journal.shares_evaluated} shares "
                           f"evaluated before the abort")
-                return EXIT_DEADLINE
+                code = EXIT_DEADLINE
     except JournalError as exc:
         print(f"JOURNAL ERROR: {exc}")
-        return 3
+        code = EXIT_INTEGRITY
     finally:
         engine.close()
-    timings = result.metrics.timings
-    print(f"candidates: {len(result.candidate_ids)}  "
-          f"PM-positives: {len(result.pm_positive_ids)}  "
-          f"verified: {len(result.verified_ids)}  "
-          f"matches: {result.num_matches}")
-    print(f"sequence mode: {result.sequence_mode}; all positives at "
-          f"t={result.schedule.all_positives:.4f}s of "
-          f"{result.schedule.makespan:.4f}s total evaluation")
-    print(f"timings: preprocess={timings.user_preprocessing:.3f}s "
-          f"pm={timings.pm_computation:.3f}s "
-          f"eval={timings.evaluation:.3f}s "
-          f"match={timings.user_matching:.3f}s")
-    if result.metrics.faults:
-        print(f"faults:  {result.metrics.faults.summary_line()}")
-    if result.metrics.journal:
-        print(f"journal: {result.metrics.journal.summary_line()}")
-    return 0
+    if result is not None:
+        timings = result.metrics.timings
+        print(f"candidates: {len(result.candidate_ids)}  "
+              f"PM-positives: {len(result.pm_positive_ids)}  "
+              f"verified: {len(result.verified_ids)}  "
+              f"matches: {result.num_matches}")
+        print(f"sequence mode: {result.sequence_mode}; all positives at "
+              f"t={result.schedule.all_positives:.4f}s of "
+              f"{result.schedule.makespan:.4f}s total evaluation")
+        print(f"timings: preprocess={timings.user_preprocessing:.3f}s "
+              f"pm={timings.pm_computation:.3f}s "
+              f"eval={timings.evaluation:.3f}s "
+              f"match={timings.user_matching:.3f}s")
+        if result.metrics.faults:
+            print(f"faults:  {result.metrics.faults.summary_line()}")
+        if result.metrics.journal:
+            print(f"journal: {result.metrics.journal.summary_line()}")
+    return combine_exit(code, _finish_trace(args, tracer))
 
 
 def cmd_serve_batch(args: argparse.Namespace) -> int:
@@ -239,15 +325,17 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     engine_cls = _engine_class(args.engine)
     store = _open_store(args)
     journal = _open_journal(args)
+    tracer = _tracer_for(args)
     engine = engine_cls.setup(dataset.graph_for(semantics),
-                              _config(args, store), store=store)
+                              _config(args, store), store=store,
+                              tracer=tracer)
     try:
         with QueryBatchEngine(engine, journal=journal,
                               queue_bound=args.queue_bound) as server:
             report = server.serve(queries)
     except JournalError as exc:
         print(f"JOURNAL ERROR: {exc}")
-        return 3
+        return combine_exit(EXIT_INTEGRITY, _finish_trace(args, tracer))
     finally:
         if journal is not None:
             journal.close()
@@ -266,7 +354,14 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     if args.json_summary:
         with open(args.json_summary, "w", encoding="utf-8") as fh:
             json.dump(summary, fh, indent=2, default=str)
-    return _batch_exit_code(report)
+    if args.metrics_out:
+        from repro.observability import write_metrics
+
+        spans = tracer.spans if tracer is not None else None
+        write_metrics(args.metrics_out, report, spans)
+        print(f"metrics: Prometheus snapshot -> {args.metrics_out}")
+    return combine_exit(_batch_exit_code(report),
+                        _finish_trace(args, tracer))
 
 
 def cmd_journal_inspect(args: argparse.Namespace) -> int:
@@ -275,15 +370,52 @@ def cmd_journal_inspect(args: argparse.Namespace) -> int:
     reported, not truncated)."""
     if not os.path.exists(args.path):
         print(f"FAILED: no journal at {args.path}")
-        return 3
+        return EXIT_INTEGRITY
     journal = RunJournal(args.path, journal_key(args.seed))
     try:
         summary = journal.inspect()
     except JournalError as exc:
         print(f"JOURNAL ERROR: {exc}")
-        return 3
+        return EXIT_INTEGRITY
     print(json.dumps(summary, indent=2))
-    return 3 if summary["tampered_records"] else 0
+    # Tampered wins over stale/torn-tail symptoms: a torn tail is a
+    # normal crash artifact (reported, exit 0); tampering is not.
+    return EXIT_INTEGRITY if summary["tampered_records"] else 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Per-role / per-phase latency histograms of a ``--trace`` file."""
+    from repro.observability import read_trace, render_summary, \
+        summarize_spans
+
+    if not os.path.exists(args.path):
+        print(f"FAILED: no trace at {args.path}")
+        return 1
+    meta, spans = read_trace(args.path)
+    if meta:
+        print(f"trace: {args.path} (format {meta.get('format', '?')}, "
+              f"{len(spans)} spans)")
+    print(render_summary(summarize_spans(spans)))
+    return 0
+
+
+def cmd_trace_audit(args: argparse.Namespace) -> int:
+    """Offline leakage audit of a recorded trace file (exit 5 on leak).
+
+    Same checker the in-process ``--leakage-audit`` runs, but over the
+    deserialized span dicts -- so it also catches a trace file that was
+    edited after the fact to include restricted data."""
+    from repro.observability import audit_spans, read_trace
+
+    if not os.path.exists(args.path):
+        print(f"FAILED: no trace at {args.path}")
+        return 1
+    _, spans = read_trace(args.path)
+    report = audit_spans(spans)
+    print(report.summary_line())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.ok else EXIT_LEAKAGE
 
 
 def _parse_radii(text: str) -> tuple[int, ...]:
@@ -320,7 +452,7 @@ def cmd_store_verify(args: argparse.Namespace) -> int:
         store = ArtifactStore.open(args.root)
     except StoreError as exc:
         print(f"FAILED: {exc}")
-        return 3
+        return EXIT_INTEGRITY
     key = DataOwnerKey.generate(args.seed) if args.with_key else None
     report = store.verify(key)
     for pack in report.packs:
@@ -333,10 +465,10 @@ def cmd_store_verify(args: argparse.Namespace) -> int:
     if report.tampered:
         print(f"FAILED: {len(report.tampered)} artifact(s) tampered "
               f"or missing")
-        return 3
+        return EXIT_INTEGRITY
     if report.stale:
         print(f"STALE: {len(report.stale)} artifact(s) stale")
-        return 2
+        return EXIT_STALE
     print("ok: store verified")
     return 0
 
@@ -409,6 +541,19 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="reject queries whose candidate ball count "
                              "exceeds N (admission control)")
+    parser.add_argument("--trace", nargs="?", const="trace.jsonl",
+                        default=None, metavar="FILE",
+                        help="write a role-scoped span trace as JSON "
+                             "lines (default file: trace.jsonl)")
+    parser.add_argument("--leakage-audit", action="store_true",
+                        help="diff the trace against the allowed-"
+                             "observation model; a query-dependent "
+                             "attribute in a dealer/player/sp span "
+                             "exits 5")
+    # Test hook: injects a deliberately leaking dealer-scope span so CI
+    # can prove the audit fails loudly.  Not for operators.
+    parser.add_argument("--trace-taint", action="store_true",
+                        help=argparse.SUPPRESS)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -462,6 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "are shed with REJECTED(overload)")
     p_batch.add_argument("--json-summary", default=None, metavar="FILE",
                          help="also write the batch summary as JSON")
+    p_batch.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write a Prometheus text-exposition "
+                              "snapshot of the batch (for a textfile "
+                              "collector)")
     _add_execution_flags(p_batch)
     p_batch.set_defaults(func=cmd_serve_batch)
 
@@ -508,6 +657,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "tamper report (non-destructive)")
     p_jinspect.add_argument("path")
     p_jinspect.set_defaults(func=cmd_journal_inspect)
+
+    p_trace = sub.add_parser("trace", help="span-trace tools")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="per-role/per-phase latency histograms of a "
+                          "--trace JSONL file")
+    p_tsum.add_argument("path")
+    p_tsum.set_defaults(func=cmd_trace_summarize)
+    p_taudit = trace_sub.add_parser(
+        "audit", help="offline leakage audit of a trace file "
+                      "(exit 5 on a restricted-scope leak)")
+    p_taudit.add_argument("path")
+    p_taudit.set_defaults(func=cmd_trace_audit)
 
     p_work = sub.add_parser("workloads",
                             help="LDBC BI workloads (Fig. 18)")

@@ -71,6 +71,7 @@ from repro.framework.messages import (
 )
 from repro.framework.metrics import CacheStats, PhaseTimings
 from repro.framework.roles import compute_pms_kernel, evaluate_ball_kernel
+from repro.observability.spans import NULL_TRACER, player_role
 from repro.graph.ball import Ball
 from repro.graph.query import QueryLabelView
 from repro.tee.enclave import Enclave
@@ -334,10 +335,48 @@ class BallExecutor:
         self.workers = workers
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         self.faults = FaultInjector()
+        self.tracer = NULL_TRACER
 
     def install_faults(self, injector: FaultInjector) -> None:
         """Bind the fault injector/report for the next run(s)."""
         self.faults = injector
+
+    def install_tracer(self, tracer) -> None:
+        """Bind the run's span tracer (same lifecycle as the injector);
+        the default :data:`NULL_TRACER` keeps untraced dispatch free of
+        span allocations."""
+        self.tracer = tracer
+
+    def _trace_shares(self, name: str, calls: list, outcomes: list,
+                      completed: dict | None) -> None:
+        """One ``player:<k>``-scope span per harvested share outcome.
+
+        Emitted in the parent (never inside workers), with the measured
+        worker wall-clock as the duration and only access-pattern
+        attributes: the public share coordinate, ball/CGBE-op counts and
+        whether the outcome was replayed from the journal.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        for (key, _fn, _args), outcome in zip(calls, outcomes):
+            attrs: dict[str, object] = {
+                "share_key": key,
+                "replayed": bool(completed) and key in completed,
+            }
+            if isinstance(outcome, ShareOutcome):
+                attrs["balls"] = len(outcome.results)
+                attrs["cmms"] = sum(r.cmms for r in outcome.results)
+                attrs["bypassed"] = sum(1 for r in outcome.results
+                                        if r.bypassed)
+                pad = outcome.caches.get("pad")
+                if pad is not None:
+                    attrs["hits"] = pad.hits
+                    attrs["misses"] = pad.misses
+            else:  # PmShareOutcome
+                attrs["balls"] = len(outcome.pm_costs)
+            tracer.event(name, player_role(outcome.player),
+                         duration_s=outcome.wall_seconds, **attrs)
 
     # -- public API ----------------------------------------------------
     def evaluate_shares(self, message: EncryptedQueryMessage,
@@ -361,7 +400,9 @@ class BallExecutor:
              (message, share, enumeration_limit, cmm_bound_bypass))
             for i, share in enumerate(shares)
         ]
-        return self._run_with_completed(calls, completed, on_result)
+        outcomes = self._run_with_completed(calls, completed, on_result)
+        self._trace_shares("evaluation_share", calls, outcomes, completed)
+        return outcomes
 
     def verify_shares(self, message: EncryptedQueryMessage,
                       shares: list[PreparedShare],
@@ -377,7 +418,9 @@ class BallExecutor:
         calls = [(verify_share_key(i, share.player), _verify_share,
                   (message, share))
                  for i, share in enumerate(shares)]
-        return self._run_with_completed(calls, completed, on_result)
+        outcomes = self._run_with_completed(calls, completed, on_result)
+        self._trace_shares("verification_share", calls, outcomes, completed)
+        return outcomes
 
     def _run_with_completed(self, calls, completed, on_result) -> list:
         """Dispatch only the calls whose key has no known outcome, then
@@ -420,6 +463,7 @@ class BallExecutor:
             if outcome.faults:
                 self.faults.report.extend(outcome.faults)
                 outcome.faults = []
+        self._trace_shares("pm_share", calls, outcomes, None)
         return outcomes
 
     # -- backend hook --------------------------------------------------

@@ -18,21 +18,40 @@ from dataclasses import dataclass, field
 from repro.framework.faults import FaultReport
 
 
+class StopwatchError(RuntimeError):
+    """A :class:`Stopwatch` exited more times than it was entered."""
+
+
 class Stopwatch:
-    """Accumulating wall-clock timer: ``with watch: ...`` adds to total."""
+    """Accumulating wall-clock timer: ``with watch: ...`` adds to total.
+
+    Re-entrancy-safe: nested/overlapping ``with`` blocks on the same
+    watch (streaming verification re-entering a phase timer) count the
+    *outermost* interval once instead of silently clobbering the start
+    stamp and under-counting.  An ``__exit__`` without a matching
+    ``__enter__`` raises :class:`StopwatchError` -- unbalanced use is a
+    caller bug, never a measurement to swallow.
+    """
 
     def __init__(self) -> None:
         self.total = 0.0
         self._started: float | None = None
+        self._depth = 0
 
     def __enter__(self) -> "Stopwatch":
-        self._started = time.perf_counter()
+        if self._depth == 0:
+            self._started = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._started is not None
-        self.total += time.perf_counter() - self._started
-        self._started = None
+        if self._depth == 0 or self._started is None:
+            raise StopwatchError(
+                "Stopwatch.__exit__ without a matching __enter__")
+        self._depth -= 1
+        if self._depth == 0:
+            self.total += time.perf_counter() - self._started
+            self._started = None
 
 
 @dataclass
@@ -245,6 +264,15 @@ class MessageSizes:
 
     def add(self, field_name: str, nbytes: int) -> None:
         setattr(self, field_name, getattr(self, field_name) + nbytes)
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+#: Serving-layer name for the per-run byte counters: trace spans and the
+#: metrics exporters speak of "communication volume" (the EXP-1 framing),
+#: the engine internals of "message sizes".  Same class.
+CommunicationVolume = MessageSizes
 
 
 @dataclass

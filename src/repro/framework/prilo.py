@@ -49,6 +49,13 @@ from repro.framework.executor import (
 )
 from repro.framework.metrics import MessageSizes, RunMetrics, Stopwatch
 from repro.framework.roles import DataOwner, Dealer, Player, User, merge_pms
+from repro.observability.spans import (
+    NULL_TRACER,
+    ROLE_DEALER,
+    ROLE_ENCLAVE,
+    ROLE_SP,
+    ROLE_USER,
+)
 from repro.framework.simulator import ScheduleOutcome, simulate_schedule
 from repro.graph.ball import Ball
 from repro.graph.labeled_graph import Label, LabeledGraph
@@ -287,9 +294,14 @@ class Prilo:
     _OVERRIDES = dict(use_bf=False, use_twiglet=False, use_ssg=False)
 
     def __init__(self, graph: LabeledGraph, config: PriloConfig,
-                 keyring: UserKeyring | None = None, store=None) -> None:
+                 keyring: UserKeyring | None = None, store=None,
+                 tracer=None) -> None:
         self.graph = graph
         self.config = config
+        #: Role-scoped span tracer (:mod:`repro.observability`).  Kept
+        #: out of the frozen config on purpose: tracing must not change
+        #: the journal's config fingerprint or any answer-shaping state.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional :class:`repro.storage.ArtifactStore` -- the persisted
         #: offline outsourcing output.  When set, the ball index and the
         #: Dealer's encrypted blobs load from disk (staleness-checked in
@@ -344,6 +356,15 @@ class Prilo:
         self.executor: BallExecutor = create_executor(
             config.executor, config.parallelism, recovery=config.recovery)
 
+    def install_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a span tracer post-construction.
+
+        The serving layer builds engines first and decides on tracing
+        later; ``_run`` re-installs ``self.tracer`` into the executor,
+        the store and every enclave on each query, so swapping here is
+        enough."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
     def close(self) -> None:
         """Shut down the evaluation backend (idempotent)."""
         self.executor.close()
@@ -357,13 +378,13 @@ class Prilo:
     # ------------------------------------------------------------------
     @classmethod
     def setup(cls, graph: LabeledGraph, config: PriloConfig | None = None,
-              store=None, **overrides: object) -> "Prilo":
+              store=None, tracer=None, **overrides: object) -> "Prilo":
         """Build an engine; keyword overrides patch the default config."""
         if config is None:
             config = PriloConfig()
         merged = {**cls._OVERRIDES, **overrides}
         config = replace(config, **merged)  # type: ignore[arg-type]
-        return cls(graph, config, store=store)
+        return cls(graph, config, store=store, tracer=tracer)
 
     # ------------------------------------------------------------------
     def candidate_balls(self, query: Query) -> tuple[Label, list[Ball]]:
@@ -433,8 +454,20 @@ class Prilo:
         if self.store is not None:
             self.store.install_faults(injector)
 
+        # Tracing rides the same installation points as fault injection:
+        # the tracer travels engine -> executor/store/enclaves per run, so
+        # a serving layer that swaps tracers between queries stays coherent.
+        tracer = self.tracer
+        self.executor.install_tracer(tracer)
+        if self.store is not None:
+            self.store.install_tracer(tracer)
+        for player in self.players:
+            player.enclave.tracer = tracer
+
         label, candidates = self.candidate_balls(query)
         metrics.candidate_balls = len(candidates)
+        tracer.event("candidate_enumeration", ROLE_SP,
+                     candidates=len(candidates), diameter=query.diameter)
         if (config.ball_budget is not None
                 and len(candidates) > config.ball_budget):
             raise BallBudgetExceeded(len(candidates), config.ball_budget)
@@ -444,20 +477,23 @@ class Prilo:
                     query, label, len(candidates))
 
         # Step 2: the user encrypts the query.
-        message, state = self.user.prepare_query(
-            query,
-            use_bf=config.use_bf,
-            use_twiglet=config.use_twiglet,
-            use_path=config.use_path,
-            use_neighbor=config.use_neighbor,
-            twiglet_h=config.twiglet_h,
-            bf_config=config.bf,
-            enclaves=[p.enclave for p in self.players],
-            sizes=sizes,
-            timings=timings,
-            faults=injector,
-            degrade_bf=config.recovery.degrade_bf,
-        )
+        with tracer.span("query_preprocessing", ROLE_USER) as prep_span:
+            message, state = self.user.prepare_query(
+                query,
+                use_bf=config.use_bf,
+                use_twiglet=config.use_twiglet,
+                use_path=config.use_path,
+                use_neighbor=config.use_neighbor,
+                twiglet_h=config.twiglet_h,
+                bf_config=config.bf,
+                enclaves=[p.enclave for p in self.players],
+                sizes=sizes,
+                timings=timings,
+                faults=injector,
+                degrade_bf=config.recovery.degrade_bf,
+            )
+            prep_span.set("bytes", sizes.encrypted_matrix
+                          + sizes.twiglet_tables + sizes.bf_encodings)
 
         if deadline is not None:
             deadline.check("after query preprocessing")
@@ -473,10 +509,23 @@ class Prilo:
                                           query_key)
             if replayed is not None:
                 decrypted, pm_per_method = replayed
+                tracer.event("pm_replay", ROLE_SP, replayed=True,
+                             balls=len(candidate_ids))
             else:
                 self._compute_pms(message, candidates, pms, metrics)
+                if config.use_bf:
+                    tracer.event("bf_pruning", ROLE_ENCLAVE,
+                                 duration_s=timings.pm_bf,
+                                 balls=len(candidates))
+                if config.use_twiglet:
+                    tracer.event("twiglet_aggregation", ROLE_SP,
+                                 duration_s=timings.pm_twiglet,
+                                 balls=len(candidates))
                 decrypted, pm_per_method = self.user.decrypt_pms(
                     pms, candidate_ids, state, timings)
+                tracer.event("pm_decryption", ROLE_USER,
+                             duration_s=timings.user_pm_decryption,
+                             positives=len(decrypted.positives))
                 self._account_pm_sizes(message, pms, sizes)
                 self._journal_pms(journal, query_key, decrypted,
                                   pm_per_method, metrics, injector)
@@ -498,6 +547,12 @@ class Prilo:
                 seed=config.seed)
             sequences = self._replan_dropouts(sequences, injector)
         timings.sequence_generation += watch.total
+        # The Dealer legitimately sees the decrypted positives (step 4 of
+        # the protocol); counts and mode are exactly its honest view.
+        tracer.event("sequence_generation", ROLE_DEALER,
+                     duration_s=watch.total, mode=mode,
+                     sequences=len(sequences),
+                     positives=len(decrypted.positives))
 
         if deadline is not None:
             deadline.check("after sequence generation")
@@ -510,6 +565,11 @@ class Prilo:
                                  deadline=deadline, injector=injector)
         sizes.add("ciphertext_results",
                   sum(self._verdict_bytes(r) for r in results.values()))
+        tracer.event("evaluation", ROLE_SP,
+                     duration_s=timings.evaluation,
+                     balls=len(results), cmms=metrics.cmms_enumerated,
+                     bypassed=metrics.bypassed_balls,
+                     bytes=sizes.ciphertext_results)
 
         if deadline is not None:
             deadline.check("after evaluation")
@@ -521,8 +581,19 @@ class Prilo:
         # Steps 8-9: decrypt, retrieve, match.
         verified = self.user.decrypt_results(results.values(), timings)
         verified &= set(decrypted.positives)
+        tracer.event("result_decryption", ROLE_USER,
+                     duration_s=timings.user_result_decryption,
+                     balls=len(verified))
         matches = self.user.retrieve_and_match(
             verified, self.dealer, query, sizes, timings, faults=injector)
+        # Localized retrieval: the Dealer observes which verified balls
+        # the user pulls (the paper's accepted disclosure) -- the trace
+        # records only their count and byte volume.
+        tracer.event("ball_retrieval", ROLE_DEALER,
+                     balls=len(verified), bytes=sizes.retrieved_balls)
+        tracer.event("query_matching", ROLE_USER,
+                     duration_s=timings.user_matching,
+                     balls=len(matches))
         if metrics.faults:
             logger.info("faults: %s", metrics.faults.summary_line())
         logger.info("verified %d balls, %d contain matches "
@@ -687,10 +758,15 @@ class Prilo:
 
     #: Journal share key of a query's pruning-message record.  PM-phase
     #: fault events fire on these coordinate prefixes (sealed-channel
-    #: re-requests and enclave ECALL retries), so the record carries them
-    #: for the exactly-once replay guarantee.
+    #: re-requests, enclave ECALL retries, and the executor's ``pm:p<k>``
+    #: share-level retry/timeout loop), so the record carries them for
+    #: the exactly-once replay guarantee.  ``pm:`` was missing at first:
+    #: a resumed run that replayed the PM record silently *dropped* the
+    #: executor-level PM fault events, so post-resume fault totals
+    #: under-counted the uninterrupted run's (regression:
+    #: ``TestResumeTwiceCounters``).
     PM_SHARE_KEY = "pm"
-    _PM_EVENT_PREFIXES = ("bf-blob:", "enclave-mem:")
+    _PM_EVENT_PREFIXES = ("bf-blob:", "enclave-mem:", "pm:")
 
     def _journal_pms(self, journal, query_key: str, decrypted: DecryptedPMs,
                      pm_per_method: dict, metrics: RunMetrics,

@@ -59,6 +59,7 @@ from repro.framework.prilo import (
 from repro.graph.ball import Ball
 from repro.graph.matrix import ProjectionCache
 from repro.graph.query import Query, QueryLabelView, Semantics
+from repro.observability.spans import ROLE_SP
 from repro.storage.journal import (
     JournalError,
     RecordType,
@@ -413,7 +414,12 @@ class QueryBatchEngine:
         """Replay (and tail-truncate) the journal, refusing a fingerprint
         mismatch: a journal written under another config/graph would
         splice foreign ciphertexts into this engine's shares."""
-        state = self.journal.replay()
+        with self.engine.tracer.span("journal_replay", ROLE_SP) as span:
+            state = self.journal.replay()
+            span.set("records", state.records)
+            span.set("tampered", state.tampered_records)
+            span.set("truncated_bytes", state.truncated_bytes)
+            span.set("queries", len(state.queries))
         fingerprint = self.fingerprint()
         if state.fingerprint and state.fingerprint != fingerprint:
             raise JournalError(
@@ -446,6 +452,10 @@ class QueryBatchEngine:
         admitted = queries if bound is None else queries[:bound]
         admission.admitted = len(admitted)
         admission.shed_overload = len(queries) - len(admitted)
+        self.engine.tracer.event("admission", ROLE_SP,
+                                 submitted=admission.submitted,
+                                 admitted=admission.admitted,
+                                 shed=admission.shed_overload)
 
         groups: dict[tuple, list[int]] = {}
         results: list[QueryResult] = []
@@ -555,6 +565,8 @@ class QueryBatchEngine:
                     f"the recomputed answer ({resume.answer_digest[:12]}.. "
                     f"!= {digest[:12]}..); journal integrity violated")
             admission.replayed_commits += 1
+            self.engine.tracer.event("query_commit", ROLE_SP,
+                                     index=index, replayed=True)
             return
         faults = result.metrics.faults
         self.journal.append(RecordType.QUERY_COMMIT,
@@ -565,6 +577,8 @@ class QueryBatchEngine:
                                         "retries": faults.retries,
                                         "recovered": faults.recovered,
                                         "degraded": faults.degraded}})
+        self.engine.tracer.event("query_commit", ROLE_SP,
+                                 index=index, replayed=False)
 
 
 __all__ = [

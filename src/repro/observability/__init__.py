@@ -1,0 +1,77 @@
+"""Privacy-aware observability: role-scoped tracing spans, exporters,
+and the leakage audit (DESIGN.md section 10).
+
+* :mod:`~repro.observability.spans` -- :class:`Tracer`/:class:`Span`
+  with the construction-time redaction policy; every traceable
+  component holds a :data:`NULL_TRACER` until one is installed.
+* :mod:`~repro.observability.export` -- JSONL trace files, Prometheus
+  text snapshots, and the ``trace summarize`` histograms.
+* :mod:`~repro.observability.audit` -- the ``--leakage-audit`` diff of a
+  full trace against :mod:`repro.analysis.leakage`'s allowed-observation
+  model.
+
+``audit`` and ``export`` are loaded lazily: framework modules import
+:mod:`~repro.observability.spans` (dependency-free), while the audit
+pulls in :mod:`repro.analysis.leakage` -- importing it eagerly here
+would cycle through :mod:`repro.framework.prilo`.
+"""
+
+from repro.observability.spans import (
+    NULL_TRACER,
+    RESTRICTED_ROLE_CLASSES,
+    ROLE_DEALER,
+    ROLE_ENCLAVE,
+    ROLE_SP,
+    ROLE_USER,
+    VALID_ROLE_CLASSES,
+    NullTracer,
+    RedactionError,
+    RedactionPolicy,
+    Span,
+    Tracer,
+    UncheckedAttrs,
+    player_role,
+    role_class,
+)
+
+_LAZY = {
+    "audit_spans": "repro.observability.audit",
+    "LeakageAuditReport": "repro.observability.audit",
+    "LeakageViolation": "repro.observability.audit",
+    "prometheus_text": "repro.observability.export",
+    "read_trace": "repro.observability.export",
+    "render_summary": "repro.observability.export",
+    "summarize_spans": "repro.observability.export",
+    "write_metrics": "repro.observability.export",
+    "write_trace": "repro.observability.export",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute "
+                             f"{name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "RESTRICTED_ROLE_CLASSES",
+    "ROLE_DEALER",
+    "ROLE_ENCLAVE",
+    "ROLE_SP",
+    "ROLE_USER",
+    "RedactionError",
+    "RedactionPolicy",
+    "Span",
+    "Tracer",
+    "UncheckedAttrs",
+    "VALID_ROLE_CLASSES",
+    "player_role",
+    "role_class",
+    *sorted(_LAZY),
+]

@@ -1,0 +1,127 @@
+"""The ``leakage-audit`` mode: diff a full trace against the paper's
+access-pattern bound.
+
+Construction-time redaction (:mod:`repro.observability.spans`) is the
+first line of defense, but it only binds spans built through the public
+constructor *in this process*.  The audit closes the loop on the
+artifact itself: given the spans of a run -- live objects or a trace
+file read back from disk -- it re-checks every restricted-scope span
+against the allowed-observation model in
+:mod:`repro.analysis.leakage` and reports every attribute that exceeds
+the bound.  ``repro run --leakage-audit`` fails with exit code 5 when
+the report is non-empty, which is exactly what happens when a test hook
+plants a query-dependent attribute via
+:meth:`~repro.observability.spans.Tracer.inject_unchecked`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.spans import (
+    RESTRICTED_ROLE_CLASSES,
+    Span,
+    role_class,
+)
+
+
+@dataclass(frozen=True)
+class LeakageViolation:
+    """One attribute that leaks beyond the access-pattern bound."""
+
+    span_name: str
+    role: str
+    attribute: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (f"span {self.span_name!r} ({self.role}) attribute "
+                f"{self.attribute!r}: {self.reason}")
+
+
+@dataclass
+class LeakageAuditReport:
+    """Outcome of auditing one trace."""
+
+    checked_spans: int = 0
+    restricted_spans: int = 0
+    violations: list[LeakageViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "checked_spans": self.checked_spans,
+            "restricted_spans": self.restricted_spans,
+            "violations": [vars(v) for v in self.violations],
+            "ok": self.ok,
+        }
+
+    def summary_line(self) -> str:
+        verdict = "ok" if self.ok else "LEAKAGE"
+        return (f"leakage-audit: {verdict} ({self.restricted_spans} "
+                f"restricted of {self.checked_spans} spans, "
+                f"{len(self.violations)} violation(s))")
+
+
+def _allowed_model() -> tuple[frozenset, frozenset]:
+    from repro.analysis.leakage import (
+        SPAN_OBSERVABLE_KEYS,
+        SPAN_STRING_KEYS,
+    )
+    return SPAN_OBSERVABLE_KEYS, SPAN_STRING_KEYS
+
+
+def _check_attr(name: str, role: str, key: str, value: object,
+                allowed: frozenset, string_keys: frozenset,
+                out: list[LeakageViolation]) -> None:
+    if key not in allowed:
+        out.append(LeakageViolation(
+            span_name=name, role=role, attribute=key,
+            reason="attribute key is outside the allowed-observation "
+                   "model (repro.analysis.leakage.SPAN_OBSERVABLE_KEYS)"))
+        return
+    if value is None or isinstance(value, (bool, int, float)):
+        return
+    if isinstance(value, str) and key in string_keys:
+        return
+    out.append(LeakageViolation(
+        span_name=name, role=role, attribute=key,
+        reason=f"value of type {type(value).__name__} could carry "
+               f"query-dependent plaintext; only numbers, bools and "
+               f"declared coordinate strings are within the bound"))
+
+
+def audit_spans(spans: list[Span] | list[dict]) -> LeakageAuditReport:
+    """Audit spans (live or deserialized) against the paper's bound.
+
+    ``user``-scope spans are skipped: the user owns the plaintext and
+    the trace file is the user's artifact.  Every ``dealer``, ``player``,
+    ``enclave`` and ``sp`` span is checked attribute by attribute.
+    """
+    allowed, string_keys = _allowed_model()
+    report = LeakageAuditReport()
+    for span in spans:
+        if isinstance(span, Span):
+            name, role, attrs = span.name, span.role, span.attrs
+        else:
+            name = str(span.get("name", "?"))
+            role = str(span.get("role", "?"))
+            attrs = span.get("attrs", {}) or {}
+        report.checked_spans += 1
+        if role_class(role) not in RESTRICTED_ROLE_CLASSES:
+            continue
+        report.restricted_spans += 1
+        for key, value in attrs.items():
+            _check_attr(name, role, key, value, allowed, string_keys,
+                        report.violations)
+    return report
+
+
+__all__ = [
+    "LeakageAuditReport",
+    "LeakageViolation",
+    "audit_spans",
+]

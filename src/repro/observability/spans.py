@@ -1,0 +1,325 @@
+"""Role-scoped protocol tracing spans with construction-time redaction.
+
+Every span is stamped with the protocol party that *observed* it:
+``user``, ``dealer``, ``player:<k>``, ``enclave``, or ``sp`` (the
+service-provider-side serving machinery: admission, journal, store I/O).
+The role is not cosmetic -- it is the enforcement boundary.  The paper's
+privacy analysis (Sec. 5/6) bounds what the SP side may learn about a
+query to its *access pattern*: counts, sizes, orderings, wall-clocks and
+public protocol coordinates.  A tracing layer that casually attached a
+decrypted verdict or a ``c_sgx`` payload to a dealer-scope span would
+widen that bound through the back door of the ops stack.
+
+So redaction is not a filter applied at export time: it is enforced **at
+span construction**.  Building a :class:`Span` whose role is in a
+restricted scope (``dealer``/``player``/``enclave``/``sp``) with an
+attribute key outside the allowed-observation model, or with a value of
+a type that could smuggle plaintext (bytes, arbitrary strings, nested
+containers), raises :class:`RedactionError` on the spot -- the trace
+file can only ever contain what the paper already concedes the SP sees.
+The allowed-observation model itself lives in
+:mod:`repro.analysis.leakage` (``SPAN_OBSERVABLE_KEYS`` /
+``SPAN_STRING_KEYS``) next to the rest of the leakage accounting, and
+the ``leakage-audit`` CLI mode (:mod:`repro.observability.audit`)
+re-checks a *serialized* trace against the same model -- catching spans
+injected past the constructor through :class:`UncheckedAttrs` (the
+audit's negative-control hook) or edited on disk.
+
+``user``-scope spans are exempt: the user holds the keys and owns the
+plaintext; redacting their own view would protect nobody.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: The five role scopes of the protocol (Sec. 2.2's parties plus the
+#: serving-layer ``sp`` umbrella for machinery no single Player owns).
+ROLE_USER = "user"
+ROLE_DEALER = "dealer"
+ROLE_ENCLAVE = "enclave"
+ROLE_SP = "sp"
+
+#: Role classes whose spans are redaction-checked (everything the
+#: service provider side could observe or exfiltrate through a trace).
+RESTRICTED_ROLE_CLASSES = frozenset({"dealer", "player", "enclave", "sp"})
+
+#: Every legal role class (``player:<k>`` normalizes to ``player``).
+VALID_ROLE_CLASSES = frozenset({"user"}) | RESTRICTED_ROLE_CLASSES
+
+
+def player_role(player_id: int) -> str:
+    """The role string of Player ``k``: ``player:<k>``."""
+    return f"player:{player_id}"
+
+
+def role_class(role: str) -> str:
+    """Normalize a role to its class (``player:3`` -> ``player``)."""
+    return "player" if role.startswith("player:") else role
+
+
+class RedactionError(ValueError):
+    """A span attribute violates the role's redaction policy.
+
+    Raised at :class:`Span` construction -- never at export -- so a
+    leaking attribute can not even transiently exist in a trace buffer.
+    """
+
+
+class UncheckedAttrs(dict):
+    """Attribute dict that bypasses construction-time redaction.
+
+    This exists for exactly one purpose: the leakage audit's negative
+    control.  Tests (and the hidden ``--trace-taint`` CLI hook) use it to
+    plant a query-dependent attribute in a restricted-scope span and then
+    assert that ``repro run --leakage-audit`` fails with a nonzero exit.
+    Production code never constructs one.
+    """
+
+
+def _policy_model() -> tuple[frozenset, frozenset]:
+    """The allowed-observation model, imported lazily from
+    :mod:`repro.analysis.leakage` (a module-level import would cycle:
+    leakage -> framework.prilo -> executor -> this module)."""
+    global _ALLOWED_KEYS, _STRING_KEYS
+    if _ALLOWED_KEYS is None:
+        from repro.analysis.leakage import (
+            SPAN_OBSERVABLE_KEYS,
+            SPAN_STRING_KEYS,
+        )
+        _ALLOWED_KEYS = SPAN_OBSERVABLE_KEYS
+        _STRING_KEYS = SPAN_STRING_KEYS
+    return _ALLOWED_KEYS, _STRING_KEYS
+
+
+_ALLOWED_KEYS: frozenset | None = None
+_STRING_KEYS: frozenset | None = None
+
+
+class RedactionPolicy:
+    """The construction-time check every restricted-scope span passes.
+
+    Two rules, both keyed on the allowed-observation model of
+    :mod:`repro.analysis.leakage`:
+
+    1. **Key allowlist** -- the attribute key must be one the paper's
+       access-pattern bound already concedes (a count, a size, a public
+       protocol coordinate).  ``ball_answer``, ``verdict``, ``c_sgx`` or
+       anything else query-dependent has no key to hide under.
+    2. **Value shape** -- values must be ``int``/``float``/``bool``/
+       ``None``; strings are allowed only under the few keys that name
+       public coordinates (share keys, modes, backends), and bytes or
+       containers are never allowed.  A ciphertext, a decrypted verdict
+       or a subgraph cannot be encoded into a number without the code
+       doing so visibly at the call site.
+    """
+
+    def check(self, role: str, name: str,
+              attrs: Mapping[str, object]) -> None:
+        cls = role_class(role)
+        if cls not in VALID_ROLE_CLASSES:
+            raise RedactionError(
+                f"span {name!r} has unknown role {role!r}; valid roles: "
+                f"user, dealer, player:<k>, enclave, sp")
+        if cls not in RESTRICTED_ROLE_CLASSES:
+            return
+        allowed, string_keys = _policy_model()
+        for key, value in attrs.items():
+            if key not in allowed:
+                raise RedactionError(
+                    f"span {name!r} ({role}): attribute {key!r} is not in "
+                    f"the allowed-observation model for SP-side scopes "
+                    f"(repro.analysis.leakage.SPAN_OBSERVABLE_KEYS)")
+            if value is None or isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                continue
+            if isinstance(value, str):
+                if key in string_keys:
+                    continue
+                raise RedactionError(
+                    f"span {name!r} ({role}): attribute {key!r} carries a "
+                    f"string but is not a declared public coordinate "
+                    f"(repro.analysis.leakage.SPAN_STRING_KEYS)")
+            raise RedactionError(
+                f"span {name!r} ({role}): attribute {key!r} has type "
+                f"{type(value).__name__}; restricted scopes may only "
+                f"carry numbers, bools, and declared coordinate strings")
+
+
+#: The process-wide policy; a singleton because the model is static.
+REDACTION_POLICY = RedactionPolicy()
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced protocol step.
+
+    ``start_s`` is seconds since the owning tracer's epoch,
+    ``duration_s`` the step's wall time (0.0 for point events).  The
+    redaction policy runs in ``__post_init__`` -- i.e. at construction
+    -- unless ``attrs`` is an :class:`UncheckedAttrs` (the audit's
+    negative-control hook).
+    """
+
+    name: str
+    role: str
+    start_s: float
+    duration_s: float
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attrs, UncheckedAttrs):
+            REDACTION_POLICY.check(self.role, self.name, self.attrs)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "role": self.role,
+                "start_s": round(self.start_s, 9),
+                "duration_s": round(self.duration_s, 9),
+                "attrs": dict(self.attrs)}
+
+
+class _SpanContext:
+    """``with tracer.span(...)`` body: times the block, lets the call
+    site add attributes, and constructs (hence redaction-checks) the
+    span at ``__exit__``."""
+
+    __slots__ = ("_tracer", "_name", "_role", "_attrs", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, role: str,
+                 attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._role = role
+        self._attrs = attrs
+        self._started = 0.0
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute (checked when the span is built)."""
+        self._attrs[key] = value
+
+    def __enter__(self) -> "_SpanContext":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        ended = time.perf_counter()
+        tracer = self._tracer
+        tracer.record(Span(
+            name=self._name, role=self._role,
+            start_s=self._started - tracer.epoch,
+            duration_s=ended - self._started,
+            attrs=self._attrs))
+
+
+class _NullSpanContext:
+    """No-op stand-in so untraced runs pay one attribute lookup, not a
+    span allocation."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    Installed by default on every traceable component so the hot paths
+    stay branch-light when tracing is off (the <3% overhead bound of
+    ``benchmarks/bench_trace_overhead.py`` is measured against *this*).
+    """
+
+    enabled = False
+
+    @property
+    def spans(self) -> tuple:
+        return ()
+
+    def span(self, name: str, role: str, **attrs: object):
+        return _NULL_CONTEXT
+
+    def event(self, name: str, role: str, duration_s: float = 0.0,
+              **attrs: object) -> None:
+        pass
+
+    def record(self, span: Span) -> None:
+        pass
+
+
+#: Shared inert instance (stateless, safe to share and to pickle).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects redaction-checked spans for one run/serve invocation.
+
+    Not thread-safe by design: the engine serves queries strictly in
+    submission order, and executor spans are emitted in the parent at
+    harvest time, so a single-threaded append list suffices.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        #: perf_counter value all ``start_s`` offsets are relative to.
+        self.epoch = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    def span(self, name: str, role: str, **attrs: object) -> _SpanContext:
+        """Context manager timing a block into one span."""
+        return _SpanContext(self, name, role, attrs)
+
+    def event(self, name: str, role: str, duration_s: float = 0.0,
+              **attrs: object) -> None:
+        """Record a point (or externally-timed) span immediately."""
+        self.record(Span(name=name, role=role, start_s=self.now(),
+                         duration_s=duration_s, attrs=attrs))
+
+    def record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def inject_unchecked(self, name: str, role: str,
+                         **attrs: object) -> None:
+        """Plant a span that bypasses construction-time redaction.
+
+        The leakage audit's negative control: an honest trace never
+        contains one, and ``--leakage-audit`` must flag any trace that
+        does.  See :class:`UncheckedAttrs`.
+        """
+        self.record(Span(name=name, role=role, start_s=self.now(),
+                         duration_s=0.0, attrs=UncheckedAttrs(attrs)))
+
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "REDACTION_POLICY",
+    "RESTRICTED_ROLE_CLASSES",
+    "ROLE_DEALER",
+    "ROLE_ENCLAVE",
+    "ROLE_SP",
+    "ROLE_USER",
+    "RedactionError",
+    "RedactionPolicy",
+    "Span",
+    "Tracer",
+    "UncheckedAttrs",
+    "VALID_ROLE_CLASSES",
+    "player_role",
+    "role_class",
+]

@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.crypto.keys import DataOwnerKey
+from repro.crypto.stream_cipher import AuthenticationError
 from repro.framework.messages import EncryptedBallBlob
 from repro.graph.ball import BallIndex
 from repro.graph.io import ball_to_bytes
@@ -134,7 +135,9 @@ class EncryptedBallArchive:
             blob = self.get(entry["ball_id"])
             try:
                 cipher.decrypt(blob.blob)
-            except Exception as exc:
+            except AuthenticationError as exc:
+                # decrypt's one failure mode (truncation/MAC); genuine
+                # code errors propagate instead of reading as tamper.
                 raise ArchiveError(
                     f"ball {entry['ball_id']} failed verification: "
                     f"{exc}") from exc

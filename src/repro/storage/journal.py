@@ -60,6 +60,14 @@ _META_LEN = struct.Struct("<I")
 #: gigabytes must read as a torn tail, not an allocation attempt.
 MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
 
+#: Everything ``pickle.loads`` raises on a malformed-but-authenticated
+#: share payload (garbage stream, truncated stream, references to names
+#: this build does not define).  Deliberately *not* a bare ``Exception``:
+#: a KeyboardInterrupt, a tracer bug or an injected fault inside
+#: unpickling must propagate, never be silently counted as tamper.
+_UNPICKLE_ERRORS = (pickle.UnpicklingError, AttributeError, EOFError,
+                    ImportError, IndexError, TypeError, ValueError)
+
 
 class RecordType:
     """The journal's record vocabulary."""
@@ -371,7 +379,7 @@ class RunJournal:
                 return
             try:
                 outcome = pickle.loads(blob)
-            except Exception:
+            except _UNPICKLE_ERRORS:
                 # A digest collision cannot happen under an honest key;
                 # treat an unpicklable-yet-authenticated blob as tamper.
                 state.tampered_records += 1

@@ -52,12 +52,14 @@ from repro.core.twiglets import (
     twiglets_from,
 )
 from repro.crypto.keys import DataOwnerKey
+from repro.crypto.stream_cipher import AuthenticationError
 from repro.filters.bloom import BloomFilter
 from repro.framework.faults import FaultAction, FaultInjector, FaultKind
 from repro.framework.messages import EncryptedBallBlob
 from repro.graph.ball import Ball, BallIndex, extract_ball
 from repro.graph.io import ball_from_bytes, ball_to_bytes, graph_to_json
 from repro.graph.labeled_graph import LabeledGraph
+from repro.observability.spans import NULL_TRACER
 
 _MANIFEST = "manifest.json"
 _BALLS_PACK = "balls.pack"
@@ -325,6 +327,8 @@ class ArtifactStore:
         #: flip bytes in served payloads; detection happens downstream
         #: (parse failure, MAC failure) exactly like genuine rot.
         self._faults = FaultInjector()
+        #: The engine's per-run span tracer (inert by default).
+        self._tracer = NULL_TRACER
         #: Whether a pack that serves corrupt data may be quarantined and
         #: recomputed around (``RecoveryPolicy.quarantine_store``).
         self.quarantine_enabled = True
@@ -337,6 +341,12 @@ class ArtifactStore:
     def install_faults(self, injector: FaultInjector) -> None:
         """Bind the run's fault injector (chaos + event log)."""
         self._faults = injector
+
+    def install_tracer(self, tracer) -> None:
+        """Bind the run's span tracer: every served payload emits an
+        ``sp``-scope I/O event (artifact kind + byte count -- the store
+        serves SP-owned data, so sizes are the whole story)."""
+        self._tracer = tracer
 
     @property
     def faults(self) -> FaultInjector:
@@ -369,6 +379,12 @@ class ArtifactStore:
         increments per call), so recovery paths that re-read converge."""
         attempt = self._load_attempts.get(kind_key, 0)
         self._load_attempts[kind_key] = attempt + 1
+        if self._tracer.enabled:
+            # kind_key is "store:<kind>:<ball_id>"; the span carries the
+            # kind and size only (ball ids already ride in share keys).
+            self._tracer.event("store_io", "sp",
+                               kind=kind_key.split(":")[1],
+                               bytes=len(blob), attempt=attempt)
         return self._faults.corrupt(FaultKind.STORE_TAMPER, kind_key, blob,
                                     attempt=attempt)
 
@@ -627,7 +643,11 @@ class ArtifactStore:
                                                   sl.enc_length)
                 try:
                     payload = cipher.decrypt(blob)
-                except Exception as exc:
+                except AuthenticationError as exc:
+                    # The only failure decrypt raises: a truncated or
+                    # MAC-failing blob.  Anything else (an injected
+                    # tracer/chaos bug, a broken cipher) must propagate,
+                    # not masquerade as tamper.
                     bad += 1
                     first = first or (f"ball {sl.ball_id} failed "
                                       f"authenticated decryption: {exc}")

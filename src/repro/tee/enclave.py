@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.stream_cipher import StreamCipher
 from repro.filters.bloom import BloomFilter
+from repro.observability.spans import NULL_TRACER, ROLE_ENCLAVE
 from repro.tee.attestation import AttestationReport, measure
 
 #: Usable protected memory; the paper cites ~128 MB (Sec. 2.2).
@@ -88,6 +89,11 @@ class Enclave:
         self._memory_limit = memory_limit_bytes
         self._enclave_id = next(_enclave_ids)
         self.metrics = EnclaveMetrics()
+        #: Per-ECALL boundary tracing (``enclave`` scope).  Only sizes and
+        #: call counts are emitted -- never payloads; the plaintext
+        #: encodings and the ``c_sgx`` contents stay inside, exactly like
+        #: the cost model's metering.  Inert by default.
+        self.tracer = NULL_TRACER
         self._session: StreamCipher | None = None
         # Sealed query state: list of (label_repr, encodings tuple).
         self._encodings: list[tuple[str, tuple[int, ...]]] = []
@@ -148,6 +154,9 @@ class Enclave:
         self._encodings = entries
         self._encodings_bytes = nbytes
         self._eta = eta
+        self.tracer.event("ecall_load_encodings", ROLE_ENCLAVE,
+                          bytes_in=len(encrypted_blob),
+                          ecalls=self.metrics.ecalls)
 
     def _free_encodings(self) -> None:
         if self._encodings_bytes:
@@ -188,6 +197,9 @@ class Enclave:
             plaintext = matched_vertices.to_bytes(8, "big")
             result = self._session.encrypt(plaintext)
             self.metrics.charge_out(len(result))
+            self.tracer.event("ecall_check_ball", ROLE_ENCLAVE,
+                              bytes_in=len(filter_blob),
+                              bytes_out=len(result))
             return result
         finally:
             self.metrics.free(len(filter_blob))

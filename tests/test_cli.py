@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_DEADLINE,
+    EXIT_INTEGRITY,
+    EXIT_LEAKAGE,
+    EXIT_STALE,
+    build_parser,
+    combine_exit,
+    main,
+)
 
 
 class TestParser:
@@ -82,6 +90,101 @@ class TestExecution:
             return out.split("matches: ")[1].split()[0]
 
         assert matches(chaotic) == matches(clean)
+
+
+class TestExitCodeLattice:
+    """One precedence order for every command, documented in
+    docs/operations.md: ``0 < 2 (stale) < 4 (deadline) < 5 (leakage)
+    < 3 (integrity) < 1 (generic)``, unknown codes most severe."""
+
+    def test_identity_and_zero(self):
+        assert combine_exit() == 0
+        assert combine_exit(0) == 0
+        assert combine_exit(0, 0, 0) == 0
+
+    def test_total_order(self):
+        lattice = [0, EXIT_STALE, EXIT_DEADLINE, EXIT_LEAKAGE,
+                   EXIT_INTEGRITY, 1]
+        for i, low in enumerate(lattice):
+            for high in lattice[i:]:
+                assert combine_exit(low, high) == high
+                assert combine_exit(high, low) == high
+
+    def test_integrity_wins_over_leakage(self):
+        # Tampered evidence invalidates the very trace a leakage verdict
+        # was computed from: exit 3 must win so "rerun the audit" scripts
+        # never trust a trace from a corrupt run.
+        assert combine_exit(EXIT_LEAKAGE, EXIT_INTEGRITY) == EXIT_INTEGRITY
+
+    def test_unknown_codes_most_severe(self):
+        assert combine_exit(1, 7) == 7
+        assert combine_exit(EXIT_INTEGRITY, 42) == 42
+
+
+class TestTracing:
+    BASE = ["--scale", "0.08", "--players", "2"]
+    RUN = ["run", "dblp", "--size", "4", "--diameter", "2"]
+
+    def test_run_traced_exits_zero_and_writes_jsonl(self, tmp_path,
+                                                    capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([*self.BASE, *self.RUN, "--trace", str(trace),
+                     "--leakage-audit"]) == 0
+        out = capsys.readouterr().out
+        assert "leakage-audit: ok" in out
+        assert trace.exists()
+
+        from repro.observability import read_trace
+        meta, spans = read_trace(trace)
+        assert meta["format"] == 1
+        assert meta["spans"] == len(spans) > 0
+        roles = {s["role"] for s in spans}
+        assert "user" in roles and "dealer" in roles
+
+    def test_taint_hook_fails_audit_with_exit_5(self, tmp_path, capsys):
+        trace = tmp_path / "tainted.jsonl"
+        assert main([*self.BASE, *self.RUN, "--trace", str(trace),
+                     "--leakage-audit", "--trace-taint"]) == EXIT_LEAKAGE
+        out = capsys.readouterr().out
+        assert "LEAKAGE" in out
+        assert "ball_answer" in out
+
+    def test_trace_summarize_and_offline_audit(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([*self.BASE, *self.RUN, "--trace", str(trace)]) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "[user]" in out
+        assert "spans" in out
+
+        assert main(["trace", "audit", str(trace)]) == 0
+        assert "leakage-audit: ok" in capsys.readouterr().out
+
+    def test_offline_audit_flags_tainted_trace(self, tmp_path, capsys):
+        trace = tmp_path / "tainted.jsonl"
+        assert main([*self.BASE, *self.RUN, "--trace", str(trace),
+                     "--trace-taint"]) == 0  # no live audit requested
+        capsys.readouterr()
+        assert main(["trace", "audit", str(trace)]) == EXIT_LEAKAGE
+        assert "LEAKAGE" in capsys.readouterr().out
+
+    def test_trace_commands_reject_missing_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["trace", "summarize", missing]) == 1
+        assert main(["trace", "audit", missing]) == 1
+
+    def test_serve_batch_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main(["--scale", "0.05", "--modulus", "512", "serve-batch",
+                     "slashdot", "--batch", "3", "--distinct", "2",
+                     "--size", "4", "--diameter", "2",
+                     "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_batch_queries_total counter" in text
+        assert "repro_batch_queries_total 3" in text
+        assert "repro_message_bytes_total" in text
 
 
 class TestStoreCommands:

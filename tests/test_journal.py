@@ -569,6 +569,91 @@ class TestFaultMetricsMerge:
 
 
 # ---------------------------------------------------------------------------
+# Exactly-once counter merge across repeated resumes (regression)
+# ---------------------------------------------------------------------------
+class TestResumeTwiceCounters:
+    """Regression for the dropped ``pm:p<k>`` fault events.
+
+    ``_PM_EVENT_PREFIXES`` originally listed only the sealed-channel and
+    ECALL coordinates (``bf-blob:``, ``enclave-mem:``), so a fault hitting
+    the executor's PM share fan-out -- coordinate ``pm:p<k>`` -- was never
+    journaled with the PM record.  A resume that *successfully* replayed
+    the PM verdicts then silently lost those events: answers matched but
+    post-resume fault totals under-counted the cold run's.  This test
+    crashes after the first PM record, resumes, then resumes again with a
+    complete journal, asserting full fault-event and cache-counter
+    equality with the uninterrupted chaotic run each time.
+    """
+
+    # Attestation rejection is chaos-decided per ``reattest:`` coordinate,
+    # so with it enabled every resume adds legitimate resume-only events
+    # (and failed re-attestation recomputes PMs, hiding the replay path
+    # this test pins down).  Exclude it; the remaining kinds still hit the
+    # PM fan-out.
+    KINDS = tuple(k for k in INJECTABLE_KINDS
+                  if k != FaultKind.ENCLAVE_ATTESTATION)
+
+    @staticmethod
+    def _fault_events(report):
+        return [sorted((e.kind, e.key, e.action, e.attempt)
+                       for e in r.metrics.faults.events)
+                for r in report.results]
+
+    @staticmethod
+    def _pad_caches(report):
+        return [{name: (stats.hits, stats.misses, stats.evictions)
+                 for name, stats in sorted(r.metrics.caches.items())
+                 if name != "cmm"}  # cmm misses legitimately drop on
+                for r in report.results]  # resume: replay skips enumeration
+
+    def test_counters_equal_cold_run_after_two_resumes(
+            self, dataset, test_config, tmp_path):
+        chaos = ChaosPolicy(seed=11, fault_rate=0.5, kinds=self.KINDS)
+        config = replace(test_config, chaos=chaos)
+        queries = _queries(dataset, Semantics.SUB_ISO)
+
+        def run(journal=None):
+            engine = _engine(dataset, config, Semantics.SUB_ISO, True)
+            return QueryBatchEngine(engine, journal=journal).serve(queries)
+
+        cold = run()
+        assert any(ev for ev in self._fault_events(cold)), \
+            "chaos schedule injected nothing; test is vacuous"
+        assert any(any(key.startswith("pm:") for _, key, _, _ in ev)
+                   for ev in self._fault_events(cold)), \
+            "no PM fan-out fault; the regression path is not exercised"
+
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path, journal_key(config.seed))
+        run(journal)
+        journal.close()
+
+        # Crash right after BATCH_ADMIT + QUERY_BEGIN(q0) + q0's PM
+        # record: the first resume must replay the PM verdicts *and* the
+        # executor-level fault events journaled with them.
+        _truncate_after(path, 3)
+        journal = RunJournal(path, journal_key(config.seed))
+        first = run(journal)
+        journal.close()
+        assert first.journal.pm_replays >= 1
+        assert self._fault_events(first) == self._fault_events(cold)
+        assert self._pad_caches(first) == self._pad_caches(cold)
+        assert ([_answer_key(r) for r in first.results]
+                == [_answer_key(r) for r in cold.results])
+
+        # Second resume over the now-complete journal: committed answers
+        # replay wholesale, counters still merge exactly once.
+        journal = RunJournal(path, journal_key(config.seed))
+        second = run(journal)
+        journal.close()
+        assert second.admission.replayed_commits == len(queries)
+        assert self._fault_events(second) == self._fault_events(cold)
+        assert self._pad_caches(second) == self._pad_caches(cold)
+        assert ([_answer_key(r) for r in second.results]
+                == [_answer_key(r) for r in cold.results])
+
+
+# ---------------------------------------------------------------------------
 # Pruning-message replay: re-attestation gate, fallback to recomputation
 # ---------------------------------------------------------------------------
 class TestPMReplay:

@@ -9,6 +9,7 @@ from repro.framework.metrics import (
     MessageSizes,
     PhaseTimings,
     Stopwatch,
+    StopwatchError,
 )
 
 
@@ -21,6 +22,43 @@ class TestStopwatch:
         with watch:
             time.sleep(0.01)
         assert watch.total > first >= 0.01
+
+    def test_nested_entry_counts_outermost_interval_once(self):
+        """Re-entering an already-running watch (streaming verification
+        re-entering the evaluation timer) must not clobber the start
+        stamp: the outer interval is counted once, whole."""
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+            with watch:
+                time.sleep(0.01)
+            # Inner exit must not stop the clock...
+            time.sleep(0.01)
+        # ...so the total covers all three sleeps, not just the tail.
+        assert watch.total >= 0.03
+
+    def test_sequential_after_nested_still_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            with watch:
+                time.sleep(0.01)
+        first = watch.total
+        assert first >= 0.01
+        with watch:
+            time.sleep(0.01)
+        assert watch.total > first
+
+    def test_unbalanced_exit_raises(self):
+        watch = Stopwatch()
+        with pytest.raises(StopwatchError):
+            watch.__exit__(None, None, None)
+
+    def test_exit_after_balanced_use_raises(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        with pytest.raises(StopwatchError):
+            watch.__exit__(None, None, None)
 
 
 class TestConfusionCounts:
