@@ -80,11 +80,44 @@ def parse_cli(argv=None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def write_headline_json(payload: dict) -> Path:
-    """Persist the headline numbers for CI artifacts / regression tracking."""
+#: Version tag of the shared ``--json`` payload envelope.  Every
+#: machine-readable benchmark file carries it plus the run's scale knobs,
+#: so CI gates and regression diffs parse one shape across all scripts.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def ops_summary(*results) -> dict:
+    """The uniform crypto-op block for benchmark payloads.
+
+    Merges the :class:`~repro.crypto.ops.OpCounter` of every given
+    engine result; ``by_phase_role`` keeps the full attribution,
+    the top-level totals are what regression gates compare.
+    """
+    from repro.crypto.ops import OpCounter
+
+    merged = OpCounter()
+    for result in results:
+        merged.merge(getattr(result.metrics, "ops", None))
+    totals = merged.totals()
+    return {"modmul": totals.modmul, "modexp": totals.modexp,
+            "table_build": totals.table_build,
+            "by_phase_role": merged.as_dict()}
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one benchmark's numbers as ``benchmarks/out/BENCH_<name>.json``
+    under the shared :data:`BENCH_SCHEMA` envelope."""
     OUT_DIR.mkdir(exist_ok=True)
-    path = OUT_DIR / "BENCH_headline.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    envelope = {"schema": BENCH_SCHEMA, "benchmark": name,
+                "env_scale": SCALE, "env_num_queries": NUM_QUERIES}
+    envelope.update(payload)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     print(f"wrote {path}")
     return path
+
+
+def write_headline_json(payload: dict) -> Path:
+    """Persist the headline numbers for CI artifacts / regression tracking."""
+    return write_bench_json("headline", payload)

@@ -23,17 +23,16 @@ are about relative speedups, not absolute paper figures; the smaller
 graph keeps the sequential-replay baseline affordable in CI).
 """
 
-import json
 import tempfile
 import time
 
 from _common import (
-    OUT_DIR,
     SCALE,
     bench_config,
     emit,
     format_row,
     parse_cli,
+    write_bench_json,
 )
 
 from repro.crypto.keys import DataOwnerKey
@@ -215,13 +214,9 @@ def main(argv=None) -> None:
         f"store cold start only {store['cold_start_speedup']:.1f}x faster")
 
     if args.json:
-        payload = {"benchmark": "batch_serving", "dataset": "slashdot",
-                   "scale": BENCH_SCALE, "semantics": "hom",
-                   "batches": batches, "store": store}
-        path = OUT_DIR / "BENCH_batch.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
-        print(f"wrote {path}")
+        write_bench_json("batch", {
+            "dataset": "slashdot", "scale": BENCH_SCALE, "semantics": "hom",
+            "batches": batches, "store": store})
 
 
 if __name__ == "__main__":

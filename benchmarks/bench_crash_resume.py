@@ -21,16 +21,15 @@ Scale: slashdot at 0.2x the registry default, matching
 durability layer, not paper figures.
 """
 
-import json
 import time
 
 from _common import (
-    OUT_DIR,
     SCALE,
     bench_config,
     emit,
     format_row,
     parse_cli,
+    write_bench_json,
 )
 
 from repro.framework.prilo_star import PriloStar
@@ -249,12 +248,9 @@ def main(argv=None) -> None:
         f"{MAX_OVERHEAD:.0%}")
 
     if args.json:
-        payload = {"benchmark": "crash_resume", "dataset": "slashdot",
-                   "scale": BENCH_SCALE, "semantics": "hom", **study}
-        path = OUT_DIR / "BENCH_journal.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
-        print(f"wrote {path}")
+        write_bench_json("journal", {
+            "dataset": "slashdot", "scale": BENCH_SCALE,
+            "semantics": "hom", **study})
 
 
 if __name__ == "__main__":

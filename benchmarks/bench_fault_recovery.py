@@ -20,16 +20,15 @@ relative overhead, not a paper figure, and the smaller graph keeps three
 full pipeline sweeps affordable in CI.
 """
 
-import json
 import time
 
 from _common import (
-    OUT_DIR,
     SCALE,
     bench_config,
     emit,
     format_row,
     parse_cli,
+    write_bench_json,
 )
 
 from repro.framework.faults import ChaosPolicy, FaultKind, RecoveryPolicy
@@ -181,12 +180,9 @@ def main(argv=None) -> None:
         f"{MAX_OVERHEAD:.0%}")
 
     if args.json:
-        payload = {"benchmark": "fault_recovery", "dataset": "slashdot",
-                   "scale": BENCH_SCALE, "semantics": "hom", **study}
-        path = OUT_DIR / "BENCH_faults.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
-        print(f"wrote {path}")
+        write_bench_json("faults", {
+            "dataset": "slashdot", "scale": BENCH_SCALE,
+            "semantics": "hom", **study})
 
 
 if __name__ == "__main__":

@@ -106,6 +106,10 @@ SPAN_OBSERVABLE_KEYS = frozenset({
     "submitted", "admitted", "shed", "drained", "committed",
     # cache counters (functions of public label views and ball ids)
     "hits", "misses", "evictions", "entries", "weight",
+    # crypto op counters (operation-sequence cardinalities; the op
+    # *sequence* is position-independent by Alg. 2's construction, so its
+    # length reveals nothing beyond the candidate/CMM counts above)
+    "modmuls", "modexps", "table_builds",
 })
 
 #: The subset of :data:`SPAN_OBSERVABLE_KEYS` whose values may be strings

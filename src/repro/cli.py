@@ -41,6 +41,7 @@ import sys
 
 from repro.core.bf_pruning import BFConfig
 from repro.crypto.keys import DataOwnerKey
+from repro.crypto.kernels import DEFAULT_KERNELS, NAIVE_KERNELS, KernelConfig
 from repro.framework.faults import VALID_KINDS, ChaosPolicy
 from repro.framework.prilo import DeadlineExceeded, Prilo, PriloConfig
 from repro.framework.prilo_star import PriloStar
@@ -120,6 +121,11 @@ def _chaos(args: argparse.Namespace) -> ChaosPolicy | None:
     return policy
 
 
+def _kernels(args: argparse.Namespace) -> KernelConfig:
+    name = getattr(args, "kernels", "batched")
+    return NAIVE_KERNELS if name == "naive" else DEFAULT_KERNELS
+
+
 def _config(args: argparse.Namespace, store=None) -> PriloConfig:
     config = PriloConfig(k_players=args.players, modulus_bits=args.modulus,
                          q_bits=16 if args.modulus <= 1024 else 32,
@@ -129,7 +135,8 @@ def _config(args: argparse.Namespace, store=None) -> PriloConfig:
                          parallelism=getattr(args, "parallelism", 1),
                          chaos=_chaos(args),
                          deadline_ms=getattr(args, "deadline_ms", None),
-                         ball_budget=getattr(args, "ball_budget", None))
+                         ball_budget=getattr(args, "ball_budget", None),
+                         kernels=_kernels(args))
     if store is not None:
         # Ball ids are a function of (vertex order, radii): an engine
         # served from a store must address exactly the stored radii.
@@ -308,6 +315,11 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"pm={timings.pm_computation:.3f}s "
               f"eval={timings.evaluation:.3f}s "
               f"match={timings.user_matching:.3f}s")
+        if result.metrics.ops:
+            totals = result.metrics.ops.totals()
+            print(f"crypto ops [{_kernels(args).label}]: "
+                  f"modmul={totals.modmul} modexp={totals.modexp} "
+                  f"table_build={totals.table_build}")
         if result.metrics.faults:
             print(f"faults:  {result.metrics.faults.summary_line()}")
         if result.metrics.journal:
@@ -511,6 +523,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         help="ball-evaluation backend")
     parser.add_argument("--parallelism", type=int, default=1,
                         help="worker processes for --executor process")
+    parser.add_argument("--kernels", default="batched",
+                        choices=["batched", "naive"],
+                        help="crypto hot-path kernels: 'batched' uses the "
+                             "Straus window tables and packed CMM masks, "
+                             "'naive' the per-ciphertext reference fold "
+                             "(value-identical; for A/B benchmarking)")
     parser.add_argument("--chaos-seed", type=int, default=None,
                         metavar="N",
                         help="enable seeded fault injection (chaos mode); "

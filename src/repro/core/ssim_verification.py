@@ -42,6 +42,7 @@ from repro.crypto.cgbe import (
     CGBEPublicParams,
     CiphertextPowerCache,
 )
+from repro.crypto.kernels import MaskedProductTable, MultiExpRegistry
 from repro.graph.ball import Ball
 from repro.graph.labeled_graph import Vertex
 from repro.graph.query import Query
@@ -115,6 +116,45 @@ def _pair_product(
     return chunked_product(params, factors, c_one, plan, pad_cache=pad_cache)
 
 
+def ssim_multiexp(
+    params: CGBEPublicParams,
+    encrypted_matrix: list[list[CGBECiphertext]],
+    c_one: CGBECiphertext,
+    query: Query,
+    row: int,
+    plan: ChunkPlan,
+    config=None,
+) -> MaskedProductTable:
+    """The shared Straus table for one query row's pair products.
+
+    The base vector interleaves ``M[row][j], M[j][row]`` over the vertex
+    order -- position-aligned with :func:`_pair_mask` -- and is identical
+    for every candidate pair of the row, across every ball of a share.
+    """
+    bases: list[CGBECiphertext] = []
+    for j in range(query.size):
+        bases.append(encrypted_matrix[row][j])
+        bases.append(encrypted_matrix[j][row])
+    if config is None:
+        return MaskedProductTable(params, bases, c_one, plan)
+    return MaskedProductTable(params, bases, c_one, plan, config)
+
+
+def _pair_mask(query: Query, succ_labels: frozenset,
+               pred_labels: frozenset) -> int:
+    """The selection mask of one candidate pair: bit ``2j`` selects the
+    pad where ``v`` has a successor labeled ``L(u_j)`` (no 3b violation
+    possible), bit ``2j + 1`` likewise for predecessors (3c)."""
+    mask = 0
+    for j, u_other in enumerate(query.vertex_order):
+        label = query.label(u_other)
+        if label in succ_labels:
+            mask |= 1 << (2 * j)
+        if label in pred_labels:
+            mask |= 1 << (2 * j + 1)
+    return mask
+
+
 def ssim_verify_ball(
     params: CGBEPublicParams,
     encrypted_matrix: list[list[CGBECiphertext]],
@@ -122,29 +162,55 @@ def ssim_verify_ball(
     query: Query,
     ball: Ball,
     plan: ChunkPlan,
+    multiexp: MultiExpRegistry | None = None,
 ) -> SsimBallVerdict:
-    """The SP-side ssim verification for one candidate ball."""
+    """The SP-side ssim verification for one candidate ball.
+
+    With ``multiexp`` enabled, each query row's pair products come from a
+    shared :class:`MaskedProductTable` (registry key ``("ssim", row)``);
+    candidates with equal neighbor-label sets -- the common case on
+    low-diversity balls -- collapse into memo hits.  Value-identical to
+    the naive :func:`_pair_product` fold.
+    """
     neighbor_cache = _NeighborLabelCache(ball)
-    pad_cache = CiphertextPowerCache(params, c_one)
+    use_kernel = multiexp is not None and multiexp.enabled
+    pad_cache = None if use_kernel else CiphertextPowerCache(params, c_one)
     per_vertex: list[BallCiphertextResult] = []
     center_items: list[list[CGBECiphertext]] = []
     for row, u in enumerate(query.vertex_order):
         candidates = sorted(
             ball.graph.vertices_with_label(query.label(u)), key=repr)
-        items = [
-            _pair_product(params, encrypted_matrix, c_one, query, ball,
-                          row, v, plan, neighbor_cache=neighbor_cache,
-                          pad_cache=pad_cache)
-            for v in candidates
-        ]
+        if use_kernel:
+            table = multiexp.table(
+                ("ssim", row),
+                lambda row=row: ssim_multiexp(params, encrypted_matrix,
+                                              c_one, query, row, plan,
+                                              multiexp.config))
+            items = [
+                table.chunk_ciphertexts(
+                    _pair_mask(query, *neighbor_cache.labels(v)))
+                for v in candidates
+            ]
+        else:
+            items = [
+                _pair_product(params, encrypted_matrix, c_one, query, ball,
+                              row, v, plan, neighbor_cache=neighbor_cache,
+                              pad_cache=pad_cache)
+                for v in candidates
+            ]
         per_vertex.append(
             aggregate_items(params, ball.ball_id, items, plan))
         if query.label(u) == ball.center_label:
-            center_items.append(
-                _pair_product(params, encrypted_matrix, c_one, query, ball,
-                              row, ball.center, plan,
-                              neighbor_cache=neighbor_cache,
-                              pad_cache=pad_cache))
+            if use_kernel:
+                center_items.append(table.chunk_ciphertexts(
+                    _pair_mask(query,
+                               *neighbor_cache.labels(ball.center))))
+            else:
+                center_items.append(
+                    _pair_product(params, encrypted_matrix, c_one, query,
+                                  ball, row, ball.center, plan,
+                                  neighbor_cache=neighbor_cache,
+                                  pad_cache=pad_cache))
     center = aggregate_items(params, ball.ball_id, center_items, plan)
     return SsimBallVerdict(ball_id=ball.ball_id, per_vertex=per_vertex,
                            center=center)

@@ -32,6 +32,7 @@ from repro.core.aggregation import (
     chunked_product,
 )
 from repro.crypto.cgbe import CGBE, CGBECiphertext, CGBEPublicParams
+from repro.crypto.kernels import MaskedProductTable, MultiExpRegistry
 from repro.graph.ball import Ball
 from repro.graph.labeled_graph import Label
 
@@ -81,21 +82,42 @@ def player_table_prune(
     ball_features: set[Hashable],
     c_one: CGBECiphertext,
     plan: ChunkPlan,
+    multiexp: MultiExpRegistry | None = None,
+    kind: str = "table",
 ) -> BallCiphertextResult:
     """Alg. 5 generalized: aggregate the violation ciphertext of one ball.
 
     Only tables whose start label equals the ball center's label take part
     (Alg. 5 line 4); the per-key branch (``c_one`` vs the table ciphertext)
     depends on the *ball's* features only, never on the encrypted bits.
+
+    With ``multiexp`` enabled, each table's ciphertext column becomes a
+    shared :class:`MaskedProductTable` (keyed by the public coordinate
+    ``(kind, table_index)``) and the ball's feature membership packs into
+    a selection mask -- balls sharing a feature set hit the table's memo.
+    Results are value-identical to the ``chunked_product`` fold.
     """
     center_label = ball.center_label
     item_chunks: list[list[CGBECiphertext]] = []
-    for table in tables:
+    use_kernel = multiexp is not None and multiexp.enabled
+    for index, table in enumerate(tables):
         if table.start_label != center_label:
             continue
-        factors = [
-            c_one if key in ball_features else table.ciphertexts[index]
-            for index, key in enumerate(table.keys)
-        ]
-        item_chunks.append(chunked_product(params, factors, c_one, plan))
+        if use_kernel:
+            mtable = multiexp.table(
+                (kind, index),
+                lambda table=table: MaskedProductTable(
+                    params, table.ciphertexts, c_one, plan,
+                    multiexp.config))
+            mask = 0
+            for pos, key in enumerate(table.keys):
+                if key in ball_features:
+                    mask |= 1 << pos
+            item_chunks.append(mtable.chunk_ciphertexts(mask))
+        else:
+            factors = [
+                c_one if key in ball_features else table.ciphertexts[i]
+                for i, key in enumerate(table.keys)
+            ]
+            item_chunks.append(chunked_product(params, factors, c_one, plan))
     return aggregate_items(params, ball.ball_id, item_chunks, plan)

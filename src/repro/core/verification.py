@@ -33,6 +33,12 @@ from repro.core.aggregation import (
     decide_positive,
 )
 from repro.crypto.cgbe import CGBECiphertext, CGBEPublicParams, CiphertextPowerCache
+from repro.crypto.kernels import (
+    DEFAULT_KERNELS,
+    KernelConfig,
+    MaskedProductTable,
+    offdiagonal_bases,
+)
 from repro.graph.ball import Ball
 from repro.graph.matrix import CandidateMappingMatrix, ProjectionCache
 from repro.graph.query import Query
@@ -64,6 +70,25 @@ def verification_plan(params: CGBEPublicParams, query: Query,
     off-diagonal factors per CMM."""
     return ChunkPlan.plan(params, query.size * (query.size - 1),
                           expected_terms=expected_terms)
+
+
+def verification_multiexp(
+    params: CGBEPublicParams,
+    encrypted_matrix: list[list[CGBECiphertext]],
+    c_one: CGBECiphertext,
+    plan: ChunkPlan,
+    config: KernelConfig = DEFAULT_KERNELS,
+) -> MaskedProductTable:
+    """The shared Straus table for Alg. 2 products of one query message.
+
+    The base vector (the encrypted matrix's off-diagonal entries) is
+    identical for every ball and every CMM of a query, so one table --
+    window subset products plus the per-pattern chunk memo -- serves an
+    entire executor share.  Results are value-identical to
+    :func:`verify_projected_rows`.
+    """
+    return MaskedProductTable(params, offdiagonal_bases(encrypted_matrix),
+                              c_one, plan, config)
 
 
 def verify_ciphertext(
@@ -164,6 +189,7 @@ def verify_ball_streaming(
     plan: ChunkPlan,
     limit: int | None = None,
     pad_stats: "object | None" = None,
+    multiexp: MaskedProductTable | None = None,
 ) -> tuple[BallCiphertextResult, int, bool]:
     """Alg. 1 + Alg. 2 fused: verify CMMs as they are enumerated.
 
@@ -174,13 +200,21 @@ def verify_ball_streaming(
     reported unpruned (``bypassed``), exactly as the two-pass pipeline
     decides it.
 
+    With ``multiexp`` (the query's shared
+    :func:`verification_multiexp` table), each CMM projects straight to a
+    packed selection mask and the chunk products come from the table --
+    repeated patterns (within this ball *and* across every ball sharing
+    the table) cost a memo lookup instead of a ciphertext fold.  The
+    chunk ciphertexts are value-identical to the naive path's.
+
     Returns ``(result, enumerated, truncated)`` where ``enumerated`` counts
     the CMMs verified (capped at ``limit``) -- the same accounting the
     two-pass :func:`repro.core.enumeration.enumerate_cmms` +
     :func:`verify_ball` pipeline reports.
     """
     projection_cache = ProjectionCache(ball.graph)
-    pad_cache = CiphertextPowerCache(params, c_one, stats=pad_stats)
+    pad_cache = CiphertextPowerCache(params, c_one, stats=pad_stats) \
+        if multiexp is None else None
     chunk_lists: list[list[CGBECiphertext]] = []
     enumerated = 0
     for cmm in cmms:
@@ -188,10 +222,15 @@ def verify_ball_streaming(
             return (BallCiphertextResult(ball_id=ball.ball_id,
                                          bypassed=True),
                     enumerated, True)
-        chunk_lists.append(
-            verify_ciphertext(params, encrypted_matrix, c_one, ball, cmm,
-                              plan, projection_cache=projection_cache,
-                              pad_cache=pad_cache))
+        if multiexp is not None:
+            mask = projection_cache.project_mask(cmm.assignment)
+            chunk_lists.append(multiexp.chunk_ciphertexts(mask))
+        else:
+            chunk_lists.append(
+                verify_ciphertext(params, encrypted_matrix, c_one, ball,
+                                  cmm, plan,
+                                  projection_cache=projection_cache,
+                                  pad_cache=pad_cache))
         enumerated += 1
     return (aggregate_items(params, ball.ball_id, chunk_lists, plan),
             enumerated, False)
@@ -203,6 +242,7 @@ decide_ball = decide_positive
 __all__ = [
     "BallCiphertextResult",
     "decide_ball",
+    "verification_multiexp",
     "verification_plan",
     "verify_ball",
     "verify_ball_streaming",

@@ -38,6 +38,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.crypto import ops
 from repro.crypto.prng import random_bits, seeded_rng
 
 # RFC 3526 MODP group primes (2048 / 3072 / 4096 bits).  These are safe
@@ -96,6 +97,23 @@ class OverflowError_(ArithmeticError):
     """
 
 
+#: Process-global Montgomery context for :meth:`CGBE.product`'s chain
+#: fold.  Installed/cleared by :func:`repro.crypto.kernels.kernel_scope`
+#: (the crypto layer cannot import kernels without a cycle, so the hook
+#: is a module global rather than a parameter threaded through every
+#: aggregation call site).  ``None`` means plain ``%`` arithmetic.
+_MONT: "object | None" = None
+
+
+def install_montgomery(context: "object | None") -> "object | None":
+    """Install (or clear, with ``None``) the product-fold Montgomery
+    context; returns the previous installation so scopes can restore it."""
+    global _MONT
+    previous = _MONT
+    _MONT = context
+    return previous
+
+
 class FixedBaseExp:
     """Windowed fixed-base modular exponentiation with a bounded memo.
 
@@ -116,7 +134,8 @@ class FixedBaseExp:
     """
 
     def __init__(self, base: int, modulus: int, window: int = 4,
-                 max_memo: int = 1024, stats: "object | None" = None) -> None:
+                 max_memo: int = 1024, stats: "object | None" = None,
+                 montgomery: "object | None" = None) -> None:
         if modulus < 2:
             raise ValueError("modulus must be >= 2")
         if not 1 <= window <= 8:
@@ -128,11 +147,25 @@ class FixedBaseExp:
         self.window = window
         self.max_memo = max_memo
         self.stats = stats
+        # Optional repro.crypto.kernels.MontgomeryContext: table entries
+        # then live in the Montgomery domain (one REDC per table
+        # multiplication) and pow() converts back at its boundary.  The
+        # memo stores converted (plain-domain) results, so memo hits skip
+        # the conversion entirely.
+        self._mont = montgomery
+        base_value = self.base if montgomery is None \
+            else montgomery.to_mont(self.base)
         # _rows[i][j] = base^((j+1) * 2^(window*i)); filled lazily.
-        self._rows: list[list[int]] = [[self.base]]
+        self._rows: list[list[int]] = [[base_value]]
         self._memo: dict[int, int] = {}
         if stats is not None:
             stats.capacity = max(stats.capacity, max_memo)
+
+    def _mul(self, a: int, b: int) -> int:
+        if self._mont is not None:
+            return self._mont.mul(a, b)
+        ops.record_modmul()
+        return (a * b) % self.modulus
 
     def _entry(self, row: int, digit: int) -> int:
         """``base^(digit * 2^(window*row))``, extending the table as needed."""
@@ -141,11 +174,12 @@ class FixedBaseExp:
             # ``window`` times.
             value = self._rows[-1][0]
             for _ in range(self.window):
-                value = (value * value) % self.modulus
+                value = self._mul(value, value)
             self._rows.append([value])
         entries = self._rows[row]
         while len(entries) < digit:
-            entries.append((entries[-1] * entries[0]) % self.modulus)
+            entries.append(self._mul(entries[-1], entries[0]))
+            ops.record_table_build()
         return entries[digit - 1]
 
     def pow(self, exponent: int) -> int:
@@ -170,10 +204,12 @@ class FixedBaseExp:
             if digit:
                 entry = self._entry(row, digit)
                 result = entry if result is None else \
-                    (result * entry) % self.modulus
+                    self._mul(result, entry)
             remaining >>= self.window
             row += 1
         assert result is not None
+        if self._mont is not None:
+            result = self._mont.from_mont(result)
         if len(self._memo) >= self.max_memo:
             self._memo.pop(next(iter(self._memo)))
             if self.stats is not None:
@@ -403,6 +439,7 @@ class CGBE:
             raise ValueError(f"message too large: {message.bit_length()} bits "
                              f"> q_bits={self._params.q_bits}")
         r = random_bits(self._rng, self._params.r_bits)
+        ops.record_modmul()
         value = (message * r * self._gx) % self._params.modulus
         return CGBECiphertext(value=value, power=1,
                               value_bits=self._params.budget.bits_per_factor)
@@ -423,6 +460,7 @@ class CGBE:
         guarantees for ciphertexts produced through this class.
         """
         unblind = self._unblind.pow(ciphertext.power)
+        ops.record_modmul()
         return (ciphertext.value * unblind) % self._params.modulus
 
     def has_factor_q(self, ciphertext: CGBECiphertext) -> bool:
@@ -447,6 +485,7 @@ class CGBE:
                 f"product would need {bits} bits but the modulus has "
                 f"{params.modulus_bits}; split the aggregation "
                 f"(AggregationBudget.max_factors)")
+        ops.record_modmul()
         return CGBECiphertext(value=(c1.value * c2.value) % params.modulus,
                               power=c1.power + c2.power,
                               value_bits=bits)
@@ -485,6 +524,7 @@ class CGBE:
             raise OverflowError_(
                 f"power would need {bits} bits but the modulus has "
                 f"{params.modulus_bits}")
+        ops.record_modexp()
         return CGBECiphertext(
             value=pow(ciphertext.value, exponent, params.modulus),
             power=ciphertext.power * exponent,
@@ -497,30 +537,54 @@ class CGBE:
                 ) -> CGBECiphertext:
         """Fold :meth:`multiply` over a non-empty list.
 
-        Runs of the *same ciphertext object* (by identity) collapse into
-        one :meth:`power` call -- verification products are typically
-        half ``c_one`` repeats, making this a ~2x saving at identical
-        results.  When ``power_cache`` is given and its base object appears
-        in the list, that run is served from the cache's precomputed
-        ``base^(2^i)`` table instead of a fresh exponentiation.
+        Repeats of *equal* ciphertexts (same value/power/bit bound --
+        object identity is irrelevant) collapse into one :meth:`power`
+        call; verification products are typically half ``c_one``
+        repeats, making this a ~2x saving at identical results.  Equality
+        grouping matters beyond the common shared-object case: padding
+        re-encrypted after a store quarantine, or ciphertexts rebuilt
+        from a journal, are distinct allocations that must still fold.
+        When ``power_cache`` is given and its base appears in the list,
+        that run is served from the cache's precomputed ``base^(2^i)``
+        table instead of a fresh exponentiation.
         """
         if not ciphertexts:
             raise ValueError("empty product")
-        # Group repeats of identical objects (order is irrelevant to a
+        # Group repeats of equal ciphertexts (order is irrelevant to a
         # product) and exponentiate each distinct ciphertext once.
-        counts: dict[int, int] = {}
-        by_id: dict[int, CGBECiphertext] = {}
+        counts: dict[CGBECiphertext, int] = {}
         for c in ciphertexts:
-            counts[id(c)] = counts.get(id(c), 0) + 1
-            by_id[id(c)] = c
-        acc: CGBECiphertext | None = None
-        for key, count in counts.items():
-            term = by_id[key]
+            counts[c] = counts.get(c, 0) + 1
+        terms: list[CGBECiphertext] = []
+        for term, count in counts.items():
             if count > 1:
-                if power_cache is not None and term is power_cache.base:
+                if power_cache is not None and term == power_cache.base:
                     term = power_cache.power(count)
                 else:
                     term = CGBE.power(params, term, count)
+            terms.append(term)
+        mont = _MONT
+        if mont is not None and len(terms) >= 3:
+            # Montgomery chain fold (kernel_scope installed a context):
+            # run the exact bits/power bookkeeping of the serial multiply
+            # fold -- raising at the first boundary crossing with
+            # multiply's message -- then compute the value in one
+            # convert-fold-convert pass.  Below 3 terms the two domain
+            # conversions cost more than they save.
+            bits = terms[0].value_bits
+            power = terms[0].power
+            for term in terms[1:]:
+                bits += term.value_bits
+                if bits >= params.modulus_bits:
+                    raise OverflowError_(
+                        f"product would need {bits} bits but the modulus "
+                        f"has {params.modulus_bits}; split the aggregation "
+                        f"(AggregationBudget.max_factors)")
+                power += term.power
+            return CGBECiphertext(value=mont.fold(t.value for t in terms),
+                                  power=power, value_bits=bits)
+        acc: CGBECiphertext | None = None
+        for term in terms:
             acc = term if acc is None else CGBE.multiply(params, acc, term)
         assert acc is not None
         return acc

@@ -1,0 +1,519 @@
+"""Batched crypto kernels for the CGBE hot path.
+
+Three kernels, all value-identical to the naive fold they replace (same
+answers, same ``power`` / ``value_bits`` bookkeeping, same overflow
+behavior) and selectable per run through :class:`KernelConfig`:
+
+* **Straus-style shared-window multi-exponentiation**
+  (:class:`MaskedProductTable`).  Verification, ssim refinement and table
+  pruning all fold the *same fixed base vector* (the encrypted query
+  matrix's off-diagonal entries, a query row's neighbor pairs, a prune
+  table's ciphertexts) under varying selections of which positions are
+  replaced by ``c_one``.  Instead of re-multiplying per item, the base
+  vector is cut into windows (never crossing chunk boundaries), each
+  window keeps a lazily-built subset-product table, and a chunk product
+  becomes one table lookup per window plus one cached ``c_one`` pad
+  power.  A chunk-result memo on top collapses repeated selection masks
+  -- the dominant effect in practice, since distinct projected patterns
+  are few (DESIGN.md Sec. 7 measures ~5.7x pattern redundancy on
+  slashdot) -- and the whole table is shared across every ball of a
+  share.
+
+* **Montgomery-form modular multiplication** (:class:`MontgomeryContext`).
+  REDC-based multiplication for product *chains*: operands convert into
+  the Montgomery domain once at the kernel boundary, fold there, and
+  convert back once.  Off by default: CPython's native big-int ``%`` is
+  a C-level division, and a pure-Python REDC (three big multiplications
+  per product step) does not beat it -- the context exists so the A/B
+  benchmark can measure that honestly, and so a future C/GMP backend has
+  a tested domain contract to slot into.
+
+* **Packed-bitset rows** (:func:`pack_row`, :func:`iter_bits`).
+  CMM projections and the dual-simulation fixpoint carry set membership
+  as int bitmaps, so per-entry dict lookups become word-parallel AND/OR.
+
+Every kernel op reports into :mod:`repro.crypto.ops` so benchmark deltas
+are attributable op-by-op (modmul / modexp / table builds per phase).
+
+Layering: this module sits inside ``repro.crypto`` and must not import
+``repro.core`` or ``repro.framework``; the chunk layout is duck-typed
+(anything with ``factors`` / ``chunk_factors`` / ``chunks_per_item``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.crypto import cgbe as _cgbe
+from repro.crypto import ops
+from repro.crypto.cgbe import (
+    CGBECiphertext,
+    CGBEPublicParams,
+    OverflowError_,
+)
+
+try:  # optional fast path for dense row packing; never required
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in CI images
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelConfig:
+    """Which kernels a run uses (``PriloConfig.kernels``).
+
+    The defaults are the fast, always-safe set: multi-exp and bitsets on,
+    Montgomery off (see module docstring).  ``window`` is the Straus
+    window width in bits; 4 keeps subset tables at <= 16 entries per
+    window, the sweet spot for the 30-60 factor products of this
+    codebase.
+    """
+
+    multiexp: bool = True
+    montgomery: bool = False
+    bitset: bool = True
+    window: int = 4
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.window <= 8:
+            raise ValueError("kernel window must be in 1..8")
+
+    @classmethod
+    def naive(cls) -> "KernelConfig":
+        """Every kernel off -- the PR1/PR2 baseline path, for A/B runs."""
+        return cls(multiexp=False, montgomery=False, bitset=False)
+
+    @property
+    def label(self) -> str:
+        """Public coordinate string for spans and benchmark payloads."""
+        return "naive" if not (self.multiexp or self.montgomery) else (
+            "batched+mont" if self.montgomery else "batched")
+
+    def as_dict(self) -> dict:
+        return {"multiexp": self.multiexp, "montgomery": self.montgomery,
+                "bitset": self.bitset, "window": self.window}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KernelConfig":
+        return cls(multiexp=bool(payload.get("multiexp", True)),
+                   montgomery=bool(payload.get("montgomery", False)),
+                   bitset=bool(payload.get("bitset", True)),
+                   window=int(payload.get("window", 4)))
+
+
+DEFAULT_KERNELS = KernelConfig()
+NAIVE_KERNELS = KernelConfig.naive()
+
+
+# ---------------------------------------------------------------------------
+# Montgomery arithmetic
+# ---------------------------------------------------------------------------
+class MontgomeryContext:
+    """REDC arithmetic modulo an odd ``n`` with ``R = 2**n.bit_length()``.
+
+    Domain rules (DESIGN.md Sec. 11): values enter through
+    :meth:`to_mont`, every in-domain product is one :meth:`mul` (a single
+    REDC), and results leave through :meth:`from_mont`.  Mixing domains
+    is the classic Montgomery bug; :meth:`fold` packages the safe
+    convert-fold-convert pattern for product chains so call sites never
+    touch raw domain values.
+    """
+
+    __slots__ = ("n", "k", "mask", "r2", "n_prime", "one")
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 3 or modulus % 2 == 0:
+            raise ValueError("Montgomery arithmetic needs an odd modulus >= 3")
+        self.n = modulus
+        self.k = modulus.bit_length()
+        self.mask = (1 << self.k) - 1
+        r = 1 << self.k
+        self.r2 = (r * r) % modulus
+        # n' = -n^-1 mod R, the REDC folding constant.
+        self.n_prime = (-pow(modulus, -1, r)) & self.mask
+        self.one = r % modulus  # to_mont(1)
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: ``t * R^-1 mod n`` for ``t < n*R``."""
+        m = ((t & self.mask) * self.n_prime) & self.mask
+        reduced = (t + m * self.n) >> self.k
+        return reduced - self.n if reduced >= self.n else reduced
+
+    def to_mont(self, a: int) -> int:
+        ops.record_modmul()
+        return self.redc((a % self.n) * self.r2)
+
+    def from_mont(self, a_mont: int) -> int:
+        ops.record_modmul()
+        return self.redc(a_mont)
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """In-domain product: ``to_mont(a * b)`` from two domain values."""
+        ops.record_modmul()
+        return self.redc(a_mont * b_mont)
+
+    def fold(self, values: Iterable[int]) -> int:
+        """Plain-domain product of ``values`` folded through the domain."""
+        acc = self.one
+        count = 0
+        for value in values:
+            acc = self.mul(acc, self.to_mont(value))
+            count += 1
+        if count == 0:
+            raise ValueError("empty Montgomery fold")
+        return self.from_mont(acc)
+
+
+#: Contexts are pure functions of the modulus; share them per process.
+_MONT_CONTEXTS: dict[int, MontgomeryContext] = {}
+
+
+def montgomery_context(modulus: int) -> MontgomeryContext:
+    ctx = _MONT_CONTEXTS.get(modulus)
+    if ctx is None:
+        ctx = MontgomeryContext(modulus)
+        if len(_MONT_CONTEXTS) >= 8:
+            _MONT_CONTEXTS.pop(next(iter(_MONT_CONTEXTS)))
+        _MONT_CONTEXTS[modulus] = ctx
+    return ctx
+
+
+@contextmanager
+def kernel_scope(config: KernelConfig, params: CGBEPublicParams):
+    """Activate ``config``'s kernel choices for the enclosing computation.
+
+    Today that means one thing: when ``config.montgomery`` is on, install
+    the modulus's :class:`MontgomeryContext` into
+    :meth:`repro.crypto.cgbe.CGBE.product`'s chain fold (the crypto layer
+    cannot import this module, so the hook is a module global there).
+    The previous installation is restored on exit, so scopes nest and a
+    naive run inside a Montgomery run stays naive.
+    """
+    if not config.montgomery:
+        yield
+        return
+    previous = _cgbe.install_montgomery(montgomery_context(params.modulus))
+    try:
+        yield
+    finally:
+        _cgbe.install_montgomery(previous)
+
+
+# ---------------------------------------------------------------------------
+# Straus shared-window multi-exponentiation
+# ---------------------------------------------------------------------------
+class MaskedProductTable:
+    """Subset-product window tables over one fixed ciphertext vector.
+
+    The factor list of one item is always "``bases[p]`` at every position
+    ``p`` the selection mask leaves 0, ``pad`` (an encryption of 1) at
+    every position the mask sets" -- verification selects by projected
+    pattern, ssim by neighbor-label membership, pruning by feature-key
+    membership.  ``chunk_ciphertexts(mask)`` returns exactly what
+    ``chunked_product`` returns for that factor list: same values, same
+    ``power`` (= ``chunk_factors``), same ``value_bits``, same
+    :class:`OverflowError_` condition.
+
+    All bases (and the pad) must be fresh single encryptions
+    (``power == 1``, ``value_bits == bits_per_factor``) -- the only shape
+    the hot path produces; anything else belongs on the naive path.
+    """
+
+    def __init__(self, params: CGBEPublicParams,
+                 bases: Sequence[CGBECiphertext],
+                 pad: CGBECiphertext,
+                 plan: "object",
+                 config: KernelConfig = DEFAULT_KERNELS,
+                 max_memo: int = 1 << 16) -> None:
+        bits_per_factor = params.budget.bits_per_factor
+        for c in (*bases, pad):
+            if c.power != 1 or c.value_bits != bits_per_factor:
+                raise ValueError(
+                    "multi-exp tables need fresh single encryptions "
+                    f"(power=1, value_bits={bits_per_factor}); got power="
+                    f"{c.power}, value_bits={c.value_bits}")
+        if len(bases) != plan.factors:
+            raise ValueError(
+                f"base vector has {len(bases)} entries but the plan lays "
+                f"out {plan.factors} factors")
+        self.params = params
+        self.plan = plan
+        self.config = config
+        self.max_memo = max_memo
+        self.hits = 0
+        self.misses = 0
+        modulus = params.modulus
+        self._mont = (montgomery_context(modulus)
+                      if config.montgomery else None)
+        if self._mont is not None:
+            self._base_values = [self._mont.to_mont(c.value) for c in bases]
+            self._identity = self._mont.one
+        else:
+            self._base_values = [c.value % modulus for c in bases]
+            self._identity = 1
+        self._pad_plain = pad.value % modulus
+        # Window layout: windows tile each chunk's position range and
+        # never cross a chunk boundary, so one chunk's product reads only
+        # its own windows.  _windows[w] = (position offset, width);
+        # _chunk_windows[c] = indices into _windows.
+        window = config.window
+        self._windows: list[tuple[int, int]] = []
+        self._chunk_windows: list[list[int]] = []
+        total = len(bases)
+        for chunk in range(plan.chunks_per_item):
+            start = chunk * plan.chunk_factors
+            end = min(start + plan.chunk_factors, total)
+            indices: list[int] = []
+            offset = start
+            while offset < end:
+                width = min(window, end - offset)
+                indices.append(len(self._windows))
+                self._windows.append((offset, width))
+                offset += width
+            self._chunk_windows.append(indices)
+        # Lazily-filled subset tables: _tables[w][submask] = product of
+        # the window's bases at submask's set bits (identity at 0).
+        self._tables: list[dict[int, int]] = [
+            {0: self._identity} for _ in self._windows]
+        # Cached pad powers (c_one^k) and per-(chunk, mask) results.
+        self._pad_pows: dict[int, int] = {0: 1, 1: self._pad_plain}
+        self._memo: dict[tuple[int, int], int] = {}
+
+    # -- internals ----------------------------------------------------
+    def _window_entry(self, w: int, submask: int) -> int:
+        table = self._tables[w]
+        value = table.get(submask)
+        if value is None:
+            # Build from the entry one set bit short: exactly one
+            # multiplication per table entry, ever.
+            low = submask & -submask
+            offset, _width = self._windows[w]
+            base = self._base_values[offset + low.bit_length() - 1]
+            parent = self._window_entry(w, submask ^ low)
+            if self._mont is not None:
+                value = self._mont.mul(parent, base)
+            else:
+                ops.record_modmul()
+                value = (parent * base) % self.params.modulus
+            ops.record_table_build()
+            table[submask] = value
+        return value
+
+    def _pad_pow(self, count: int) -> int:
+        value = self._pad_pows.get(count)
+        if value is None:
+            ops.record_modexp()
+            value = pow(self._pad_plain, count, self.params.modulus)
+            self._pad_pows[count] = value
+        return value
+
+    def _chunk_value(self, chunk: int, selected: int) -> int:
+        """The chunk's product value for selection mask ``selected``
+        (bit = 1 means that position's factor is the pad)."""
+        key = (chunk, selected)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        plan = self.plan
+        modulus = self.params.modulus
+        start = chunk * plan.chunk_factors
+        real_width = min(start + plan.chunk_factors,
+                         len(self._base_values)) - start
+        pad_extra = plan.chunk_factors - real_width
+        ones = (selected & ((1 << real_width) - 1)).bit_count() + pad_extra
+        include = ~selected & ((1 << real_width) - 1)
+        acc: int | None = None
+        if self._mont is not None:
+            for w in self._chunk_windows[chunk]:
+                offset, width = self._windows[w]
+                sub = (include >> (offset - start)) & ((1 << width) - 1)
+                if sub:
+                    entry = self._window_entry(w, sub)
+                    acc = entry if acc is None else self._mont.mul(acc, entry)
+            if acc is not None:
+                acc = self._mont.from_mont(acc)
+        else:
+            for w in self._chunk_windows[chunk]:
+                offset, width = self._windows[w]
+                sub = (include >> (offset - start)) & ((1 << width) - 1)
+                if sub:
+                    entry = self._window_entry(w, sub)
+                    if acc is None:
+                        acc = entry
+                    else:
+                        ops.record_modmul()
+                        acc = (acc * entry) % modulus
+        if ones:
+            pad = self._pad_pow(ones)
+            if acc is None:
+                acc = pad
+            else:
+                ops.record_modmul()
+                acc = (acc * pad) % modulus
+        assert acc is not None  # chunk_factors >= 1 means some factor
+        if len(self._memo) >= self.max_memo:
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[key] = acc
+        return acc
+
+    # -- public API ---------------------------------------------------
+    def chunk_ciphertexts(self, mask: int) -> list[CGBECiphertext]:
+        """What ``chunked_product`` returns for this mask's factor list.
+
+        ``mask`` has one bit per plan position (``plan.factors`` bits,
+        position 0 = bit 0); set bits select the pad.  Positions past the
+        base vector (the plan's padding tail) are implicitly pads.
+        """
+        plan = self.plan
+        params = self.params
+        bits = plan.chunk_factors * params.budget.bits_per_factor
+        if bits >= params.modulus_bits:
+            # The naive fold raises on its first boundary-crossing
+            # multiply; with equal-size factors that is exactly the
+            # "chunk does not fit" condition checked here.
+            raise OverflowError_(
+                f"product would need {bits} bits but the modulus has "
+                f"{params.modulus_bits}; split the aggregation "
+                f"(AggregationBudget.max_factors)")
+        chunk_mask = (1 << plan.chunk_factors) - 1
+        return [
+            CGBECiphertext(
+                value=self._chunk_value(
+                    chunk, (mask >> (chunk * plan.chunk_factors))
+                    & chunk_mask),
+                power=plan.chunk_factors,
+                value_bits=bits)
+            for chunk in range(plan.chunks_per_item)
+        ]
+
+    @property
+    def memo_entries(self) -> int:
+        return len(self._memo)
+
+    @property
+    def table_entries(self) -> int:
+        """Materialized subset-product entries (excluding identities)."""
+        return sum(len(t) - 1 for t in self._tables)
+
+
+class MultiExpRegistry:
+    """Lazily-built :class:`MaskedProductTable` per key, shared across
+    every ball (and CMM) of one executor share.
+
+    Keys are public coordinates -- ``("verify",)``, ``("ssim", row)``,
+    ``("twiglet", table_index)`` -- never query content.
+    """
+
+    def __init__(self, config: KernelConfig = DEFAULT_KERNELS) -> None:
+        self.config = config
+        self._tables: dict[tuple, MaskedProductTable] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.multiexp
+
+    def table(self, key: tuple,
+              build: Callable[[], MaskedProductTable]) -> MaskedProductTable:
+        table = self._tables.get(key)
+        if table is None:
+            table = build()
+            self._tables[key] = table
+        return table
+
+    def memo_hits(self) -> int:
+        return sum(t.hits for t in self._tables.values())
+
+    def memo_misses(self) -> int:
+        return sum(t.misses for t in self._tables.values())
+
+
+# ---------------------------------------------------------------------------
+# Packed-bitset rows
+# ---------------------------------------------------------------------------
+def pack_row(row: Sequence[int]) -> int:
+    """An 0/1 row as an int bitmap (bit ``j`` = ``row[j] != 0``)."""
+    mask = 0
+    for j, value in enumerate(row):
+        if value:
+            mask |= 1 << j
+    return mask
+
+
+def pack_rows(rows: Sequence[Sequence[int]]) -> tuple[int, ...]:
+    """Rows of a dense 0/1 matrix as int bitmaps.
+
+    Uses numpy's ``packbits`` when available and profitable (wide rows);
+    the pure-Python path is already word-parallel for the small query
+    matrices of this codebase.
+    """
+    if HAVE_NUMPY and rows and len(rows[0]) >= 256:
+        array = _np.asarray(rows, dtype=_np.uint8)
+        packed = _np.packbits(array, axis=1, bitorder="little")
+        return tuple(int.from_bytes(p.tobytes(), "little") for p in packed)
+    return tuple(pack_row(row) for row in rows)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of_pattern(pattern: Sequence[Sequence[int]]) -> int:
+    """A projected CMM pattern's selection mask, row-major off-diagonal.
+
+    Position ``pos(i, j) = i*(n-1) + (j if j < i else j - 1)`` -- the
+    order :func:`repro.core.verification.verify_projected_rows` visits
+    factors in.  Bit = 1 where the projected entry is 1 (the factor is
+    ``c_one``); the diagonal never contributes a factor and is skipped.
+    """
+    n = len(pattern)
+    mask = 0
+    pos = 0
+    for i in range(n):
+        row = pattern[i]
+        for j in range(n):
+            if j == i:
+                continue
+            if row[j]:
+                mask |= 1 << pos
+            pos += 1
+    return mask
+
+
+def offdiagonal_bases(encrypted_matrix: Sequence[Sequence[CGBECiphertext]],
+                      ) -> list[CGBECiphertext]:
+    """The verification base vector: ``M[i][j]`` row-major, ``j != i`` --
+    position-aligned with :func:`mask_of_pattern`."""
+    n = len(encrypted_matrix)
+    return [encrypted_matrix[i][j]
+            for i in range(n) for j in range(n) if j != i]
+
+
+__all__ = [
+    "DEFAULT_KERNELS",
+    "HAVE_NUMPY",
+    "KernelConfig",
+    "MaskedProductTable",
+    "MontgomeryContext",
+    "MultiExpRegistry",
+    "NAIVE_KERNELS",
+    "iter_bits",
+    "kernel_scope",
+    "mask_of_pattern",
+    "montgomery_context",
+    "offdiagonal_bases",
+    "pack_row",
+    "pack_rows",
+]

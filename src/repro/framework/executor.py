@@ -52,8 +52,20 @@ from dataclasses import dataclass, field
 
 from repro.core.aggregation import BallCiphertextResult, aggregate_items
 from repro.core.bf_pruning import BFConfig
-from repro.core.verification import verification_plan, verify_projected_rows
+from repro.core.verification import (
+    verification_multiexp,
+    verification_plan,
+    verify_projected_rows,
+)
+from repro.crypto import ops as crypto_ops
 from repro.crypto.cgbe import CiphertextPowerCache
+from repro.crypto.kernels import (
+    DEFAULT_KERNELS,
+    KernelConfig,
+    MultiExpRegistry,
+    kernel_scope,
+    mask_of_pattern,
+)
 from repro.framework.faults import (
     ChaosPolicy,
     FaultAction,
@@ -111,6 +123,10 @@ class ShareOutcome:
     #: Per-cache statistics observed inside the worker (e.g. the pad-power
     #: caches), merged into ``RunMetrics.caches`` by the engine.
     caches: dict[str, CacheStats] = field(default_factory=dict)
+    #: Crypto op counts observed inside the worker (modmul/modexp/table
+    #: builds per phase), merged into ``RunMetrics.ops`` by the engine.
+    #: ``None`` on outcomes replayed from pre-accounting journals.
+    ops: crypto_ops.OpCounter | None = None
 
 
 #: One ball's projected-pattern groups: the enumeration output a
@@ -134,6 +150,11 @@ class PreparedBall:
     bound_bypassed: bool
     patterns: tuple[tuple[tuple[int, ...], ...], ...]
     pattern_of_cmm: tuple[int, ...]
+    #: Packed off-diagonal selection masks, one per entry of ``patterns``
+    #: (:func:`repro.crypto.kernels.mask_of_pattern` layout).  Empty on
+    #: objects built before the kernel layer; consumers fall back to
+    #: deriving masks from ``patterns``.
+    masks: tuple[int, ...] = ()
 
     @property
     def bypassed(self) -> bool:
@@ -165,6 +186,8 @@ class PmShareOutcome:
     #: Fault events observed inside the kernel (enclave/channel recovery),
     #: merged into the run's fault report by the engine.
     faults: list[FaultEvent] = field(default_factory=list)
+    #: Worker-side crypto op counts (see :class:`ShareOutcome.ops`).
+    ops: crypto_ops.OpCounter | None = None
 
 
 # ----------------------------------------------------------------------
@@ -173,27 +196,38 @@ class PmShareOutcome:
 def _evaluate_share(message: EncryptedQueryMessage,
                     share: EvaluationShare,
                     enumeration_limit: int,
-                    cmm_bound_bypass: int) -> ShareOutcome:
+                    cmm_bound_bypass: int,
+                    kernels: KernelConfig = DEFAULT_KERNELS) -> ShareOutcome:
     started = time.perf_counter()
     pad_stats = CacheStats()
-    results = [
-        evaluate_ball_kernel(message, ball,
-                             enumeration_limit=enumeration_limit,
-                             cmm_bound_bypass=cmm_bound_bypass,
-                             player_id=share.player,
-                             pad_stats=pad_stats)
-        for ball in share.balls
-    ]
+    counter = crypto_ops.OpCounter()
+    # One multi-exp registry per share: the Straus tables (and their
+    # pattern memos) are shared across every ball this worker evaluates.
+    registry = MultiExpRegistry(kernels) if kernels.multiexp else None
+    role = f"player:{share.player}"
+    with kernel_scope(kernels, message.params), \
+            crypto_ops.counting(counter, "evaluation", role):
+        results = [
+            evaluate_ball_kernel(message, ball,
+                                 enumeration_limit=enumeration_limit,
+                                 cmm_bound_bypass=cmm_bound_bypass,
+                                 player_id=share.player,
+                                 pad_stats=pad_stats,
+                                 multiexp=registry)
+            for ball in share.balls
+        ]
     return ShareOutcome(player=share.player,
                         wall_seconds=time.perf_counter() - started,
                         results=results,
-                        caches={"pad": pad_stats})
+                        caches={"pad": pad_stats},
+                        ops=counter)
 
 
 def verify_prepared_kernel(message: EncryptedQueryMessage,
                            prepared: PreparedBall,
                            player_id: int = 0,
                            pad_stats: CacheStats | None = None,
+                           multiexp: MultiExpRegistry | None = None,
                            ) -> EvaluationResult:
     """Alg. 2 + Alg. 3 lines 6-7 for one ball from pre-enumerated pattern
     groups (the batch server's fast path).
@@ -223,13 +257,22 @@ def verify_prepared_kernel(message: EncryptedQueryMessage,
                           diameter=message.diameter,
                           semantics=message.semantics)
     plan = verification_plan(params, view)
-    pad_cache = CiphertextPowerCache(params, message.c_one, stats=pad_stats)
-    distinct = [
-        verify_projected_rows(params, message.encrypted_matrix,
-                              message.c_one, rows, plan,
-                              pad_cache=pad_cache)
-        for rows in prepared.patterns
-    ]
+    if multiexp is not None and multiexp.enabled:
+        table = multiexp.table(("verify",), lambda: verification_multiexp(
+            params, message.encrypted_matrix, message.c_one, plan,
+            multiexp.config))
+        masks = prepared.masks or tuple(
+            mask_of_pattern(pattern) for pattern in prepared.patterns)
+        distinct = [table.chunk_ciphertexts(mask) for mask in masks]
+    else:
+        pad_cache = CiphertextPowerCache(params, message.c_one,
+                                         stats=pad_stats)
+        distinct = [
+            verify_projected_rows(params, message.encrypted_matrix,
+                                  message.c_one, rows, plan,
+                                  pad_cache=pad_cache)
+            for rows in prepared.patterns
+        ]
     chunk_lists = [distinct[index] for index in prepared.pattern_of_cmm]
     verdict = aggregate_items(params, prepared.ball_id, chunk_lists, plan)
     return EvaluationResult(
@@ -239,18 +282,27 @@ def verify_prepared_kernel(message: EncryptedQueryMessage,
 
 
 def _verify_share(message: EncryptedQueryMessage,
-                  share: PreparedShare) -> ShareOutcome:
+                  share: PreparedShare,
+                  kernels: KernelConfig = DEFAULT_KERNELS) -> ShareOutcome:
     started = time.perf_counter()
     pad_stats = CacheStats()
-    results = [
-        verify_prepared_kernel(message, prepared, player_id=share.player,
-                               pad_stats=pad_stats)
-        for prepared in share.balls
-    ]
+    counter = crypto_ops.OpCounter()
+    registry = MultiExpRegistry(kernels) if kernels.multiexp else None
+    role = f"player:{share.player}"
+    with kernel_scope(kernels, message.params), \
+            crypto_ops.counting(counter, "evaluation", role):
+        results = [
+            verify_prepared_kernel(message, prepared,
+                                   player_id=share.player,
+                                   pad_stats=pad_stats,
+                                   multiexp=registry)
+            for prepared in share.balls
+        ]
     return ShareOutcome(player=share.player,
                         wall_seconds=time.perf_counter() - started,
                         results=results,
-                        caches={"pad": pad_stats})
+                        caches={"pad": pad_stats},
+                        ops=counter)
 
 
 def _compute_pm_share(enclave: Enclave,
@@ -261,17 +313,22 @@ def _compute_pm_share(enclave: Enclave,
                       twiglet_h: int,
                       twiglet_features: dict[int, frozenset] | None,
                       chaos: ChaosPolicy | None = None,
+                      kernels: KernelConfig = DEFAULT_KERNELS,
                       ) -> PmShareOutcome:
     started = time.perf_counter()
-    pms, pm_costs, timings, fault_events = compute_pms_kernel(
-        enclave, message, list(balls),
-        bf_config=bf_config, twiglet_h=twiglet_h,
-        twiglet_features=twiglet_features,
-        chaos=chaos, player_id=player)
+    counter = crypto_ops.OpCounter()
+    with kernel_scope(kernels, message.params), \
+            crypto_ops.counting(counter, "pm_computation",
+                                f"player:{player}"):
+        pms, pm_costs, timings, fault_events = compute_pms_kernel(
+            enclave, message, list(balls),
+            bf_config=bf_config, twiglet_h=twiglet_h,
+            twiglet_features=twiglet_features,
+            chaos=chaos, player_id=player, kernels=kernels)
     return PmShareOutcome(player=player,
                           wall_seconds=time.perf_counter() - started,
                           pms=pms, pm_costs=pm_costs, timings=timings,
-                          faults=fault_events)
+                          faults=fault_events, ops=counter)
 
 
 def _watch_parent(parent_pid: int) -> None:
@@ -375,6 +432,14 @@ class BallExecutor:
                     attrs["misses"] = pad.misses
             else:  # PmShareOutcome
                 attrs["balls"] = len(outcome.pm_costs)
+            # getattr: journaled outcomes from pre-accounting runs lack
+            # the ops field entirely.
+            counter = getattr(outcome, "ops", None)
+            if counter is not None:
+                totals = counter.totals()
+                attrs["modmuls"] = totals.modmul
+                attrs["modexps"] = totals.modexp
+                attrs["table_builds"] = totals.table_build
             tracer.event(name, player_role(outcome.player),
                          duration_s=outcome.wall_seconds, **attrs)
 
@@ -383,6 +448,7 @@ class BallExecutor:
                         shares: list[EvaluationShare],
                         *, enumeration_limit: int,
                         cmm_bound_bypass: int,
+                        kernels: KernelConfig = DEFAULT_KERNELS,
                         completed: dict[str, ShareOutcome] | None = None,
                         on_result=None) -> list[ShareOutcome]:
         """Evaluate every share; outcomes come back in share order.
@@ -397,7 +463,7 @@ class BallExecutor:
         calls = [
             (eval_share_key(i, share.player),
              _evaluate_share,
-             (message, share, enumeration_limit, cmm_bound_bypass))
+             (message, share, enumeration_limit, cmm_bound_bypass, kernels))
             for i, share in enumerate(shares)
         ]
         outcomes = self._run_with_completed(calls, completed, on_result)
@@ -406,6 +472,7 @@ class BallExecutor:
 
     def verify_shares(self, message: EncryptedQueryMessage,
                       shares: list[PreparedShare],
+                      kernels: KernelConfig = DEFAULT_KERNELS,
                       completed: dict[str, ShareOutcome] | None = None,
                       on_result=None) -> list[ShareOutcome]:
         """Verify every prepared share; outcomes come back in share order.
@@ -416,7 +483,7 @@ class BallExecutor:
         ``on_result`` behave as in :meth:`evaluate_shares`.
         """
         calls = [(verify_share_key(i, share.player), _verify_share,
-                  (message, share))
+                  (message, share, kernels))
                  for i, share in enumerate(shares)]
         outcomes = self._run_with_completed(calls, completed, on_result)
         self._trace_shares("verification_share", calls, outcomes, completed)
@@ -438,6 +505,7 @@ class BallExecutor:
                           *, bf_config: BFConfig,
                           twiglet_h: int,
                           twiglet_features: dict[int, frozenset] | None = None,
+                          kernels: KernelConfig = DEFAULT_KERNELS,
                           ) -> list[PmShareOutcome]:
         """Compute every player's PM share; outcomes in share order.
 
@@ -457,7 +525,7 @@ class BallExecutor:
             calls.append(
                 (f"pm:p{player}", _compute_pm_share,
                  (enclave, message, player, balls, bf_config, twiglet_h,
-                  subset, chaos)))
+                  subset, chaos, kernels)))
         outcomes = self._run_all(calls)
         for outcome in outcomes:
             if outcome.faults:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.crypto.ops import OpCounter
 from repro.framework.faults import FaultReport
 
 
@@ -310,6 +311,10 @@ class RunMetrics:
     #: Write-ahead journal / crash-resume counters (all zero when the run
     #: is not journal-backed).
     journal: JournalCounters = field(default_factory=JournalCounters)
+    #: Crypto op counts (modmul / modexp / window-table builds) bucketed
+    #: by ``(phase, role)`` -- the worker-side counters merged with the
+    #: user-side phases, so benchmark deltas are attributable op-by-op.
+    ops: OpCounter = field(default_factory=OpCounter)
 
     def record_cache(self, name: str, stats: CacheStats) -> None:
         """Merge one cache's counters into this run's record."""

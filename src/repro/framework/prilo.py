@@ -21,7 +21,9 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.bf_pruning import BFConfig
 from repro.core.retrieval import PlayerSequence, rsg_sequences
+from repro.crypto.kernels import KernelConfig
 from repro.crypto.keys import UserKeyring
+from repro.crypto.ops import counting
 from repro.framework.faults import (
     ChaosPolicy,
     FaultAction,
@@ -172,6 +174,11 @@ class PriloConfig:
     #: A query whose candidate set exceeds the budget is refused with
     #: :class:`BallBudgetExceeded` before any evaluation starts.
     ball_budget: int | None = None
+    #: Crypto kernel selection (:class:`repro.crypto.kernels.KernelConfig`).
+    #: Kernels are value-identical to the naive fold -- this knob exists
+    #: for A/B benchmarking (``KernelConfig.naive()``) and window tuning,
+    #: and never changes answers.
+    kernels: KernelConfig = field(default_factory=KernelConfig)
 
     def __post_init__(self) -> None:
         # Eager validation with actionable messages: a bad backend name or
@@ -205,6 +212,11 @@ class PriloConfig:
             raise ValueError(
                 f"recovery must be a repro.framework.faults.RecoveryPolicy;"
                 f" got {type(self.recovery).__name__}")
+        if not isinstance(self.kernels, KernelConfig):
+            raise ValueError(
+                f"kernels must be a repro.crypto.kernels.KernelConfig; "
+                f"got {type(self.kernels).__name__} -- e.g. "
+                f"KernelConfig() or KernelConfig.naive()")
         if self.use_ssg and self.k_players < 2:
             raise ValueError("SSG requires at least two players (Sec. 2.3)")
         if not 3 <= self.twiglet_h <= 5:
@@ -477,7 +489,8 @@ class Prilo:
                     query, label, len(candidates))
 
         # Step 2: the user encrypts the query.
-        with tracer.span("query_preprocessing", ROLE_USER) as prep_span:
+        with tracer.span("query_preprocessing", ROLE_USER) as prep_span, \
+                counting(metrics.ops, "user_preprocessing", "user"):
             message, state = self.user.prepare_query(
                 query,
                 use_bf=config.use_bf,
@@ -521,8 +534,9 @@ class Prilo:
                     tracer.event("twiglet_aggregation", ROLE_SP,
                                  duration_s=timings.pm_twiglet,
                                  balls=len(candidates))
-                decrypted, pm_per_method = self.user.decrypt_pms(
-                    pms, candidate_ids, state, timings)
+                with counting(metrics.ops, "user_pm_decryption", "user"):
+                    decrypted, pm_per_method = self.user.decrypt_pms(
+                        pms, candidate_ids, state, timings)
                 tracer.event("pm_decryption", ROLE_USER,
                              duration_s=timings.user_pm_decryption,
                              positives=len(decrypted.positives))
@@ -579,7 +593,8 @@ class Prilo:
                                      decrypted.positives)
 
         # Steps 8-9: decrypt, retrieve, match.
-        verified = self.user.decrypt_results(results.values(), timings)
+        with counting(metrics.ops, "user_result_decryption", "user"):
+            verified = self.user.decrypt_results(results.values(), timings)
         verified &= set(decrypted.positives)
         tracer.event("result_decryption", ROLE_USER,
                      duration_s=timings.user_result_decryption,
@@ -708,7 +723,8 @@ class Prilo:
             message, shares,
             bf_config=self.config.bf,
             twiglet_h=self.config.twiglet_h,
-            twiglet_features=twiglet_features)
+            twiglet_features=twiglet_features,
+            kernels=self.config.kernels)
         timings = metrics.timings
         for outcome in outcomes:
             merge_pms(pms, outcome.pms)
@@ -717,6 +733,7 @@ class Prilo:
             timings.pm_twiglet += outcome.timings.pm_twiglet
             timings.pm_computation += outcome.timings.pm_computation
             metrics.per_worker_pm_wall[outcome.player] = outcome.wall_seconds
+            metrics.ops.merge(getattr(outcome, "ops", None))
 
     def _replayed_shares(self, keys: list[str], metrics: RunMetrics,
                          resume) -> dict[str, ShareOutcome]:
@@ -940,6 +957,7 @@ class Prilo:
                 message, shares,
                 enumeration_limit=self.config.enumeration_limit,
                 cmm_bound_bypass=self.config.cmm_bound_bypass,
+                kernels=self.config.kernels,
                 completed=completed, on_result=on_result)
         results: dict[int, EvaluationResult] = {}
         for outcome in outcomes:
@@ -948,6 +966,9 @@ class Prilo:
                 outcome.wall_seconds)
             for name, stats in outcome.caches.items():
                 metrics.record_cache(name, stats)
+            # getattr: journal-replayed outcomes from pre-accounting runs
+            # carry no op counters; merge(None) is a no-op.
+            metrics.ops.merge(getattr(outcome, "ops", None))
             for result in outcome.results:
                 if result.ball_id in results:
                     continue
@@ -997,6 +1018,7 @@ class Prilo:
             prepared_shares.append(
                 PreparedShare(player=share.player, balls=tuple(prepared)))
         outcomes = self.executor.verify_shares(message, prepared_shares,
+                                               kernels=config.kernels,
                                                completed=completed,
                                                on_result=on_result)
         metrics.record_cache("cmm", cmm_cache.stats.delta(before))

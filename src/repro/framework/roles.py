@@ -40,7 +40,16 @@ from repro.core.twiglets import (
     filter_twiglets,
     twiglets_from,
 )
-from repro.core.verification import verification_plan, verify_ball_streaming
+from repro.core.verification import (
+    verification_multiexp,
+    verification_plan,
+    verify_ball_streaming,
+)
+from repro.crypto.kernels import (
+    DEFAULT_KERNELS,
+    KernelConfig,
+    MultiExpRegistry,
+)
 from repro.crypto.keys import DataOwnerKey, UserKeyring
 from repro.crypto.stream_cipher import AuthenticationError
 from repro.framework.faults import (
@@ -374,6 +383,7 @@ def evaluate_ball_kernel(
     cmm_bound_bypass: int,
     player_id: int = 0,
     pad_stats: "object | None" = None,
+    multiexp: MultiExpRegistry | None = None,
 ) -> EvaluationResult:
     """Alg. 3 lines 3-8 for one ball, using only the label view of the
     query (the edges stay encrypted).
@@ -384,6 +394,11 @@ def evaluate_ball_kernel(
     Enumeration streams directly into verification
     (:func:`repro.core.verification.verify_ball_streaming`): truncation
     and chunk products share a single pass over the CMMs.
+
+    ``multiexp`` (a per-share :class:`MultiExpRegistry`) switches the
+    chunk products onto shared Straus window tables -- one table per
+    share serving every ball passed with the same registry.  Results are
+    value-identical with it, without it, and across registry sharing.
     """
     view = QueryLabelView(labels=message.vertex_labels,
                           diameter=message.diameter,
@@ -393,13 +408,19 @@ def evaluate_ball_kernel(
     if message.semantics is Semantics.SSIM:
         plan = ssim_plan(params, view)
         verdict = ssim_verify_ball(params, message.encrypted_matrix,
-                                   message.c_one, view, ball, plan)
+                                   message.c_one, view, ball, plan,
+                                   multiexp=multiexp)
         cost = time.perf_counter() - started
         return EvaluationResult(ball_id=ball.ball_id, verdict=verdict,
                                 cost_seconds=cost,
                                 player=player_id)
     injective = message.semantics is Semantics.SUB_ISO
     plan = verification_plan(params, view)
+    table = None
+    if multiexp is not None and multiexp.enabled:
+        table = multiexp.table(("verify",), lambda: verification_multiexp(
+            params, message.encrypted_matrix, message.c_one, plan,
+            multiexp.config))
     if count_cmm_upper_bound(view, ball) > cmm_bound_bypass:
         verdict = BallCiphertextResult(ball_id=ball.ball_id, bypassed=True)
         enumerated = 0
@@ -407,7 +428,8 @@ def evaluate_ball_kernel(
         verdict, enumerated, _ = verify_ball_streaming(
             params, message.encrypted_matrix, message.c_one, ball,
             iter_cmms(view, ball, injective=injective), plan,
-            limit=enumeration_limit, pad_stats=pad_stats)
+            limit=enumeration_limit, pad_stats=pad_stats,
+            multiexp=table)
     cost = time.perf_counter() - started
     return EvaluationResult(
         ball_id=ball.ball_id, verdict=verdict, cost_seconds=cost,
@@ -513,6 +535,7 @@ def compute_pms_kernel(
     twiglet_features: dict[int, frozenset] | None = None,
     chaos: ChaosPolicy | None = None,
     player_id: int = 0,
+    kernels: KernelConfig = DEFAULT_KERNELS,
 ) -> tuple[PruningMessages, dict[int, float], PhaseTimings,
            list[FaultEvent]]:
     """One player's share of the pruning messages (Secs. 4.1-4.2).
@@ -540,6 +563,9 @@ def compute_pms_kernel(
     timings = PhaseTimings()
     codec = LabelCodec.from_alphabet(message.alphabet)
     params = message.params
+    # One registry per share: prune-table Straus tables are shared across
+    # every ball of this kernel call (keys are public coordinates).
+    registry = MultiExpRegistry(kernels) if kernels.multiexp else None
     bf_active = False
     if message.bf_message is not None:
         bf_active = _load_encodings_with_recovery(
@@ -574,19 +600,22 @@ def compute_pms_kernel(
                                          message.alphabet)
             pms.twiglet[ball.ball_id] = player_table_prune(
                 params, message.twiglet_tables, ball, features,
-                message.c_one, twiglet_plan)
+                message.c_one, twiglet_plan,
+                multiexp=registry, kind="twiglet")
             timings.pm_twiglet += time.perf_counter() - t_start
         if message.path_tables:
             features = paths_from(ball.graph, ball.center, twiglet_h,
                                   message.alphabet)
             pms.path[ball.ball_id] = player_table_prune(
                 params, message.path_tables, ball, features,
-                message.c_one, path_plan)
+                message.c_one, path_plan,
+                multiexp=registry, kind="path")
         if message.neighbor_tables:
             features = neighbor_features(ball.graph, ball.center)
             pms.neighbor[ball.ball_id] = player_table_prune(
                 params, message.neighbor_tables, ball, features,
-                message.c_one, neighbor_plan)
+                message.c_one, neighbor_plan,
+                multiexp=registry, kind="neighbor")
         elapsed = time.perf_counter() - started
         pm_costs[ball.ball_id] = elapsed
         timings.pm_computation += elapsed

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 
 from repro.core.enumeration import count_cmm_upper_bound, iter_cmms
 from repro.framework.executor import PreparedBall
+from repro.crypto.ops import OpCounter
 from repro.framework.metrics import CacheStats, JournalCounters, RunMetrics
 from repro.framework.prilo import (
     BallBudgetExceeded,
@@ -118,8 +119,13 @@ def prepare_ball(view: QueryLabelView, ball: Ball, *,
     producing a ``limit+1``-th CMM truncates with ``enumerated == limit``
     -- so the prepared verdicts agree with the streaming kernel's.
 
-    Projection rows are deep-copied to tuples: :class:`ProjectionCache`
-    reuses its row buffers across CMMs.
+    CMMs are grouped by their packed off-diagonal selection mask
+    (:meth:`ProjectionCache.project_mask`) -- one int comparison per CMM
+    instead of a nested-tuple build.  The mask ignores the diagonal, but
+    projections keep the diagonal 0 by construction, so mask equality and
+    pattern equality coincide; the explicit row tuples (the naive
+    verification path's input) are materialized only once per distinct
+    pattern.
     """
     if count_cmm_upper_bound(view, ball) > cmm_bound_bypass:
         return PreparedBall(ball_id=ball.ball_id, enumerated=0,
@@ -128,7 +134,8 @@ def prepare_ball(view: QueryLabelView, ball: Ball, *,
     injective = view.semantics is Semantics.SUB_ISO
     projection_cache = ProjectionCache(ball.graph)
     patterns: list[tuple[tuple[int, ...], ...]] = []
-    index_of: dict[tuple, int] = {}
+    masks: list[int] = []
+    index_of: dict[int, int] = {}
     order: list[int] = []
     enumerated = 0
     for cmm in iter_cmms(view, ball, injective=injective):
@@ -136,19 +143,22 @@ def prepare_ball(view: QueryLabelView, ball: Ball, *,
             return PreparedBall(ball_id=ball.ball_id, enumerated=enumerated,
                                 truncated=True, bound_bypassed=False,
                                 patterns=(), pattern_of_cmm=())
-        rows = cmm.project_rows(projection_cache)
-        pattern = tuple(tuple(int(v) for v in row) for row in rows)
-        index = index_of.get(pattern)
+        mask = projection_cache.project_mask(cmm.assignment)
+        index = index_of.get(mask)
         if index is None:
+            rows = cmm.project_rows(projection_cache)
+            pattern = tuple(tuple(int(v) for v in row) for row in rows)
             index = len(patterns)
-            index_of[pattern] = index
+            index_of[mask] = index
             patterns.append(pattern)
+            masks.append(mask)
         order.append(index)
         enumerated += 1
     return PreparedBall(ball_id=ball.ball_id, enumerated=enumerated,
                         truncated=False, bound_bypassed=False,
                         patterns=tuple(patterns),
-                        pattern_of_cmm=tuple(order))
+                        pattern_of_cmm=tuple(order),
+                        masks=tuple(masks))
 
 
 class CMMCache:
@@ -331,6 +341,11 @@ class BatchReport:
             report["admission"] = self.admission.as_dict()
         if self.journal:
             report["journal"] = self.journal.as_dict()
+        ops = OpCounter()
+        for result in self.results:
+            ops.merge(getattr(result.metrics, "ops", None))
+        if ops:
+            report["crypto_ops"] = ops.as_dict()
         return report
 
 

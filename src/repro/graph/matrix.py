@@ -135,6 +135,8 @@ class ProjectionCache:
         self._succ: dict[Vertex, frozenset[Vertex]] = {}
         self._rows: list[list[int]] | None = None
         self._previous: tuple[Vertex, ...] = ()
+        self._mask: int | None = None
+        self._mask_previous: tuple[Vertex, ...] = ()
 
     def _successors(self, v: Vertex) -> frozenset[Vertex]:
         cached = self._succ.get(v)
@@ -169,3 +171,49 @@ class ProjectionCache:
                     row[j] = 1 if i != j and assignment[j] in succ else 0
         self._previous = assignment
         return rows
+
+    def project_mask(self, assignment: tuple[Vertex, ...]) -> int:
+        """``M_p`` packed as an off-diagonal int bitmap.
+
+        Bit layout follows :func:`repro.crypto.kernels.mask_of_pattern`:
+        position ``i*(n-1) + (j if j < i else j - 1)`` holds
+        ``M_p[i][j]`` (the diagonal carries no bit).  Same prefix-
+        incremental update as :meth:`project`, against its own previous
+        state, so the two views may be used independently -- the kernel
+        path never materializes row lists at all.
+        """
+        n = len(assignment)
+        width = n - 1
+        mask = self._mask
+        previous = self._mask_previous
+        if mask is None or len(previous) != n:
+            mask = 0
+            prefix = 0
+        else:
+            prefix = 0
+            while prefix < n and assignment[prefix] == previous[prefix]:
+                prefix += 1
+        row_full = (1 << width) - 1
+        for i in range(n):
+            base = i * width
+            succ = self._successors(assignment[i])
+            if i < prefix:
+                # Row inside the shared prefix: only columns >= prefix
+                # moved, and since i < prefix <= j those occupy the
+                # contiguous bit range [base+prefix-1, base+n-1).
+                segment = 0
+                for j in range(prefix, n):
+                    if assignment[j] in succ:
+                        segment |= 1 << (j - prefix)
+                low = base + prefix - 1
+                mask = (mask & ~(((1 << (n - prefix)) - 1) << low)) \
+                    | (segment << low)
+            else:
+                segment = 0
+                for j in range(n):
+                    if j != i and assignment[j] in succ:
+                        segment |= 1 << (j if j < i else j - 1)
+                mask = (mask & ~(row_full << base)) | (segment << base)
+        self._mask = mask
+        self._mask_previous = assignment
+        return mask

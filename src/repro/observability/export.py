@@ -138,6 +138,21 @@ def prometheus_text(report, spans: list[Span] | None = None) -> str:
                "Protocol message bytes by channel (MessageSizes).",
                [({"channel": key}, value)
                 for key, value in sorted(sizes_total.items())])
+    ops_total: dict[tuple[str, str, str], int] = {}
+    for result in report.results:
+        counter = getattr(result.metrics, "ops", None)
+        if counter is None:
+            continue
+        for (phase, role), counts in counter.buckets.items():
+            for op, value in counts.as_dict().items():
+                key = (op, phase, role)
+                ops_total[key] = ops_total.get(key, 0) + value
+    if ops_total:
+        metric("repro_crypto_ops_total", "counter",
+               "Exact crypto op counts (modmul/modexp/table_build) by "
+               "phase and role; table_build is a modmul subset.",
+               [({"op": op, "phase": phase, "role": role}, value)
+                for (op, phase, role), value in sorted(ops_total.items())])
     if spans:
         per_group: dict[tuple[str, str], tuple[int, float]] = {}
         for span in spans:

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.crypto.cgbe import (
     CGBE,
     AggregationBudget,
+    CGBECiphertext,
     OverflowError_,
     generate_prime,
     _is_probable_prime,
@@ -163,6 +164,57 @@ class TestOverflowBudget:
         terms = [scheme.encrypt(1) for _ in range(1000)]
         total = CGBE.sum_(p, terms)
         assert total.value_bits <= 32 + 11
+
+
+class TestOverflowExactBoundary:
+    """The overflow checks are ``>=``, so the edge cases are exact:
+    a tracked bound one bit under ``modulus_bits`` is the last legal
+    state, ``modulus_bits`` itself must raise."""
+
+    @staticmethod
+    def _fake(scheme, value_bits, power=1, value=3):
+        return CGBECiphertext(value=value, power=power,
+                              value_bits=value_bits)
+
+    def test_product_at_boundary_minus_one_succeeds(self, scheme):
+        p = scheme.params
+        a = self._fake(scheme, p.modulus_bits - 3)
+        b = self._fake(scheme, 2)
+        assert CGBE.multiply(p, a, b).value_bits == p.modulus_bits - 1
+        assert CGBE.product(p, [a, b]).value_bits == p.modulus_bits - 1
+
+    def test_product_at_exact_boundary_raises(self, scheme):
+        p = scheme.params
+        a = self._fake(scheme, p.modulus_bits - 2)
+        b = self._fake(scheme, 2, value=5)
+        with pytest.raises(OverflowError_,
+                           match=f"{p.modulus_bits} bits but the modulus"):
+            CGBE.multiply(p, a, b)
+        with pytest.raises(OverflowError_, match="split the aggregation"):
+            CGBE.product(p, [a, b])
+
+    def test_sum_at_boundary_minus_one_succeeds(self, scheme):
+        p = scheme.params
+        a = self._fake(scheme, p.modulus_bits - 2)
+        b = self._fake(scheme, p.modulus_bits - 2, value=5)
+        total = CGBE.sum_(p, [a, b])
+        assert total.value_bits == p.modulus_bits - 1
+
+    def test_sum_at_exact_boundary_raises(self, scheme):
+        p = scheme.params
+        a = self._fake(scheme, p.modulus_bits - 1)
+        b = self._fake(scheme, p.modulus_bits - 1, value=5)
+        with pytest.raises(OverflowError_, match="emit partial sums"):
+            CGBE.sum_(p, [a, b])
+
+    def test_power_at_exact_boundary(self, scheme):
+        p = scheme.params
+        base = self._fake(scheme, (p.modulus_bits - 1) // 3)
+        assert CGBE.power(p, base, 3).value_bits < p.modulus_bits
+        over = self._fake(scheme, (p.modulus_bits + 2) // 3)
+        if over.value_bits * 3 >= p.modulus_bits:
+            with pytest.raises(OverflowError_, match="power would need"):
+                CGBE.power(p, over, 3)
 
 
 class TestEncryptValidation:
