@@ -110,6 +110,13 @@ SPAN_OBSERVABLE_KEYS = frozenset({
     # *sequence* is position-independent by Alg. 2's construction, so its
     # length reveals nothing beyond the candidate/CMM counts above)
     "modmuls", "modexps", "table_builds",
+    # sharded-gateway topology (member ids, ring epochs, death and
+    # re-dispatch counts are cluster facts the operator configures or
+    # already observes at the process level; consistent-hash placement is
+    # a public function of public ball ids, so ownership reveals nothing
+    # the access-pattern bound does not)
+    "shard", "shards", "deaths", "re_dispatches", "epoch", "pool",
+    "window",
 })
 
 #: The subset of :data:`SPAN_OBSERVABLE_KEYS` whose values may be strings

@@ -8,6 +8,12 @@ Commands:
 * ``serve-batch <dataset>``       -- serve a query batch through the
                                      CMM-reuse batch engine.
 * ``store build|inspect|verify``  -- the persistent offline artifact store.
+* ``store shard-split``           -- cut a store into consistent-hash shard
+                                     packs plus a placement manifest.
+* ``gateway <dataset>``           -- serve zipf many-tenant traffic through
+                                     a local N-shard scatter-gather cluster
+                                     (``--kill-shard``/``--kill-seed`` for
+                                     chaos recovery runs).
 * ``journal inspect <path>``      -- summarize a write-ahead run journal.
 * ``trace summarize <path>``      -- per-role/per-phase latency histograms
                                      of a ``--trace`` JSONL file.
@@ -485,6 +491,126 @@ def cmd_store_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store_shard_split(args: argparse.Namespace) -> int:
+    """Cut a store into N consistent-hash shard packs + placement manifest."""
+    from repro.storage import shard_split
+
+    try:
+        placement = shard_split(args.root, args.out, args.shards,
+                                vnodes=args.vnodes, salt=args.salt)
+    except StoreError as exc:
+        print(f"FAILED: {exc}")
+        return EXIT_INTEGRITY
+    counts = {member: info["balls"]
+              for member, info in placement["shards"].items()}
+    print(json.dumps({"out": str(args.out),
+                      "members": placement["members"],
+                      "vnodes": placement["vnodes"],
+                      "salt": placement["salt"],
+                      "balls": placement["balls"],
+                      "balls_per_shard": counts}, indent=2))
+    return 0
+
+
+def _gateway_exit_code(report) -> int:
+    # Same fold as the single-engine batch: a deadline-exceeded slice
+    # exits 4.  Shed/drained under explicit admission flags is operator
+    # policy, not failure, and stays 0 (documented in operations.md).
+    if any(o.status == QueryStatus.DEADLINE_EXCEEDED
+           for o in report.outcomes):
+        return EXIT_DEADLINE
+    return 0
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    """Serve zipf many-tenant traffic through a local N-shard cluster."""
+    from dataclasses import replace
+
+    from repro.framework.gateway import Gateway, GatewayChaos, GatewayError
+    from repro.framework.placement import (
+        DEFAULT_SALT,
+        DEFAULT_VNODES,
+        PlacementError,
+        PlacementManifest,
+    )
+    from repro.framework.shard import LocalCluster, make_shard_specs
+    from repro.workloads.traffic import TrafficSpec, generate_traffic
+
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    semantics = Semantics(args.semantics)
+    spec = TrafficSpec(count=args.count, tenants=args.tenants,
+                       skew=args.skew, size=args.size,
+                       diameter=args.diameter, semantics=semantics,
+                       seed=args.seed)
+    queries, ranks = generate_traffic(dataset, spec)
+    graph = dataset.graph_for(semantics)
+    config = _config(args)
+    vnodes, salt = DEFAULT_VNODES, DEFAULT_SALT
+    if args.store:
+        try:
+            placement = PlacementManifest.read(args.store)
+        except PlacementError as exc:
+            print(f"FAILED: {exc}")
+            return EXIT_INTEGRITY
+        # Shard packs fix both the ball address space (radii) and the
+        # ring geometry; the serving cluster must match them exactly.
+        config = replace(config, radii=placement.radii)
+        vnodes, salt = placement.vnodes, placement.salt
+    chaos = None
+    if args.kill_shard is not None or args.kill_seed is not None:
+        chaos = GatewayChaos(kill_shard=args.kill_shard,
+                             kill_after_verdicts=args.kill_after,
+                             seed=args.kill_seed)
+    tracer = _tracer_for(args)
+    specs = make_shard_specs(graph, config, args.shards,
+                             engine=args.engine, store_root=args.store,
+                             journal_dir=args.journal_dir,
+                             queue_bound=args.queue_bound,
+                             vnodes=vnodes, salt=salt)
+    print(f"dataset: {dataset.graph}")
+    print(f"traffic: {spec.count} queries over {spec.tenants} tenants "
+          f"(zipf s={spec.skew}, seed {spec.seed}); "
+          f"rank-1 share {ranks.count(0)}/{len(ranks)}")
+    try:
+        with LocalCluster(specs) as cluster:
+            gateway = Gateway(cluster.handles, vnodes=vnodes, salt=salt,
+                              pool=args.pool, window=args.window,
+                              chaos=chaos, tracer=tracer)
+            report = gateway.run(queries)
+    except GatewayError as exc:
+        # Divergent slice answers or an unservable fleet: nothing the
+        # merge produced can be trusted -> integrity exit.
+        print(f"GATEWAY ERROR: {exc}")
+        return combine_exit(EXIT_INTEGRITY, _finish_trace(args, tracer))
+    summary = report.summary()
+    print(f"served {summary['queries']} queries on {summary['shards']} "
+          f"shard(s) in {summary['makespan_seconds']:.3f}s wall "
+          f"({summary['critical_path_seconds']:.3f}s critical path, "
+          f"{summary['busy_seconds']:.3f}s total engine-busy)")
+    for sid, busy in summary["per_shard_busy_seconds"].items():
+        print(f"  shard {sid}: {busy:.3f}s engine-busy")
+    if report.deaths:
+        print(f"deaths: shard(s) {report.deaths} died; "
+              f"{report.re_dispatches} re-placement task(s); "
+              f"survivors {list(report.final_members)}")
+    statuses = summary["statuses"]
+    not_ok = [(i, s) for i, s in enumerate(statuses) if s != QueryStatus.OK]
+    print(f"statuses: {statuses.count(QueryStatus.OK)}/{len(statuses)} ok"
+          + (f"; {not_ok}" if not_ok else ""))
+    caches = summary["caches"].get("cmm")
+    if caches:
+        print(f"CMM cache (fleet): {caches['hits']} hits / "
+              f"{caches['misses']} misses (hit rate "
+              f"{caches['hit_rate']:.2f})")
+    if report.metrics.journal:
+        print(f"journal: {report.metrics.journal.summary_line()}")
+    if args.json_summary:
+        with open(args.json_summary, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, default=str)
+    return combine_exit(_gateway_exit_code(report),
+                        _finish_trace(args, tracer))
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     dataset = load_dataset("ldbc", scale=args.scale)
     records = ldbc_study(dataset, Semantics(args.semantics),
@@ -666,6 +792,20 @@ def build_parser() -> argparse.ArgumentParser:
                                "with the seed-derived owner key")
     p_verify.set_defaults(func=cmd_store_verify)
 
+    p_split = store_sub.add_parser(
+        "shard-split",
+        help="cut a store into N consistent-hash shard packs plus a "
+             "placement manifest (input to the gateway)")
+    p_split.add_argument("root", help="source store directory")
+    p_split.add_argument("out", help="target directory (must be empty)")
+    p_split.add_argument("--shards", type=int, default=4)
+    p_split.add_argument("--vnodes", type=int, default=None,
+                         help="virtual nodes per shard on the hash ring "
+                              "(default 64)")
+    p_split.add_argument("--salt", default=None,
+                         help="ring namespace salt (default prilo-ring)")
+    p_split.set_defaults(func=cmd_store_shard_split)
+
     p_journal = sub.add_parser("journal",
                                help="write-ahead run journal tools")
     journal_sub = p_journal.add_subparsers(dest="journal_command",
@@ -688,6 +828,62 @@ def build_parser() -> argparse.ArgumentParser:
                       "(exit 5 on a restricted-scope leak)")
     p_taudit.add_argument("path")
     p_taudit.set_defaults(func=cmd_trace_audit)
+
+    p_gw = sub.add_parser(
+        "gateway",
+        help="serve zipf many-tenant traffic through a local N-shard "
+             "cluster behind the scatter-gather gateway")
+    p_gw.add_argument("dataset", choices=datasets)
+    p_gw.add_argument("--shards", type=int, default=4)
+    p_gw.add_argument("--count", type=int, default=32,
+                      help="total queries in the traffic trace")
+    p_gw.add_argument("--tenants", type=int, default=8,
+                      help="distinct tenant queries the trace draws from")
+    p_gw.add_argument("--skew", type=float, default=1.1,
+                      help="zipf skew s (0 = uniform)")
+    p_gw.add_argument("--size", type=int, default=8)
+    p_gw.add_argument("--diameter", type=int, default=3)
+    p_gw.add_argument("--semantics", default="hom",
+                      choices=[s.value for s in Semantics])
+    p_gw.add_argument("--engine", default="prilo",
+                      choices=["prilo", "prilo-star"])
+    p_gw.add_argument("--store", default=None, metavar="DIR",
+                      help="a `store shard-split` output directory: each "
+                           "shard cold-starts from its own pack, and the "
+                           "ring geometry is read from placement.json")
+    p_gw.add_argument("--journal-dir", default=None, metavar="DIR",
+                      help="give each shard its own write-ahead journal "
+                           "(shard-<i>.wal) under this directory")
+    p_gw.add_argument("--queue-bound", type=int, default=None, metavar="N",
+                      help="per-shard admission bound (see serve-batch)")
+    p_gw.add_argument("--window", type=int, default=4,
+                      help="in-flight frames per shard before dispatch "
+                           "blocks (backpressure)")
+    p_gw.add_argument("--pool", type=int, default=2,
+                      help="pooled connections per shard")
+    p_gw.add_argument("--kill-shard", type=int, default=None, metavar="K",
+                      help="chaos: SIGKILL shard K mid-batch and recover "
+                           "by re-placing its slice onto survivors")
+    p_gw.add_argument("--kill-seed", type=int, default=None, metavar="S",
+                      help="chaos: derive the victim from seed S instead "
+                           "of naming it")
+    p_gw.add_argument("--kill-after", type=int, default=1, metavar="V",
+                      help="fire the kill after the victim's V-th verdict")
+    p_gw.add_argument("--deadline-ms", type=float, default=None,
+                      metavar="MS",
+                      help="per-query wall-clock budget on every shard; "
+                           "an exceeded slice exits 4")
+    p_gw.add_argument("--ball-budget", type=int, default=None, metavar="N",
+                      help="per-shard candidate-ball admission bound")
+    p_gw.add_argument("--json-summary", default=None, metavar="FILE",
+                      help="also write the gateway summary as JSON")
+    p_gw.add_argument("--trace", nargs="?", const="trace.jsonl",
+                      default=None, metavar="FILE",
+                      help="write the gateway's role-scoped span trace")
+    p_gw.add_argument("--leakage-audit", action="store_true",
+                      help="audit the gateway trace against the allowed-"
+                           "observation model (exit 5 on a leak)")
+    p_gw.set_defaults(func=cmd_gateway)
 
     p_work = sub.add_parser("workloads",
                             help="LDBC BI workloads (Fig. 18)")

@@ -86,6 +86,21 @@ class OpCounter:
         for (phase, role), counts in other.buckets.items():
             self.bucket(phase, role).merge(counts)
 
+    def merge_scoped(self, other: "OpCounter | None", *,
+                     scope: str) -> None:
+        """Merge with every role suffixed ``@<scope>``.
+
+        The sharded gateway folds N per-shard counters into one report;
+        without the suffix, ``player:1`` buckets from different shards
+        would collapse and per-shard attribution would be gone.  Totals
+        are unchanged by scoping (scoped keys stay disjoint per shard and
+        :meth:`from_dict` round-trips them: the ``"phase/role"`` key
+        splits on the *first* slash, so a suffixed role survives)."""
+        if other is None:
+            return
+        for (phase, role), counts in other.buckets.items():
+            self.bucket(phase, f"{role}@{scope}").merge(counts)
+
     def totals(self) -> OpCounts:
         out = OpCounts()
         for counts in self.buckets.values():

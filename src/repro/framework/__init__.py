@@ -17,6 +17,14 @@
 * :mod:`~repro.framework.faults` -- seeded fault injection
   (:class:`ChaosPolicy`) and the recovery policy threaded through the
   executor, roles, TEE channel and artifact store.
+* :mod:`~repro.framework.placement` -- the consistent-hash ball placement
+  ring and the ``store shard-split`` placement manifest.
+* :mod:`~repro.framework.wire` -- the gateway <-> shard frame protocol and
+  the canonical-answer byte-identity contract.
+* :mod:`~repro.framework.shard` / :mod:`~repro.framework.gateway` -- the
+  sharded serving tier: per-shard engine processes behind loopback
+  sockets, and the scatter-gather front end with consistent-hash
+  routing, asyncio fan-out, and shard-death re-placement.
 """
 
 from repro.framework.executor import (
@@ -32,7 +40,14 @@ from repro.framework.faults import (
     FaultReport,
     RecoveryPolicy,
 )
+from repro.framework.gateway import (
+    Gateway,
+    GatewayChaos,
+    GatewayError,
+    GatewayReport,
+)
 from repro.framework.metrics import CacheStats, ConfusionCounts, PhaseTimings
+from repro.framework.placement import HashRing, PlacementManifest, ring_for
 from repro.framework.prilo import Prilo, PriloConfig, QueryResult
 from repro.framework.prilo_star import PriloStar
 from repro.framework.roles import DataOwner, Dealer, Player, User
@@ -40,8 +55,10 @@ from repro.framework.server import (
     BatchReport,
     CMMCache,
     QueryBatchEngine,
+    QueryStream,
     enumeration_signature,
 )
+from repro.framework.shard import LocalCluster, ShardSpec, make_shard_specs
 from repro.framework.simulator import ScheduleOutcome, simulate_schedule
 
 __all__ = [
@@ -56,7 +73,14 @@ __all__ = [
     "FaultInjector",
     "FaultRecoveryExhausted",
     "FaultReport",
+    "Gateway",
+    "GatewayChaos",
+    "GatewayError",
+    "GatewayReport",
+    "HashRing",
+    "LocalCluster",
     "PhaseTimings",
+    "PlacementManifest",
     "Player",
     "Prilo",
     "PriloConfig",
@@ -64,11 +88,15 @@ __all__ = [
     "ProcessExecutor",
     "QueryBatchEngine",
     "QueryResult",
+    "QueryStream",
     "RecoveryPolicy",
     "ScheduleOutcome",
     "SerialExecutor",
+    "ShardSpec",
     "User",
     "create_executor",
     "enumeration_signature",
+    "make_shard_specs",
+    "ring_for",
     "simulate_schedule",
 ]

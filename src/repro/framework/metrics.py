@@ -178,6 +178,18 @@ class CacheStats:
                 "weight": self.weight, "capacity": self.capacity,
                 "hit_rate": round(self.hit_rate, 6)}
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheStats":
+        """Rebuild from :meth:`as_dict` output (``hit_rate`` is derived
+        and ignored) -- the gateway reconstitutes per-shard counters from
+        wire verdicts through this."""
+        return cls(hits=int(payload.get("hits", 0)),
+                   misses=int(payload.get("misses", 0)),
+                   evictions=int(payload.get("evictions", 0)),
+                   entries=int(payload.get("entries", 0)),
+                   weight=int(payload.get("weight", 0)),
+                   capacity=int(payload.get("capacity", 0)))
+
 
 @dataclass
 class JournalCounters:
@@ -235,6 +247,15 @@ class JournalCounters:
             "reattestations": self.reattestations,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JournalCounters":
+        """Rebuild from :meth:`as_dict` output (wire verdicts)."""
+        fields = ("checkpoints_written", "records_replayed",
+                  "shares_skipped", "shares_evaluated", "tampered_records",
+                  "replayed_fault_events", "deadline_hits", "pm_replays",
+                  "reattestations")
+        return cls(**{name: int(payload.get(name, 0)) for name in fields})
+
     def summary_line(self) -> str:
         return (f"checkpoints={self.checkpoints_written} "
                 f"replayed={self.records_replayed} "
@@ -274,6 +295,22 @@ class MessageSizes:
 #: metrics exporters speak of "communication volume" (the EXP-1 framing),
 #: the engine internals of "message sizes".  Same class.
 CommunicationVolume = MessageSizes
+
+
+#: Separator between a cache's base name and its shard qualifier.  Cache
+#: labels never contain ``@`` (they are short fixed identifiers), so the
+#: split in :func:`base_cache_name` is unambiguous.
+_SHARD_SCOPE_SEP = "@shard"
+
+
+def scoped_cache_name(name: str, shard: int | str) -> str:
+    """``"cmm", 0 -> "cmm@shard0"`` -- the gateway's per-shard cache key."""
+    return f"{name}{_SHARD_SCOPE_SEP}{shard}"
+
+
+def base_cache_name(name: str) -> str:
+    """Strip a shard qualifier (identity for unqualified names)."""
+    return name.split(_SHARD_SCOPE_SEP, 1)[0]
 
 
 @dataclass
@@ -323,6 +360,35 @@ class RunMetrics:
             self.caches[name] = stats.snapshot()
         else:
             existing.merge(stats)
+
+    def record_shard_caches(self, shard: int | str,
+                            caches: dict[str, CacheStats]) -> None:
+        """Record one shard's cache counters under shard-qualified keys.
+
+        Two shards legitimately run caches with the *same* label ("cmm",
+        "pad", "decrypt"); merging them under the bare name would sum
+        counters but silently ``max`` the fill state (entries/weight/
+        capacity) across unrelated caches -- per-shard fill would be
+        unrecoverable.  Qualifying the key (``cmm@shard0``) keeps each
+        shard's counters intact; :meth:`cache_totals` re-aggregates by
+        base name when only fleet-wide sums matter.
+        """
+        for name, stats in caches.items():
+            self.record_cache(scoped_cache_name(name, shard), stats)
+
+    def cache_totals(self) -> dict[str, CacheStats]:
+        """Caches aggregated by base name (shard qualifiers stripped) --
+        counter fields are exact fleet-wide sums; fill-state fields are
+        per-shard maxima, not sums, by :meth:`CacheStats.merge`."""
+        totals: dict[str, CacheStats] = {}
+        for name, stats in self.caches.items():
+            base = base_cache_name(name)
+            existing = totals.get(base)
+            if existing is None:
+                totals[base] = stats.snapshot()
+            else:
+                existing.merge(stats)
+        return totals
 
     @property
     def eval_wall_seconds(self) -> float:

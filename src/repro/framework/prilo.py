@@ -367,6 +367,25 @@ class Prilo:
         self.dealer = Dealer(self.owner.dealer_store())
         self.executor: BallExecutor = create_executor(
             config.executor, config.parallelism, recovery=config.recovery)
+        #: Optional ball-id predicate restricting candidate enumeration --
+        #: the sharded gateway's placement hook (see ``install_ball_filter``).
+        self.ball_filter = None
+
+    def install_ball_filter(self, predicate) -> None:
+        """Restrict this engine to candidate balls whose id satisfies
+        ``predicate`` (``None`` removes the restriction).
+
+        The filter is applied *before* a ball is materialized, so a shard
+        engine backed by a sliced pack never loads balls outside its
+        placement.  Filtering is sound because per-ball evaluation is
+        independent across balls: the union of results over a partition
+        of the ball space equals the unpartitioned run (the sharded
+        gateway's merge relies on exactly this; see
+        ``tests/test_gateway.py``).  Note the filter changes the
+        *answer-visible* candidate set, so it is serving-topology state,
+        never something to install on a standalone engine mid-batch.
+        """
+        self.ball_filter = predicate
 
     def install_tracer(self, tracer) -> None:
         """Attach (or detach, with ``None``) a span tracer post-construction.
@@ -412,7 +431,19 @@ class Prilo:
             raise ValueError(
                 f"query diameter {query.diameter} is not covered by the "
                 f"precomputed ball radii {self.config.radii}")
-        return label, list(self.index.candidate_balls(label, query.diameter))
+        if self.ball_filter is None:
+            return label, list(self.index.candidate_balls(label,
+                                                          query.diameter))
+        # Filter on ids before materializing: same center order as
+        # BallIndex.candidate_balls, but non-owned balls are never loaded
+        # (a shard pack does not even hold them).
+        keep = self.ball_filter
+        balls = [
+            self.index.ball(v, query.diameter)
+            for v in sorted(self.graph.vertices_with_label(label), key=repr)
+            if keep(self.index.ball_id(v, query.diameter))
+        ]
+        return label, balls
 
     # ------------------------------------------------------------------
     def run(self, query: Query, *, cmm_cache=None, journal=None,

@@ -122,9 +122,11 @@ class DataOwner:
             if self._store is not None:
                 # The owner key enables the tamper fallback: a blob that
                 # fails authentication downstream is re-encrypted from the
-                # plaintext pack instead of aborting the query.
+                # plaintext pack instead of aborting the query.  The ball
+                # index doubles as the miss fallback so a *shard* store
+                # can serve re-placed orphan balls its pack never held.
                 self._dealer_store = self._store.encrypted_store(
-                    key=self.key)
+                    key=self.key, fallback_index=self.index)
             else:
                 self._dealer_store = EncryptedBallStore(self.index, self.key)
         return self._dealer_store

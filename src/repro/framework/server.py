@@ -596,6 +596,89 @@ class QueryBatchEngine:
                                  index=index, replayed=False)
 
 
+class QueryStream:
+    """Incremental serving over a :class:`QueryBatchEngine`: one query at
+    a time, caller-chosen indices, same machinery as :meth:`serve`.
+
+    The batch entry point takes the whole submission list up front; a
+    network shard receives queries one frame at a time and cannot know
+    the batch in advance.  This facade loads journal state once at
+    construction (so crash-resume works identically: re-submitting the
+    same ``(query, index)`` pairs replays journaled shares/commits), then
+    funnels each submission through the engine's ``_serve_one`` -- cache,
+    admission, journal and metrics behavior are exactly the batch path's.
+
+    Indices are the caller's (the gateway assigns globally unique ones so
+    per-shard journal idempotency keys line up across the fleet);
+    ``serve_one`` defaults to submission order when the caller does not
+    care.  Not thread-safe -- queries execute strictly in submission
+    order, like the batch path.
+    """
+
+    def __init__(self, server: QueryBatchEngine) -> None:
+        self._server = server
+        self._state = None
+        self._fingerprint = None
+        if server.journal is not None:
+            self._state, self._fingerprint = server._load_journal_state()
+            server.journal.append(RecordType.BATCH_ADMIT,
+                                  {"fingerprint": self._fingerprint,
+                                   "submitted": 0, "admitted": 0,
+                                   "streaming": True})
+        self.groups: dict[tuple, list[int]] = {}
+        self.results: list[QueryResult] = []
+        self.latencies: list[float] = []
+        self.outcomes: list[QueryOutcome] = []
+        self.admission = AdmissionStats()
+        self.journal_counters = JournalCounters()
+        self._cache_before = server.cache.stats.snapshot()
+        self._started = time.perf_counter()
+        self._drained = False
+
+    @property
+    def engine(self) -> Prilo:
+        return self._server.engine
+
+    def request_drain(self) -> None:
+        """Stop serving: every later submission reports ``drained``
+        without touching the engine (mirrors the batch drain path)."""
+        if self._drained:
+            return
+        self._drained = True
+        if self._server.journal is not None:
+            self._server.journal.append(
+                RecordType.DRAIN, {"at_index": self.admission.submitted})
+
+    def serve_one(self, query: Query, index: int | None = None,
+                  ) -> QueryOutcome:
+        """Admit, run and (when journaled) commit one query."""
+        if index is None:
+            index = self.admission.submitted
+        self.admission.submitted += 1
+        if self._drained:
+            self.admission.drained += 1
+            outcome = QueryOutcome(index=index, status=QueryStatus.DRAINED,
+                                   detail="stream drained")
+            self.outcomes.append(outcome)
+            return outcome
+        self.admission.admitted += 1
+        outcome = self._server._serve_one(
+            index, query, self._state, self.groups, self.results,
+            self.latencies, self.admission, self.journal_counters)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def report(self) -> BatchReport:
+        """Everything served so far, in the batch report shape."""
+        return BatchReport(
+            results=list(self.results), latencies=list(self.latencies),
+            makespan=time.perf_counter() - self._started,
+            signature_groups=dict(self.groups),
+            cache_stats=self._server.cache.stats.delta(self._cache_before),
+            outcomes=list(self.outcomes), admission=self.admission,
+            journal=self.journal_counters)
+
+
 __all__ = [
     "DEFAULT_CMM_CACHE_WEIGHT",
     "AdmissionStats",
@@ -604,6 +687,7 @@ __all__ = [
     "QueryBatchEngine",
     "QueryOutcome",
     "QueryStatus",
+    "QueryStream",
     "enumeration_signature",
     "prepare_ball",
     "signature_of_view",

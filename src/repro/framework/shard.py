@@ -1,0 +1,361 @@
+"""One serving shard: a :class:`QueryBatchEngine` behind a loopback socket.
+
+A shard is deliberately thin: the full single-engine serving stack
+(CMM cache, admission control, write-ahead journal, tracer, fault
+recovery) wrapped in an asyncio TCP server speaking the
+:mod:`repro.framework.wire` frame protocol.  What makes it a *shard*
+rather than a replica is the per-request ball filter: every ``query``
+frame carries the membership under which the shard derives its owned
+slice of the ball space (:func:`repro.framework.placement.orphan_predicate`),
+so the shard evaluates only its partition -- and, on a re-placement pass
+after a peer died, only the orphaned balls that newly moved here.
+
+Shards never talk to each other.  Each holds the full public data graph
+(the SP-side view) plus, optionally, its own sliced
+:class:`~repro.storage.ArtifactStore` pack cut by ``store shard-split``;
+balls outside the pack fall back to live-graph extraction through
+:class:`~repro.storage.store.StoreMiss`, which is what makes re-placed
+orphans servable at all.
+
+Process model: :class:`LocalCluster` forks one process per shard, each
+binding an ephemeral loopback port reported back over a pipe.  SIGKILL
+on a member is the failure mode the gateway's recovery path is built
+around (and what the chaos hook injects); SIGTERM simply terminates --
+graceful drain is protocol-level (a ``drain`` frame), not signal-level,
+because the *gateway* owns batch lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.framework import wire
+from repro.framework.placement import (
+    DEFAULT_SALT,
+    DEFAULT_VNODES,
+    orphan_predicate,
+)
+from repro.framework.prilo import Prilo, PriloConfig
+from repro.framework.prilo_star import PriloStar
+from repro.framework.server import QueryBatchEngine, QueryStream
+from repro.graph.labeled_graph import LabeledGraph
+from repro.storage import ArtifactStore, RunJournal, journal_key
+
+logger = logging.getLogger(__name__)
+
+ENGINE_CLASSES = {"prilo": Prilo, "prilo-star": PriloStar}
+
+#: How long the parent waits for a forked shard to report its port.
+SPAWN_TIMEOUT_SECONDS = 120.0
+
+
+class ShardError(RuntimeError):
+    """A shard failed to start or received an unservable request."""
+
+
+@dataclass
+class ShardSpec:
+    """Everything one shard process needs to build its engine and serve.
+
+    Passed to the child through :class:`multiprocessing` (free under the
+    fork start method; picklable for spawn).  ``vnodes``/``salt`` must
+    match the ring the gateway routes with -- and, when ``store_root``
+    points at a split pack, the ring ``store shard-split`` cut under,
+    else the shard would own balls its pack does not hold (correct but
+    slow: every load falls back to extraction).
+    """
+
+    shard_id: int
+    graph: LabeledGraph
+    config: PriloConfig
+    engine: str = "prilo"
+    store_root: str | None = None
+    journal_path: str | None = None
+    queue_bound: int | None = None
+    vnodes: int = DEFAULT_VNODES
+    salt: str = DEFAULT_SALT
+    host: str = "127.0.0.1"
+    port: int = 0
+
+
+class ShardServer:
+    """The in-process part of a shard (testable without forking)."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        if spec.engine not in ENGINE_CLASSES:
+            raise ShardError(f"unknown engine {spec.engine!r} "
+                             f"(have {sorted(ENGINE_CLASSES)})")
+        self.spec = spec
+        self.engine = None
+        self.stream: QueryStream | None = None
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._lock = asyncio.Lock()
+        self._drained = False
+
+    # -- lifecycle ------------------------------------------------------
+    def build_engine(self) -> None:
+        spec = self.spec
+        store = (ArtifactStore.open(spec.store_root)
+                 if spec.store_root else None)
+        engine_cls = ENGINE_CLASSES[spec.engine]
+        self.engine = engine_cls.setup(spec.graph, spec.config, store=store)
+        journal = None
+        if spec.journal_path:
+            journal = RunJournal(spec.journal_path,
+                                 journal_key(spec.config.seed))
+        self.stream = QueryStream(QueryBatchEngine(
+            self.engine, journal=journal, queue_bound=spec.queue_bound))
+
+    async def start(self) -> None:
+        if self.engine is None:
+            self.build_engine()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.spec.host, self.spec.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.stream is not None:
+            self.stream.engine.close()
+
+    # -- protocol -------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            await wire.write_frame(writer, {
+                "t": "hello", "shard": self.spec.shard_id,
+                "balls": len(self.engine.index),
+            })
+            while True:
+                request = await wire.read_frame(reader)
+                if request is None:
+                    break
+                reply = await self._dispatch(request)
+                if "rid" in request:
+                    reply["rid"] = request["rid"]
+                await wire.write_frame(writer, reply)
+        except (wire.WireError, ConnectionError) as exc:
+            logger.warning("shard %d: connection dropped: %s",
+                           self.spec.shard_id, exc)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        kind = request.get("t")
+        if kind == "ping":
+            return {"t": "pong", "shard": self.spec.shard_id,
+                    "served": self.stream.admission.completed,
+                    "drained": self._drained}
+        if kind == "query":
+            # One query at a time engine-wide: evaluation consumes the
+            # shard-local user's CGBE randomness, so requests arriving on
+            # different pooled connections must not interleave.
+            async with self._lock:
+                return self._answer(request)
+        if kind == "drain":
+            async with self._lock:
+                self._drained = True
+                self.stream.request_drain()
+                report = self.stream.report()
+                return {"t": "drained", "shard": self.spec.shard_id,
+                        "summary": report.summary()}
+        return {"t": "error",
+                "detail": f"unknown frame type {kind!r}"}
+
+    def _answer(self, request: dict) -> dict:
+        qid = int(request["qid"])
+        try:
+            query = wire.query_from_jsonable(request["query"])
+            members = request["members"]
+            prev = request.get("prev_members")
+            keep = orphan_predicate(self.spec.shard_id, members, prev,
+                                    vnodes=self.spec.vnodes,
+                                    salt=self.spec.salt)
+            self.engine.install_ball_filter(keep)
+            # Busy is CPU time, not wall: the shard is its own process,
+            # so process_time() is exactly its compute.  Wall latency on
+            # an oversubscribed host (N shards time-sliced on few cores)
+            # counts scheduler wait, which would make per-shard busy grow
+            # with fleet size and hide the scaling the gateway buys.
+            cpu_started = time.process_time()
+            outcome = self.stream.serve_one(
+                query, index=int(request.get("jindex", qid)))
+            busy = time.process_time() - cpu_started
+            return wire.verdict_payload(qid, self.spec.shard_id, outcome,
+                                        busy=busy)
+        except Exception:  # noqa: BLE001 -- report, don't kill the shard
+            detail = traceback.format_exc(limit=8)
+            logger.exception("shard %d: query %d failed",
+                             self.spec.shard_id, qid)
+            return {"t": "error", "qid": qid,
+                    "shard": self.spec.shard_id, "detail": detail}
+
+
+# ----------------------------------------------------------------------
+# process entry point + local cluster management
+# ----------------------------------------------------------------------
+def run_shard(spec: ShardSpec, conn) -> None:
+    """Child-process entry: build, bind, report the port, serve forever."""
+
+    async def _amain() -> None:
+        server = ShardServer(spec)
+        await server.start()
+        conn.send(server.port)
+        conn.close()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_amain())
+    except (KeyboardInterrupt, asyncio.CancelledError):  # pragma: no cover
+        pass
+
+
+@dataclass
+class ShardHandle:
+    """The parent's view of one spawned shard."""
+
+    spec: ShardSpec
+    process: multiprocessing.process.BaseProcess
+    port: int
+
+    @property
+    def shard_id(self) -> int:
+        return self.spec.shard_id
+
+    @property
+    def host(self) -> str:
+        return self.spec.host
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL -- the crash the gateway's re-placement recovers from."""
+        self.process.kill()
+
+
+class LocalCluster:
+    """Spawn/terminate a set of shard processes (context manager).
+
+    Uses the fork start method where available (Linux): the data graph is
+    shared copy-on-write, so an 8-shard cluster does not hold 8 pickled
+    graph copies in flight during spawn.  Shutdown always runs: SIGTERM,
+    join with a timeout, SIGKILL stragglers -- a crashed caller must not
+    leak worker processes (asserted by the CI shard-smoke sweep).
+    """
+
+    def __init__(self, specs: list[ShardSpec]) -> None:
+        ids = [s.shard_id for s in specs]
+        if len(set(ids)) != len(ids):
+            raise ShardError(f"duplicate shard ids in {ids}")
+        self.specs = specs
+        self.handles: list[ShardHandle] = []
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+
+    def start(self) -> list[ShardHandle]:
+        pending = []
+        try:
+            for spec in self.specs:
+                parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+                process = self._ctx.Process(
+                    target=run_shard, args=(spec, child_conn),
+                    name=f"repro-shard-{spec.shard_id}")
+                process.start()
+                child_conn.close()
+                pending.append((spec, process, parent_conn))
+            for spec, process, parent_conn in pending:
+                if not parent_conn.poll(SPAWN_TIMEOUT_SECONDS):
+                    raise ShardError(
+                        f"shard {spec.shard_id} did not report a port "
+                        f"within {SPAWN_TIMEOUT_SECONDS:.0f}s")
+                port = parent_conn.recv()
+                parent_conn.close()
+                self.handles.append(ShardHandle(spec=spec, process=process,
+                                                port=port))
+        except BaseException:
+            for _, process, _ in pending:
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5)
+            self.handles = []
+            raise
+        return self.handles
+
+    def shutdown(self) -> None:
+        for handle in self.handles:
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self.handles:
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():  # pragma: no cover
+                handle.process.kill()
+                handle.process.join(timeout=5)
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def make_shard_specs(graph: LabeledGraph, config: PriloConfig, shards: int,
+                     *, engine: str = "prilo",
+                     store_root: str | None = None,
+                     journal_dir: str | None = None,
+                     queue_bound: int | None = None,
+                     vnodes: int = DEFAULT_VNODES,
+                     salt: str = DEFAULT_SALT) -> list[ShardSpec]:
+    """Specs for an N-shard loopback cluster over one graph/config.
+
+    ``store_root`` names a ``store shard-split`` output directory; each
+    shard gets its ``shard-<i>`` pack.  ``journal_dir`` gives each shard
+    its own write-ahead journal file.
+    """
+    from pathlib import Path
+
+    specs = []
+    for shard_id in range(shards):
+        store = None
+        if store_root is not None:
+            store = str(Path(store_root) / f"shard-{shard_id}")
+        journal = None
+        if journal_dir is not None:
+            journal = str(Path(journal_dir) / f"shard-{shard_id}.wal")
+        specs.append(ShardSpec(
+            shard_id=shard_id, graph=graph, config=config, engine=engine,
+            store_root=store, journal_path=journal,
+            queue_bound=queue_bound, vnodes=vnodes, salt=salt))
+    return specs
+
+
+__all__ = [
+    "ENGINE_CLASSES",
+    "LocalCluster",
+    "ShardError",
+    "ShardHandle",
+    "ShardServer",
+    "ShardSpec",
+    "make_shard_specs",
+    "run_shard",
+]

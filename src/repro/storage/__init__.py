@@ -39,9 +39,11 @@ from repro.storage.store import (
     StoreBallIndex,
     StoreEncryptedBalls,
     StoreError,
+    StoreMiss,
     VerifyReport,
     graph_digest,
     key_digest,
+    shard_split,
 )
 
 __all__ = [
@@ -59,7 +61,9 @@ __all__ = [
     "StoreBallIndex",
     "StoreEncryptedBalls",
     "StoreError",
+    "StoreMiss",
     "VerifyReport",
     "graph_digest",
     "key_digest",
+    "shard_split",
 ]

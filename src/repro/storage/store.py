@@ -73,6 +73,17 @@ class StoreError(RuntimeError):
     """Store is missing, stale, malformed, or failed verification."""
 
 
+class StoreMiss(StoreError):
+    """A requested ball id is simply not in this store.
+
+    Distinct from corruption on purpose: a *shard* pack (see
+    :func:`shard_split`) legitimately holds only its placement slice, so
+    a miss on a re-placed orphan ball must fall back to the live graph
+    without quarantining the pack -- quarantine is for artifacts that
+    served *wrong* bytes, not for artifacts that never held the ball.
+    """
+
+
 @dataclass(frozen=True)
 class PackReport:
     """Verification outcome for one artifact file."""
@@ -225,6 +236,14 @@ class StoreBallIndex(BallIndex):
                     raise StoreError(
                         f"stored ball id {loaded.ball_id} does not match "
                         f"index id {ball_id} -- stale store?")
+            except StoreMiss:
+                # Not in this (shard) pack: an expected miss, not damage.
+                # Extract from the live graph without quarantining --
+                # extraction is the function that built every pack, so
+                # the result is exactly what a pack holding the ball
+                # would have served.
+                return extract_ball(self._graph, center, radius,
+                                    ball_id=ball_id)
             except (StoreError, ValueError, KeyError, TypeError,
                     UnicodeDecodeError) as exc:
                 if not store.quarantine_enabled:
@@ -246,19 +265,39 @@ class StoreEncryptedBalls:
     quarantines ``encrypted.pack`` and is re-encrypted from the plaintext
     pack -- the same bytes-in, so the re-served blob decrypts to the
     identical ball.
+
+    ``fallback_index`` (a :class:`repro.graph.ball.BallIndex`) enables
+    serving balls the pack never held: a shard store only carries its
+    placement slice, so after a shard death the Dealer here may be asked
+    for a re-placed orphan -- the blob is then encrypted on the fly from
+    the live-graph extraction (requires ``key``).
     """
 
     def __init__(self, store: "ArtifactStore",
-                 key: DataOwnerKey | None = None) -> None:
+                 key: DataOwnerKey | None = None,
+                 fallback_index=None) -> None:
         self._store = store
         self._cipher = key.cipher() if key is not None else None
+        self._fallback_index = fallback_index
         self._cache: dict[int, EncryptedBallBlob] = {}
+
+    def _encrypt_missing(self, ball_id: int) -> EncryptedBallBlob:
+        if self._cipher is None or self._fallback_index is None:
+            raise StoreMiss(
+                f"ball {ball_id} not in this shard's pack and no "
+                f"owner key/fallback index to synthesize it")
+        ball = self._fallback_index.ball_by_id(ball_id)
+        return EncryptedBallBlob(
+            ball_id=ball_id,
+            blob=self._cipher.encrypt(ball_to_bytes(ball)))
 
     def _reencrypt(self, ball_id: int) -> EncryptedBallBlob:
         key = f"reencrypt:b{ball_id}"
         for attempt in range(2):
             try:
                 payload = ball_to_bytes(self._store.load_ball(ball_id))
+            except StoreMiss:
+                return self._encrypt_missing(ball_id)
             except (StoreError, ValueError, KeyError, TypeError,
                     UnicodeDecodeError) as exc:
                 self._store.faults.record(
@@ -287,9 +326,12 @@ class StoreEncryptedBalls:
                     and self._store.is_quarantined(_ENCRYPTED_PACK)):
                 blob = self._reencrypt(ball_id)
             else:
-                blob = EncryptedBallBlob(
-                    ball_id=ball_id,
-                    blob=self._store.load_encrypted(ball_id))
+                try:
+                    blob = EncryptedBallBlob(
+                        ball_id=ball_id,
+                        blob=self._store.load_encrypted(ball_id))
+                except StoreMiss:
+                    blob = self._encrypt_missing(ball_id)
             self._cache[ball_id] = blob
         return blob
 
@@ -675,7 +717,7 @@ class ArtifactStore:
     def load_ball(self, ball_id: int) -> Ball:
         sl = self._slices.get(ball_id)
         if sl is None:
-            raise StoreError(f"ball {ball_id} not in store")
+            raise StoreMiss(f"ball {ball_id} not in store")
         payload = self._served_bytes(f"store:ball:{ball_id}",
                                      self._balls_pack.slice(sl.offset,
                                                             sl.length))
@@ -684,7 +726,7 @@ class ArtifactStore:
     def load_encrypted(self, ball_id: int) -> bytes:
         sl = self._slices.get(ball_id)
         if sl is None:
-            raise StoreError(f"ball {ball_id} not in store")
+            raise StoreMiss(f"ball {ball_id} not in store")
         return self._served_bytes(
             f"store:enc:{ball_id}",
             self._encrypted_pack.slice(sl.enc_offset, sl.enc_length))
@@ -696,11 +738,14 @@ class ArtifactStore:
 
     def encrypted_store(self,
                         key: DataOwnerKey | None = None,
-                        ) -> StoreEncryptedBalls:
+                        fallback_index=None) -> StoreEncryptedBalls:
         """The Dealer's blob source (no re-encryption at startup).  With
         ``key`` the source can re-encrypt from the plaintext pack when a
-        served blob turns out tampered."""
-        return StoreEncryptedBalls(self, key=key)
+        served blob turns out tampered; ``fallback_index`` additionally
+        lets a shard store serve re-placed orphan balls its pack never
+        held (encrypted on the fly from the live graph)."""
+        return StoreEncryptedBalls(self, key=key,
+                                   fallback_index=fallback_index)
 
     def twiglet_features(self) -> dict[int, frozenset]:
         """Per-ball full-alphabet twiglet sets (lazy-loaded once)."""
@@ -752,6 +797,116 @@ class ArtifactStore:
         }
 
 
+def shard_split(root: str | Path, out_root: str | Path, shards: int, *,
+                vnodes: int | None = None, salt: str | None = None) -> dict:
+    """Cut one store into per-shard packs under a consistent-hash ring.
+
+    ``out_root/shard-<i>/`` becomes a fully valid, independently
+    verifiable :class:`ArtifactStore` holding exactly shard ``i``'s
+    placement slice (both packs re-packed with fresh offsets, twiglet and
+    tree artifacts subset, checksums recomputed); ``out_root/placement.json``
+    records the ring parameters and per-shard counts
+    (:class:`repro.framework.placement.PlacementManifest`).
+
+    The manifests inherit the source's ``graph_digest``/``key_digest``/
+    ``radii``, so each shard store passes :meth:`ArtifactStore.check`
+    against the *full* live graph -- a shard engine keeps global ball
+    ids and simply misses (-> live-graph fallback) on balls outside its
+    slice.
+
+    Returns the placement summary (the manifest's jsonable form).
+    """
+    from repro.framework.placement import (
+        DEFAULT_SALT,
+        DEFAULT_VNODES,
+        HashRing,
+        PlacementManifest,
+    )
+
+    if shards < 1:
+        raise StoreError("shard count must be positive")
+    vnodes = DEFAULT_VNODES if vnodes is None else vnodes
+    salt = DEFAULT_SALT if salt is None else salt
+    src = ArtifactStore.open(root)
+    out_root = Path(out_root)
+    if out_root.exists() and any(out_root.iterdir()):
+        raise StoreError(f"refusing to overwrite non-empty {out_root}")
+    out_root.mkdir(parents=True, exist_ok=True)
+
+    manifest = src._manifest
+    ring = HashRing(range(shards), vnodes=vnodes, salt=salt)
+    by_shard: dict[int, list[dict]] = {m: [] for m in ring.members}
+    for entry in manifest["balls"]:
+        by_shard[ring.owner_of(entry["ball_id"])].append(entry)
+
+    twiglets = json.loads((src.root / _TWIGLETS).read_text(encoding="utf-8"))
+    trees = json.loads((src.root / _TREES).read_text(encoding="utf-8"))
+
+    shard_dirs: dict[int, str] = {}
+    shard_balls: dict[int, int] = {}
+    for shard_id, entries in by_shard.items():
+        shard_dir = out_root / f"shard-{shard_id}"
+        shard_dir.mkdir()
+        shard_entries: list[dict] = []
+        with (shard_dir / _BALLS_PACK).open("wb") as plain, \
+                (shard_dir / _ENCRYPTED_PACK).open("wb") as enc:
+            offset = enc_offset = 0
+            for entry in entries:
+                sl = src._slices[entry["ball_id"]]
+                payload = src._balls_pack.slice(sl.offset, sl.length)
+                blob = src._encrypted_pack.slice(sl.enc_offset,
+                                                 sl.enc_length)
+                plain.write(payload)
+                enc.write(blob)
+                shard_entries.append({**entry, "offset": offset,
+                                      "enc_offset": enc_offset})
+                offset += sl.length
+                enc_offset += sl.enc_length
+        owned = {str(e["ball_id"]) for e in entries}
+        (shard_dir / _TWIGLETS).write_text(
+            json.dumps({"h": twiglets.get("h"),
+                        "balls": {k: v
+                                  for k, v in twiglets["balls"].items()
+                                  if k in owned}},
+                       separators=(",", ":"), sort_keys=True),
+            encoding="utf-8")
+        (shard_dir / _TREES).write_text(
+            json.dumps({"bf": trees.get("bf"),
+                        "balls": {k: v for k, v in trees["balls"].items()
+                                  if k in owned}},
+                       separators=(",", ":"), sort_keys=True),
+            encoding="utf-8")
+        shard_manifest = {
+            "version": _VERSION,
+            "graph_digest": manifest["graph_digest"],
+            "key_digest": manifest["key_digest"],
+            "radii": manifest["radii"],
+            "twiglet_h": manifest.get("twiglet_h"),
+            "bf": manifest.get("bf"),
+            "balls": shard_entries,
+            "checksums": {
+                name: _file_digest(shard_dir / name)
+                for name in (_BALLS_PACK, _ENCRYPTED_PACK, _TWIGLETS,
+                             _TREES)
+            },
+        }
+        (shard_dir / _MANIFEST).write_text(
+            json.dumps(shard_manifest, indent=1, sort_keys=True),
+            encoding="utf-8")
+        shard_dirs[shard_id] = shard_dir.name
+        shard_balls[shard_id] = len(entries)
+
+    placement = PlacementManifest(
+        members=ring.members, vnodes=vnodes, salt=salt,
+        graph_digest=manifest["graph_digest"],
+        radii=tuple(manifest["radii"]),
+        balls=len(manifest["balls"]),
+        shard_dirs=shard_dirs, shard_balls=shard_balls)
+    placement.write(out_root)
+    src.close()
+    return placement.to_jsonable()
+
+
 __all__ = [
     "ArtifactStore",
     "PackReport",
@@ -759,7 +914,9 @@ __all__ = [
     "StoreBallIndex",
     "StoreEncryptedBalls",
     "StoreError",
+    "StoreMiss",
     "VerifyReport",
     "graph_digest",
     "key_digest",
+    "shard_split",
 ]

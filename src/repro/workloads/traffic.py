@@ -1,0 +1,77 @@
+"""Many-tenant traffic for the sharded serving tier.
+
+Production pattern-query serving is not ten fresh queries in a row: a
+few popular patterns (dashboards, recurring compliance checks) dominate,
+with a long tail of one-off analyst queries.  This module models that as
+``tenants`` distinct queries sampled by QGen, replayed ``count`` times
+with Zipf-distributed popularity -- rank-1 dominates, tail ranks appear
+once or twice.  The skew is what makes the gateway's signature-affine
+routing and the shards' CMM caches earn their keep in the scaling
+benchmark: popular signatures hit warm caches on every shard.
+
+Everything is driven by one ``seed``: query sampling (delegated to the
+dataset's seeded QGen) and the Zipf draw order both derive from it, so a
+traffic trace is exactly reproducible -- the property BENCH_shard.json
+and the CI chaos run depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.query import Query, Semantics
+from repro.workloads.datasets import Dataset
+from repro.graph.qgen import QGen
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of one synthetic tenant mix."""
+
+    #: Total queries in the trace (arrival order, all tenants mixed).
+    count: int = 64
+    #: Distinct tenant queries the trace draws from.
+    tenants: int = 8
+    #: Zipf skew ``s`` (popularity of rank ``k`` is ``k**-s``); 0 is
+    #: uniform, ~1 is classic web-workload skew.
+    skew: float = 1.1
+    #: Query shape, passed through to the dataset's QGen.
+    size: int = 8
+    diameter: int = 3
+    semantics: Semantics = Semantics.HOM
+    #: Master seed: drives both tenant sampling and the draw order.
+    seed: int = 0
+
+
+def zipf_ranks(count: int, distinct: int, skew: float, seed: int,
+               ) -> list[int]:
+    """``count`` ranks in ``[0, distinct)`` drawn Zipf(``skew``), in a
+    deterministic order for a fixed seed."""
+    if distinct < 1:
+        raise ValueError("need at least one distinct tenant")
+    weights = [(rank + 1) ** -skew for rank in range(distinct)]
+    rng = random.Random(("zipf", seed, count, distinct, skew).__repr__())
+    return rng.choices(range(distinct), weights=weights, k=count)
+
+
+def generate_traffic(dataset: Dataset, spec: TrafficSpec,
+                     ) -> tuple[list[Query], list[int]]:
+    """The trace: ``(queries in arrival order, their tenant ranks)``.
+
+    The distinct tenant queries come from a *fresh* QGen seeded by the
+    spec (``Dataset.random_queries`` streams from a cached generator, so
+    its output depends on call history -- useless for replayable
+    traffic); the arrival order interleaves tenants by Zipf draw.
+    Returning the rank sequence lets benchmarks report per-tenant stats
+    without re-deriving the draw.
+    """
+    graph = dataset.graph_for(spec.semantics)
+    qgen = QGen(graph, seed=dataset.spec.seed + spec.seed)
+    tenants = qgen.generate_batch(spec.tenants, spec.size, spec.diameter,
+                                  spec.semantics)
+    ranks = zipf_ranks(spec.count, spec.tenants, spec.skew, spec.seed)
+    return [tenants[rank] for rank in ranks], ranks
+
+
+__all__ = ["TrafficSpec", "generate_traffic", "zipf_ranks"]

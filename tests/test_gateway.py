@@ -1,0 +1,505 @@
+"""Sharded serving tier: ring placement, wire protocol, split stores,
+shard-aware metrics, zipf traffic, and gateway equivalence/chaos.
+
+The load-bearing assertions are the byte-identity ones: a plain engine,
+a 1-shard gateway, an N-shard gateway and a gateway that lost a shard
+mid-batch must produce answers whose canonical JSON bytes are equal --
+:func:`repro.framework.wire.answer_bytes` is the contract the scaling
+benchmark and the CI shard-smoke job both lean on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.crypto.keys import DataOwnerKey
+from repro.crypto.ops import OpCounter
+from repro.framework import wire
+from repro.framework.gateway import (
+    Gateway,
+    GatewayChaos,
+    GatewayError,
+    ShardClient,
+)
+from repro.framework.metrics import (
+    CacheStats,
+    JournalCounters,
+    RunMetrics,
+    base_cache_name,
+    scoped_cache_name,
+)
+from repro.framework.placement import (
+    HashRing,
+    PlacementError,
+    PlacementManifest,
+    orphan_predicate,
+    ring_for,
+)
+from repro.framework.prilo import Prilo, PriloConfig
+from repro.framework.prilo_star import PriloStar
+from repro.framework.server import QueryBatchEngine, QueryStatus, QueryStream
+from repro.framework.shard import (
+    LocalCluster,
+    ShardServer,
+    ShardSpec,
+    make_shard_specs,
+)
+from repro.graph.ball import extract_ball
+from repro.graph.query import Semantics
+from repro.storage import ArtifactStore, StoreMiss, shard_split
+from repro.workloads.datasets import tiny_dataset
+from repro.workloads.traffic import TrafficSpec, generate_traffic, zipf_ranks
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=0, num_vertices=120, num_labels=8)
+
+
+@pytest.fixture(scope="module")
+def gw_config():
+    return PriloConfig(k_players=2, modulus_bits=1024, q_bits=24,
+                       r_bits=24, radii=(3,), seed=6)
+
+
+def _baseline_answers(graph, config, queries, engine_cls=Prilo):
+    engine = engine_cls.setup(graph, config)
+    try:
+        return [wire.canonical_answer_of_result(engine.run(q))
+                for q in queries]
+    finally:
+        engine.close()
+
+
+def _owners(ring, ids):
+    return {ball_id: ring.owner_of(ball_id) for ball_id in ids}
+
+
+def _assert_byte_identical(expected, answers):
+    assert len(expected) == len(answers)
+    for i, (a, b) in enumerate(zip(expected, answers)):
+        assert b is not None, f"query {i} has no merged answer"
+        assert wire.answer_bytes(a) == wire.answer_bytes(b), \
+            f"query {i}: sharded answer diverges from baseline"
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_and_complete(self):
+        ids = list(range(400))
+        a = HashRing([0, 1, 2, 3]).assign(ids)
+        b = HashRing([0, 1, 2, 3]).assign(ids)
+        assert a == b
+        owned = [bid for member in a.values() for bid in member]
+        assert sorted(owned) == ids  # partition: disjoint and complete
+
+    def test_every_member_owns_something(self):
+        assign = HashRing([0, 1, 2, 3]).assign(range(400))
+        assert all(assign[m] for m in (0, 1, 2, 3))
+
+    def test_minimal_movement_on_member_loss(self):
+        ids = range(500)
+        before = _owners(HashRing([0, 1, 2, 3]), ids)
+        after = _owners(HashRing([0, 1, 3]), ids)
+        moved = {bid for bid in ids if before[bid] != after[bid]}
+        # Exactly the dead member's balls move, nothing else.
+        assert moved == {bid for bid, owner in before.items() if owner == 2}
+
+    def test_salt_and_vnodes_change_placement(self):
+        ids = range(200)
+        base = _owners(HashRing([0, 1, 2]), ids)
+        assert _owners(HashRing([0, 1, 2], salt="other"), ids) != base
+        assert _owners(HashRing([0, 1, 2], vnodes=8), ids) != base
+
+    def test_rejects_degenerate_rings(self):
+        with pytest.raises(PlacementError):
+            HashRing([])
+        with pytest.raises(PlacementError):
+            HashRing([0, 1], vnodes=0)
+
+    def test_ring_for_is_memoized(self):
+        assert ring_for([2, 0, 1]) is ring_for([0, 1, 2])
+
+
+class TestOrphanPredicate:
+    def test_membership_partition(self):
+        members = (0, 1, 2, 3)
+        ids = range(300)
+        owners = _owners(ring_for(members), ids)
+        for shard in members:
+            keep = orphan_predicate(shard, members)
+            assert {b for b in ids if keep(b)} == \
+                {b for b, o in owners.items() if o == shard}
+
+    def test_replacement_pass_covers_exactly_the_moved_balls(self):
+        prev = (0, 1, 2, 3)
+        now = (0, 1, 3)
+        ids = range(300)
+        before = _owners(ring_for(prev), ids)
+        orphans = {b for b, owner in before.items() if owner == 2}
+        covered = set()
+        for shard in now:
+            keep = orphan_predicate(shard, now, prev)
+            mine = {b for b in ids if keep(b)}
+            assert not covered & mine  # survivors never overlap
+            covered |= mine
+        assert covered == orphans
+
+
+class TestPlacementManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = PlacementManifest(
+            members=(0, 1, 2), vnodes=32, salt="s", graph_digest="d",
+            radii=(3,), balls=9,
+            shard_dirs={m: f"shard-{m}" for m in (0, 1, 2)},
+            shard_balls={0: 3, 1: 3, 2: 3})
+        manifest.write(tmp_path)
+        loaded = PlacementManifest.read(tmp_path)
+        assert loaded == manifest
+        assert loaded.shard_of(17) == manifest.ring().owner_of(17)
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        (tmp_path / "placement.json").write_text(json.dumps({"kind": "x"}))
+        with pytest.raises(PlacementError):
+            PlacementManifest.read(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+class TestWire:
+    def test_frame_round_trip(self):
+        payload = {"t": "query", "qid": 3, "members": [0, 1]}
+        assert wire.decode_frame(wire.encode_frame(payload)[4:]) == payload
+
+    def test_rejects_non_object_payloads(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_frame(b"[1, 2]")
+        with pytest.raises(wire.WireError):
+            wire.decode_frame(b"\xff\xfe")
+
+    def test_rejects_oversized_frames(self, monkeypatch):
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(wire.WireError):
+            wire.encode_frame({"t": "x" * 64})
+
+    def test_query_round_trip(self, dataset):
+        for semantics in Semantics:
+            query = dataset.random_query(size=5, semantics=semantics,
+                                         seed=4)
+            back = wire.query_from_jsonable(wire.query_to_jsonable(query))
+            assert back.semantics is query.semantics
+            assert back.diameter == query.diameter
+            assert back.vertex_order == query.vertex_order
+            assert [back.label(u) for u in back.vertex_order] == \
+                [query.label(u) for u in query.vertex_order]
+
+    def test_canonical_answer_is_form_insensitive(self, dataset):
+        graph = dataset.graph
+        sub = extract_ball(graph, next(iter(graph.vertices())), 1,
+                           ball_id=0).graph
+        from repro.graph.io import graph_to_json
+
+        engine_side = wire.canonical_answer(
+            [2, 1], [1], [1], {1: [sub]})
+        wire_side = wire.canonical_answer(
+            (1, 2), (1,), (1,), {"1": [graph_to_json(sub)]})
+        assert wire.answer_bytes(engine_side) == wire.answer_bytes(wire_side)
+        assert engine_side["num_matches"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Shard-aware metrics merges (the satellite bugfix)
+# ---------------------------------------------------------------------------
+class TestShardAwareMetrics:
+    def test_same_cache_label_from_two_shards_sums_exactly_once(self):
+        metrics = RunMetrics()
+        metrics.record_shard_caches(0, {"cmm": CacheStats(
+            hits=10, misses=5, entries=7, weight=70, capacity=100)})
+        metrics.record_shard_caches(1, {"cmm": CacheStats(
+            hits=1, misses=2, entries=3, weight=30, capacity=100)})
+        # Per-shard records stay intact under qualified keys...
+        assert metrics.caches[scoped_cache_name("cmm", 0)].hits == 10
+        assert metrics.caches[scoped_cache_name("cmm", 1)].entries == 3
+        # ...and the fleet total sums counters exactly once.
+        totals = metrics.cache_totals()
+        assert set(totals) == {"cmm"}
+        assert totals["cmm"].hits == 11
+        assert totals["cmm"].misses == 7
+
+    def test_repeated_verdicts_from_one_shard_accumulate(self):
+        metrics = RunMetrics()
+        for _ in range(3):
+            metrics.record_shard_caches(2, {"pad": CacheStats(hits=2)})
+        assert metrics.caches[scoped_cache_name("pad", 2)].hits == 6
+
+    def test_base_cache_name_round_trip(self):
+        assert base_cache_name(scoped_cache_name("cmm", 4)) == "cmm"
+        assert base_cache_name("cmm") == "cmm"
+
+    def test_cache_stats_from_dict_ignores_derived_fields(self):
+        stats = CacheStats(hits=3, misses=1, entries=2, weight=9,
+                           capacity=10)
+        assert CacheStats.from_dict(stats.as_dict()) == stats
+
+    def test_op_counter_merge_scoped_preserves_totals_and_round_trips(self):
+        shard = OpCounter()
+        shard.bucket("evaluation", "player:1").modmul = 7
+        shard.bucket("evaluation", "user").modexp = 3
+        fleet = OpCounter()
+        fleet.merge_scoped(shard, scope="shard0")
+        fleet.merge_scoped(shard, scope="shard1")
+        assert fleet.totals().modmul == 14
+        assert fleet.totals().modexp == 6
+        assert fleet.bucket("evaluation", "player:1@shard0").modmul == 7
+        back = OpCounter.from_dict(fleet.as_dict())
+        assert back.as_dict() == fleet.as_dict()
+
+    def test_journal_counters_round_trip(self):
+        counters = JournalCounters(checkpoints_written=4, shares_skipped=2,
+                                   reattestations=1)
+        assert JournalCounters.from_dict(counters.as_dict()) == counters
+
+
+# ---------------------------------------------------------------------------
+# Zipf traffic
+# ---------------------------------------------------------------------------
+class TestTraffic:
+    def test_deterministic_for_a_fixed_seed(self, dataset):
+        spec = TrafficSpec(count=20, tenants=4, size=5, seed=9)
+        qa, ra = generate_traffic(dataset, spec)
+        qb, rb = generate_traffic(dataset, spec)
+        assert ra == rb
+        assert [repr(q) for q in qa] == [repr(q) for q in qb]
+
+    def test_seed_changes_the_trace(self, dataset):
+        base = TrafficSpec(count=20, tenants=4, size=5, seed=9)
+        other = TrafficSpec(count=20, tenants=4, size=5, seed=10)
+        assert generate_traffic(dataset, base)[1] != \
+            generate_traffic(dataset, other)[1]
+
+    def test_zipf_skew_favors_rank_one(self):
+        ranks = zipf_ranks(500, 8, 1.2, seed=3)
+        counts = [ranks.count(r) for r in range(8)]
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[-1]
+        assert len(ranks) == 500
+
+    def test_trace_interleaves_tenants(self, dataset):
+        spec = TrafficSpec(count=16, tenants=3, size=5, seed=2)
+        queries, ranks = generate_traffic(dataset, spec)
+        assert len(queries) == 16
+        assert set(ranks) <= {0, 1, 2}
+        assert len(set(ranks)) > 1
+
+
+# ---------------------------------------------------------------------------
+# Store shard-split + miss fallbacks
+# ---------------------------------------------------------------------------
+class TestShardSplit:
+    @pytest.fixture(scope="class")
+    def split(self, dataset, gw_config, tmp_path_factory):
+        root = tmp_path_factory.mktemp("store")
+        out = tmp_path_factory.mktemp("split")
+        source = ArtifactStore.create(root / "src", dataset.graph, (3,),
+                                      DataOwnerKey.generate(gw_config.seed))
+        shard_split(root / "src", out / "shards", 3)
+        return source, out / "shards"
+
+    def test_placement_matches_ring_and_counts(self, split):
+        source, out = split
+        placement = PlacementManifest.read(out)
+        assert placement.members == (0, 1, 2)
+        assert placement.balls == sum(placement.shard_balls.values())
+        ring = placement.ring()
+        for member in placement.members:
+            store = ArtifactStore.open(out / f"shard-{member}")
+            held = set(store._slices)
+            assert held == {b for b in source._slices
+                            if ring.owner_of(b) == member}
+
+    def test_shard_packs_verify_independently(self, split, gw_config):
+        _, out = split
+        store = ArtifactStore.open(out / "shard-1")
+        report = store.verify(DataOwnerKey.generate(gw_config.seed))
+        assert not report.tampered and not report.stale
+
+    def test_refuses_non_empty_target(self, split, dataset, gw_config,
+                                      tmp_path):
+        from repro.storage import StoreError
+
+        (tmp_path / "junk").write_text("x")
+        with pytest.raises(StoreError):
+            shard_split(tmp_path, tmp_path, 2)
+
+    def test_missing_ball_raises_store_miss(self, split):
+        _, out = split
+        placement = PlacementManifest.read(out)
+        store = ArtifactStore.open(out / "shard-0")
+        foreign = next(b for b in placement.ring().assign(
+            range(placement.balls))[1])
+        with pytest.raises(StoreMiss):
+            store.load_ball(foreign)
+
+    def test_store_index_falls_back_to_live_extraction(self, split,
+                                                       dataset):
+        _, out = split
+        store = ArtifactStore.open(out / "shard-0")
+        index = store.ball_index(dataset.graph)
+        addr_of = {bid: key for key, bid in index._ids.items()}
+        missing = next(b for b in sorted(addr_of)
+                       if b not in store._slices)
+        center, radius = addr_of[missing]
+        ball = index.ball(center, radius)
+        expected = extract_ball(dataset.graph, center, radius,
+                                ball_id=missing)
+        assert ball.ball_id == missing
+        assert set(ball.graph.vertices()) == set(expected.graph.vertices())
+        # The miss must not quarantine the (healthy, just sliced) pack.
+        assert not store.quarantined
+
+
+# ---------------------------------------------------------------------------
+# Shard server protocol (in-process, no fork)
+# ---------------------------------------------------------------------------
+class TestShardServer:
+    def test_socket_round_trip(self, dataset, gw_config):
+        query = dataset.random_query(size=5, seed=4)
+        baseline = _baseline_answers(dataset.graph, gw_config, [query])[0]
+
+        async def main():
+            server = ShardServer(ShardSpec(0, dataset.graph, gw_config))
+            await server.start()
+            client = ShardClient(0, "127.0.0.1", server.port)
+            try:
+                await client.connect()
+                assert client.hello["shard"] == 0
+                pong = await client.request({"t": "ping"})
+                assert pong["t"] == "pong" and pong["served"] == 0
+                verdict = await client.request({
+                    "t": "query", "qid": 0, "jindex": 0,
+                    "query": wire.query_to_jsonable(query),
+                    "members": [0]})
+                assert verdict["t"] == "verdict"
+                assert verdict["status"] == QueryStatus.OK
+                unknown = await client.request({"t": "bogus"})
+                assert unknown["t"] == "error"
+                drained = await client.request({"t": "drain"})
+                assert drained["t"] == "drained"
+                assert drained["summary"]["queries"] == 1
+                return verdict
+            finally:
+                await client.close()
+                await server.close()
+
+        verdict = asyncio.run(main())
+        merged = wire.canonical_answer(
+            verdict["candidates"], verdict["pm_positive"],
+            verdict["verified"], verdict["matches"])
+        assert wire.answer_bytes(merged) == wire.answer_bytes(baseline)
+        assert "caches" in verdict and "ops" in verdict
+
+    def test_query_stream_matches_batch_engine(self, dataset, gw_config):
+        queries = dataset.random_queries(2, size=5, seed=4)
+        with QueryBatchEngine(Prilo.setup(dataset.graph,
+                                          gw_config)) as batch:
+            batch_report = batch.serve(queries)
+        with QueryBatchEngine(Prilo.setup(dataset.graph,
+                                          gw_config)) as engine:
+            stream = QueryStream(engine)
+            outcomes = [stream.serve_one(q) for q in queries]
+            stream.request_drain()
+            late = stream.serve_one(queries[0])
+            report = stream.report()
+        assert [o.status for o in outcomes] == [QueryStatus.OK] * 2
+        assert late.status == QueryStatus.DRAINED
+        for batch_result, stream_result in zip(batch_report.results,
+                                               report.results):
+            assert wire.answer_bytes(
+                wire.canonical_answer_of_result(batch_result)) == \
+                wire.answer_bytes(
+                    wire.canonical_answer_of_result(stream_result))
+
+
+# ---------------------------------------------------------------------------
+# Gateway equivalence (the tentpole contract)
+# ---------------------------------------------------------------------------
+class TestGatewayEquivalence:
+    @pytest.mark.parametrize("semantics", list(Semantics))
+    def test_two_shards_match_plain_engine_with_pruning(self, dataset,
+                                                        gw_config,
+                                                        semantics):
+        queries = dataset.random_queries(3, size=5, semantics=semantics,
+                                         seed=4)
+        graph = dataset.graph_for(semantics)
+        expected = _baseline_answers(graph, gw_config, queries,
+                                     engine_cls=PriloStar)
+        with LocalCluster(make_shard_specs(graph, gw_config, 2,
+                                           engine="prilo-star")) as cluster:
+            report = Gateway(cluster.handles).run(queries)
+        assert [o.status for o in report.outcomes] == \
+            [QueryStatus.OK] * len(queries)
+        _assert_byte_identical(expected, report.answers)
+
+    def test_one_and_four_shards_match_plain_engine(self, dataset,
+                                                    gw_config):
+        queries, _ = generate_traffic(
+            dataset, TrafficSpec(count=6, tenants=3, size=5, seed=11))
+        expected = _baseline_answers(dataset.graph, gw_config, queries)
+        for shards in (1, 4):
+            specs = make_shard_specs(dataset.graph, gw_config, shards)
+            with LocalCluster(specs) as cluster:
+                report = Gateway(cluster.handles).run(queries)
+            _assert_byte_identical(expected, report.answers)
+            assert report.shards == shards
+            assert set(report.per_shard_busy) == set(range(shards))
+            assert report.critical_path_seconds <= report.busy_seconds
+
+    def test_shard_death_mid_batch_recovers_byte_identically(self, dataset,
+                                                             gw_config):
+        queries, _ = generate_traffic(
+            dataset, TrafficSpec(count=8, tenants=3, size=5, seed=11))
+        expected = _baseline_answers(dataset.graph, gw_config, queries)
+        specs = make_shard_specs(dataset.graph, gw_config, 4)
+        with LocalCluster(specs) as cluster:
+            gateway = Gateway(cluster.handles,
+                              chaos=GatewayChaos(seed=42,
+                                                 kill_after_verdicts=2))
+            report = gateway.run(queries)
+        assert report.deaths, "chaos must kill a shard mid-batch"
+        assert report.re_dispatches > 0
+        assert len(report.final_members) == 3
+        assert report.completed == len(queries), "no query may be lost"
+        _assert_byte_identical(expected, report.answers)
+
+    def test_gateway_serves_from_split_store_with_journals(
+            self, dataset, gw_config, tmp_path):
+        queries = dataset.random_queries(2, size=5, seed=4)
+        expected = _baseline_answers(dataset.graph, gw_config, queries)
+        ArtifactStore.create(tmp_path / "src", dataset.graph, (3,),
+                             DataOwnerKey.generate(gw_config.seed))
+        shard_split(tmp_path / "src", tmp_path / "shards", 2)
+        specs = make_shard_specs(
+            dataset.graph, gw_config, 2,
+            store_root=str(tmp_path / "shards"),
+            journal_dir=str(tmp_path / "wal"))
+        (tmp_path / "wal").mkdir()
+        with LocalCluster(specs) as cluster:
+            report = Gateway(cluster.handles).run(queries)
+        _assert_byte_identical(expected, report.answers)
+        assert report.metrics.journal.checkpoints_written > 0
+        assert (tmp_path / "wal" / "shard-0.wal").exists()
+        assert (tmp_path / "wal" / "shard-1.wal").exists()
+
+    def test_rejects_degenerate_fleets(self):
+        with pytest.raises(GatewayError):
+            Gateway([])
+
+    def test_chaos_rejects_unknown_victim(self):
+        with pytest.raises(GatewayError):
+            GatewayChaos(kill_shard=9).resolve((0, 1))
