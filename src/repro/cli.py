@@ -13,7 +13,9 @@ Commands:
 * ``gateway <dataset>``           -- serve zipf many-tenant traffic through
                                      a local N-shard scatter-gather cluster
                                      (``--kill-shard``/``--kill-seed`` for
-                                     chaos recovery runs).
+                                     chaos recovery runs, ``--rogue-shard``
+                                     for the malicious-SP tier caught by
+                                     the merge-time answer verifier).
 * ``journal inspect <path>``      -- summarize a write-ahead run journal.
 * ``trace summarize <path>``      -- per-role/per-phase latency histograms
                                      of a ``--trace`` JSONL file.
@@ -33,9 +35,11 @@ Exit codes are scriptable triage (documented in ``docs/operations.md``):
 0 success, 1 usage/unexpected error, 2 stale artifacts (``store
 verify``), 3 integrity failure (tampered/missing artifacts, journal
 mismatch), 4 deadline-exceeded queries (``run``/``serve-batch`` with
-``--deadline-ms``), 5 leakage-audit failure.  When one invocation hits
-several conditions, :func:`combine_exit` picks the most severe under the
-lattice ``0 < 2 < 4 < 5 < 3`` (integrity trumps everything).
+``--deadline-ms``), 5 leakage-audit failure, 6 forged result (the
+``gateway`` answer verifier caught a shard lying and could not re-cover
+the slice from honest members).  When one invocation hits several
+conditions, :func:`combine_exit` picks the most severe under the
+lattice ``0 < 2 < 4 < 5 < 6 < 3`` (integrity trumps everything).
 """
 
 from __future__ import annotations
@@ -76,16 +80,22 @@ EXIT_DEADLINE = 4
 #: The leakage audit found a restricted-scope span carrying
 #: query-dependent data.
 EXIT_LEAKAGE = 5
+#: A shard returned a forged/incomplete/replayed verdict and no honest
+#: member was left to re-cover the slice: the affected answers were
+#: withheld, not surfaced.
+EXIT_FORGED = 6
 
 #: The one exit-code precedence lattice every command composes through:
-#: success < stale < deadline < leakage < integrity < usage.  Rationale
-#: (docs/operations.md): staleness is rebuildable, a deadline is a
-#: per-query overload symptom, leakage is a policy violation that still
-#: produced correct answers, and an integrity failure means nothing the
-#: command printed can be trusted -- so tampered wins over stale, and
-#: integrity wins over everything.
+#: success < stale < deadline < leakage < forged < integrity < usage.
+#: Rationale (docs/operations.md): staleness is rebuildable, a deadline
+#: is a per-query overload symptom, leakage is a policy violation that
+#: still produced correct answers, a forged result was *caught and
+#: withheld* (every answer actually surfaced is still certified), and an
+#: integrity failure means nothing the command printed can be trusted --
+#: so tampered wins over stale, and integrity wins over everything.
 _EXIT_SEVERITY = {0: 0, EXIT_STALE: 1, EXIT_DEADLINE: 2,
-                  EXIT_LEAKAGE: 3, EXIT_INTEGRITY: 4, 1: 5}
+                  EXIT_LEAKAGE: 3, EXIT_FORGED: 4, EXIT_INTEGRITY: 5,
+                  1: 6}
 
 
 def combine_exit(*codes: int) -> int:
@@ -125,6 +135,35 @@ def _chaos(args: argparse.Namespace) -> ChaosPolicy | None:
 
         policy = replace(policy, kinds=chosen)
     return policy
+
+
+def _rogue(args: argparse.Namespace):
+    """Build the malicious-shard tier from ``--rogue-shard`` flags.
+
+    Returns ``(rogue_shards, rogue_policy)`` for
+    :func:`repro.framework.shard.make_shard_specs`.  The policy's kinds
+    default to every malicious kind (forge_result, drop_ball,
+    replay_stale); ``--rogue-kinds`` narrows them.  Rate 1.0 by default:
+    a rogue shard lies on *every* verdict, the worst case for the
+    verifier.
+    """
+    shards = tuple(getattr(args, "rogue_shard", None) or ())
+    if not shards:
+        return (), None
+    from repro.framework.faults import MALICIOUS_KINDS
+
+    kinds = MALICIOUS_KINDS
+    chosen = getattr(args, "rogue_kinds", None)
+    if chosen:
+        kinds = tuple(k.strip() for k in chosen.split(",") if k.strip())
+        bad = [k for k in kinds if k not in MALICIOUS_KINDS]
+        if bad:
+            raise SystemExit(f"unknown rogue kind(s) {bad}; "
+                             f"valid: {', '.join(MALICIOUS_KINDS)}")
+    policy = ChaosPolicy(seed=getattr(args, "rogue_seed", 0) or 0,
+                         fault_rate=getattr(args, "rogue_rate", 1.0),
+                         kinds=kinds)
+    return shards, policy
 
 
 def _kernels(args: argparse.Namespace) -> KernelConfig:
@@ -516,10 +555,17 @@ def _gateway_exit_code(report) -> int:
     # Same fold as the single-engine batch: a deadline-exceeded slice
     # exits 4.  Shed/drained under explicit admission flags is operator
     # policy, not failure, and stays 0 (documented in operations.md).
+    # A FORGED outcome means the verifier caught a lying shard and no
+    # honest member was left to re-cover the slice -- the answer was
+    # withheld, and the run must say so with exit 6.  Forgery that WAS
+    # re-covered stays 0: every surfaced answer verified.
+    codes = [0]
+    if any(o.status == QueryStatus.FORGED for o in report.outcomes):
+        codes.append(EXIT_FORGED)
     if any(o.status == QueryStatus.DEADLINE_EXCEEDED
            for o in report.outcomes):
-        return EXIT_DEADLINE
-    return 0
+        codes.append(EXIT_DEADLINE)
+    return combine_exit(*codes)
 
 
 def cmd_gateway(args: argparse.Namespace) -> int:
@@ -545,7 +591,10 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     queries, ranks = generate_traffic(dataset, spec)
     graph = dataset.graph_for(semantics)
     config = _config(args)
+    if args.no_verify:
+        config = replace(config, verify_serving=False)
     vnodes, salt = DEFAULT_VNODES, DEFAULT_SALT
+    placement = None
     if args.store:
         try:
             placement = PlacementManifest.read(args.store)
@@ -556,17 +605,39 @@ def cmd_gateway(args: argparse.Namespace) -> int:
         # ring geometry; the serving cluster must match them exactly.
         config = replace(config, radii=placement.radii)
         vnodes, salt = placement.vnodes, placement.salt
+    verifier = None
+    if (placement is not None and placement.auth_root
+            and config.verify_serving):
+        from repro.framework.verify import AnswerVerifier, VerificationError
+
+        engine_cls = {"prilo": Prilo, "prilo-star": PriloStar}[args.engine]
+        # Certificates bind the *effective* engine config -- the engine
+        # classes force their pruning toggles in setup(), so the
+        # verifier must fingerprint the same overridden view.
+        effective = replace(config, **engine_cls._OVERRIDES)
+        try:
+            verifier = AnswerVerifier.from_placement(placement,
+                                                     seed=args.seed,
+                                                     config=effective)
+        except VerificationError as exc:
+            # A bad catalog commitment is at-rest tampering, not a
+            # serving-time forgery: nothing can be verified against it.
+            print(f"FAILED: {exc}")
+            return EXIT_INTEGRITY
     chaos = None
     if args.kill_shard is not None or args.kill_seed is not None:
         chaos = GatewayChaos(kill_shard=args.kill_shard,
                              kill_after_verdicts=args.kill_after,
                              seed=args.kill_seed)
+    rogue_shards, rogue_policy = _rogue(args)
     tracer = _tracer_for(args)
     specs = make_shard_specs(graph, config, args.shards,
                              engine=args.engine, store_root=args.store,
                              journal_dir=args.journal_dir,
                              queue_bound=args.queue_bound,
-                             vnodes=vnodes, salt=salt)
+                             vnodes=vnodes, salt=salt,
+                             rogue_shards=rogue_shards,
+                             rogue_policy=rogue_policy)
     print(f"dataset: {dataset.graph}")
     print(f"traffic: {spec.count} queries over {spec.tenants} tenants "
           f"(zipf s={spec.skew}, seed {spec.seed}); "
@@ -575,7 +646,8 @@ def cmd_gateway(args: argparse.Namespace) -> int:
         with LocalCluster(specs) as cluster:
             gateway = Gateway(cluster.handles, vnodes=vnodes, salt=salt,
                               pool=args.pool, window=args.window,
-                              chaos=chaos, tracer=tracer)
+                              chaos=chaos, tracer=tracer,
+                              verifier=verifier)
             report = gateway.run(queries)
     except GatewayError as exc:
         # Divergent slice answers or an unservable fleet: nothing the
@@ -593,6 +665,16 @@ def cmd_gateway(args: argparse.Namespace) -> int:
         print(f"deaths: shard(s) {report.deaths} died; "
               f"{report.re_dispatches} re-placement task(s); "
               f"survivors {list(report.final_members)}")
+    if report.verify_enabled:
+        print(f"verify: {report.proofs_checked} certificate(s) checked "
+              f"({report.proof_bytes} proof bytes, "
+              f"{report.verify_seconds:.3f}s); "
+              f"{report.forgeries_detected} forgery(ies) detected"
+              + (f"; evicted shard(s) {report.evictions}"
+                 if report.evictions else ""))
+        if report.forged:
+            print(f"FORGED: {report.forged} answer(s) withheld -- no "
+                  f"honest member left to re-cover the slice")
     statuses = summary["statuses"]
     not_ok = [(i, s) for i, s in enumerate(statuses) if s != QueryStatus.OK]
     print(f"statuses: {statuses.count(QueryStatus.OK)}/{len(statuses)} ok"
@@ -607,6 +689,12 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     if args.json_summary:
         with open(args.json_summary, "w", encoding="utf-8") as fh:
             json.dump(summary, fh, indent=2, default=str)
+    if args.metrics_out:
+        from repro.observability import write_gateway_metrics
+
+        spans = tracer.spans if tracer is not None else None
+        write_gateway_metrics(args.metrics_out, report, spans)
+        print(f"metrics: Prometheus snapshot -> {args.metrics_out}")
     return combine_exit(_gateway_exit_code(report),
                         _finish_trace(args, tracer))
 
@@ -861,6 +949,26 @@ def build_parser() -> argparse.ArgumentParser:
                            "blocks (backpressure)")
     p_gw.add_argument("--pool", type=int, default=2,
                       help="pooled connections per shard")
+    p_gw.add_argument("--rogue-shard", type=int, action="append",
+                      default=None, metavar="K",
+                      help="malicious-SP chaos: shard K mutates its "
+                           "verdicts after the honest engine ran "
+                           "(repeatable; caught by the answer verifier, "
+                           "evicted, and its slice re-scattered)")
+    p_gw.add_argument("--rogue-kinds", default=None, metavar="K1,K2",
+                      help="comma-separated malicious kinds for "
+                           "--rogue-shard (default: forge_result,"
+                           "drop_ball,replay_stale)")
+    p_gw.add_argument("--rogue-seed", type=int, default=0, metavar="S",
+                      help="seed for the rogue shards' mutation schedule")
+    p_gw.add_argument("--rogue-rate", type=float, default=1.0,
+                      metavar="P",
+                      help="per-verdict mutation probability for rogue "
+                           "shards (default 1.0: lie on every verdict)")
+    p_gw.add_argument("--no-verify", action="store_true",
+                      help="trust the shards: skip certificates and "
+                           "merge-time verification (PR 7 behavior; for "
+                           "overhead A/B only)")
     p_gw.add_argument("--kill-shard", type=int, default=None, metavar="K",
                       help="chaos: SIGKILL shard K mid-batch and recover "
                            "by re-placing its slice onto survivors")
@@ -877,6 +985,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-shard candidate-ball admission bound")
     p_gw.add_argument("--json-summary", default=None, metavar="FILE",
                       help="also write the gateway summary as JSON")
+    p_gw.add_argument("--metrics-out", default=None, metavar="FILE",
+                      help="write a Prometheus text-exposition snapshot "
+                           "of the gateway run (repro_verify_total "
+                           "counters et al.)")
     p_gw.add_argument("--trace", nargs="?", const="trace.jsonl",
                       default=None, metavar="FILE",
                       help="write the gateway's role-scoped span trace")

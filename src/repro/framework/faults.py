@@ -67,6 +67,32 @@ class FaultKind:
     #: Detection-only label: a journal record failed its keyed digest on
     #: replay (never injected -- tampering comes from the disk bytes).
     JOURNAL_TAMPER = "journal_tamper"
+    #: A malicious SP shard fabricates or mutates its answer slice
+    #: (extra matches, altered verified set) without holding the owner's
+    #: verification key.  Injected only at the shard boundary by a
+    #: *rogue* policy (see :mod:`repro.framework.shard`); caught by the
+    #: merge-time certificate verifier.
+    FORGE_RESULT = "forge_result"
+    #: A lazy SP shard silently omits a candidate ball from its slice
+    #: (skipped evaluation sold as a complete answer).  Caught by the
+    #: completeness check against the committed candidate catalog.
+    DROP_BALL = "drop_ball"
+    #: A malicious SP shard replays a previously valid verdict for a
+    #: different query/membership.  Caught because certificates bind the
+    #: query id and the membership under which the slice was computed.
+    REPLAY_STALE = "replay_stale"
+
+
+#: The malicious-SP tier: never part of :data:`INJECTABLE_KINDS` (a
+#: plain ``ChaosPolicy(fault_rate=...)`` stays semi-honest, mirroring
+#: the ``KILL_PROCESS`` opt-in) -- these kinds only act when named in a
+#: rogue-shard policy, and they model an adversary *without* the
+#: owner-derived verification key.
+MALICIOUS_KINDS = (
+    FaultKind.FORGE_RESULT,
+    FaultKind.DROP_BALL,
+    FaultKind.REPLAY_STALE,
+)
 
 
 #: Every kind :class:`ChaosPolicy` injects by default (``STORE_STALE``
@@ -83,8 +109,8 @@ INJECTABLE_KINDS = (
 )
 
 #: Kinds accepted by ``ChaosPolicy.kinds`` (the defaults plus the opt-in
-#: process kill).
-VALID_KINDS = INJECTABLE_KINDS + (FaultKind.KILL_PROCESS,)
+#: process kill and the opt-in malicious-SP tier).
+VALID_KINDS = INJECTABLE_KINDS + (FaultKind.KILL_PROCESS,) + MALICIOUS_KINDS
 
 
 class FaultAction:
@@ -367,6 +393,7 @@ __all__ = [
     "FaultReport",
     "INJECTABLE_KINDS",
     "InjectedFault",
+    "MALICIOUS_KINDS",
     "RecoveryPolicy",
     "VALID_KINDS",
 ]

@@ -22,6 +22,16 @@ merge cross-checks instead of double-counting.  Re-dispatched tasks get
 fresh journal indices (``qid + wave << 20``) so survivor journals never
 see two different runs under one idempotency key.
 
+Trust model: with an :class:`~repro.framework.verify.AnswerVerifier`
+installed, shards are *untrusted* -- every OK verdict must carry a
+certificate proving its slice complete (against the owner-committed
+Merkle root + candidate catalog) and sound (keyed digests the SP cannot
+mint) before the merge sees it.  A shard caught forging is evicted and
+its task re-scattered to the honest survivors exactly like a death;
+when no honest member can re-cover the slice, the query is marked
+``FORGED`` and its answer withheld.  See
+:mod:`repro.framework.verify`.
+
 Metrics honesty: per-shard cache counters merge under shard-qualified
 keys (:meth:`RunMetrics.record_shard_caches`) and crypto-op buckets
 under ``role@shard<k>`` scopes (:meth:`OpCounter.merge_scoped`), so
@@ -66,6 +76,7 @@ _SEVERITY = {
     QueryStatus.REJECTED_OVERLOAD: 2,
     QueryStatus.REJECTED_BALL_BUDGET: 3,
     QueryStatus.DEADLINE_EXCEEDED: 4,
+    QueryStatus.FORGED: 5,
 }
 
 
@@ -177,6 +188,16 @@ class ShardClient:
         for future in pending:
             if not future.done():
                 future.set_exception(ShardDied(self.shard_id))
+        # Tear the pool down *now*: a dead client's sockets must not
+        # linger as live pool entries (half-open writers would otherwise
+        # sit until close(), and a torn frame on one connection says
+        # nothing good about its siblings).
+        for task in self._readers:
+            if not task.done():
+                task.cancel()
+        for _, writer in self._conns:
+            writer.close()
+        self._conns.clear()
         if self.on_death is not None:
             self.on_death(self.shard_id)
 
@@ -259,6 +280,16 @@ class GatewayReport:
     re_dispatches: int = 0
     final_members: tuple[int, ...] = ()
     drain_summaries: dict[int, dict] = field(default_factory=dict)
+    #: Untrusted-shard serving: whether a verifier judged every OK
+    #: verdict, how many certificates checked out, how many forged
+    #: verdicts were caught (and their shards evicted), and what the
+    #: proofs cost (bytes on the wire, seconds at the merge).
+    verify_enabled: bool = False
+    proofs_checked: int = 0
+    forgeries_detected: int = 0
+    evictions: list[int] = field(default_factory=list)
+    proof_bytes: int = 0
+    verify_seconds: float = 0.0
 
     @property
     def answers(self) -> list[dict | None]:
@@ -280,6 +311,12 @@ class GatewayReport:
     @property
     def busy_seconds(self) -> float:
         return sum(self.per_shard_busy.values())
+
+    @property
+    def forged(self) -> int:
+        """Queries whose answer was withheld as unrecoverably forged."""
+        return sum(1 for outcome in self.outcomes
+                   if outcome.status == QueryStatus.FORGED)
 
     @property
     def answers_digest(self) -> str:
@@ -312,6 +349,15 @@ class GatewayReport:
                        in sorted(self.metrics.cache_totals().items())},
             "journal": self.metrics.journal.as_dict(),
             "crypto_ops": self.metrics.ops.as_dict(),
+            "verify": {
+                "enabled": self.verify_enabled,
+                "proofs_checked": self.proofs_checked,
+                "forgeries_detected": self.forgeries_detected,
+                "evictions": list(self.evictions),
+                "forged_answers": self.forged,
+                "proof_bytes": self.proof_bytes,
+                "verify_seconds": self.verify_seconds,
+            },
         }
 
 
@@ -332,6 +378,7 @@ class Gateway:
                  salt: str = DEFAULT_SALT, pool: int = DEFAULT_POOL,
                  window: int = DEFAULT_WINDOW,
                  chaos: GatewayChaos | None = None,
+                 verifier=None,
                  tracer=None) -> None:
         handles = sorted(handles, key=lambda h: h.shard_id)
         ids = [h.shard_id for h in handles]
@@ -347,6 +394,11 @@ class Gateway:
         self.pool = pool
         self.window = window
         self.chaos = chaos
+        #: An :class:`repro.framework.verify.AnswerVerifier` makes this
+        #: an *untrusted-shard* gateway: every OK verdict must carry a
+        #: certificate that checks out before its slice touches the
+        #: merge.  ``None`` keeps the PR 7 trusted-shard behavior.
+        self.verifier = verifier
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- public entry points -------------------------------------------
@@ -360,6 +412,11 @@ class Gateway:
         self._initial_shards = len(self._members)
         self._dead: set[int] = set()
         self._deaths: list[int] = []
+        self._evicted: list[int] = []
+        self._forgeries = 0
+        self._proofs_checked = 0
+        self._proof_bytes = 0
+        self._verify_seconds = 0.0
         self._wave = 0
         self._re_dispatches = 0
         self._states = [_QueryState() for _ in self._queries]
@@ -484,8 +541,99 @@ class Gateway:
                 raise GatewayError(
                     f"shard {sid} could not serve query {task['qid']}: "
                     f"{verdict.get('detail', '')}")
+            if not self._verify(sid, task, verdict):
+                continue
             self._absorb(sid, task, verdict)
             self._maybe_fire_chaos(sid)
+
+    # -- certificate verification (untrusted shards) --------------------
+    def _verify(self, sid: int, task: dict, verdict: dict) -> bool:
+        """Judge one verdict user-side before the merge sees it.
+
+        Returns ``True`` when the slice may be absorbed.  Only OK
+        verdicts carry answer slices, so only they are judged; a shard
+        claiming overload/deadline contributes no answer bytes and can
+        at worst fail the query loudly (availability, not integrity).
+        """
+        if self.verifier is None:
+            return True
+        status = verdict.get("status", QueryStatus.OK)
+        if status != QueryStatus.OK:
+            return True
+        from repro.framework.verify import VerificationError
+
+        qid = task["qid"]
+        t0 = time.perf_counter()
+        try:
+            self._proof_bytes += self.verifier.verify_verdict(
+                qid=qid, shard_id=sid, members=task["members"],
+                prev_members=task["prev_members"],
+                query=self._queries[qid], verdict=verdict)
+        except VerificationError as err:
+            self._verify_seconds += time.perf_counter() - t0
+            self._on_forgery(sid, task, err)
+            return False
+        self._verify_seconds += time.perf_counter() - t0
+        self._proofs_checked += 1
+        self.tracer.event("gateway.verify", "user", qid=qid, shard=sid)
+        return True
+
+    def _on_forgery(self, sid: int, task: dict, err) -> None:
+        """A shard's certificate failed: the shard is malicious (or
+        serving corrupt state).  Evict it and re-scatter the task to the
+        honest survivors; with nobody left to cover the slice, the query
+        is marked FORGED and its answer withheld -- a forged answer
+        never reaches the user, whatever happens."""
+        from repro.framework.faults import FaultAction
+
+        qid = task["qid"]
+        key = f"shard{sid}:q{qid}"
+        self._forgeries += 1
+        self._metrics.faults.record(err.kind, key, FaultAction.DETECTED,
+                                    detail=str(err))
+        self.tracer.event("gateway.forgery", "user", qid=qid, shard=sid,
+                          kind=err.kind)
+        logger.warning("gateway: shard %d failed verification on query "
+                       "%d (%s): %s", sid, qid, err.kind, err)
+        if sid not in self._dead and len(self._members) > 1:
+            self._evict(sid)
+        if self._members and sid not in self._members:
+            self._reassign(task)
+            self._metrics.faults.record(
+                err.kind, key, FaultAction.RECOVERED,
+                detail=f"re-scattered to {len(self._members)} honest "
+                       f"member(s)")
+            return
+        state = self._states[qid]
+        state.statuses.append(QueryStatus.FORGED)
+        state.details.append(f"shard{sid}: {err}")
+        self._metrics.faults.record(
+            err.kind, key, FaultAction.DEGRADED,
+            detail="no honest members left to re-cover the slice; "
+                   "answer withheld")
+        self._task_done(qid)
+
+    def _evict(self, sid: int) -> None:
+        """Remove a malicious member: like a death, but the process
+        stays up (we just stop talking to it) and running out of honest
+        members degrades per-query instead of failing the batch."""
+        self._dead.add(sid)
+        self._evicted.append(sid)
+        self._members = tuple(m for m in self._members if m != sid)
+        logger.warning("gateway: evicting shard %d after forged verdict; "
+                       "%d members remain", sid, len(self._members))
+        self.tracer.event("gateway.eviction", "user", shard=sid,
+                          shards=len(self._members))
+        queue = self._queues[sid]
+        stranded = []
+        while not queue.empty():
+            task = queue.get_nowait()
+            if task is not None:
+                stranded.append(task)
+        for task in stranded:
+            self._reassign(task)
+        for _ in range(self.window):
+            queue.put_nowait(None)
 
     # -- failure handling ----------------------------------------------
     def _death_callback(self, sid: int) -> None:
@@ -616,7 +764,9 @@ class Gateway:
     async def _drain(self, clients: dict[int, ShardClient]) -> dict:
         summaries: dict[int, dict] = {}
         for sid, client in clients.items():
-            if client.dead:
+            # Evicted shards are alive but untrusted: no drain handshake,
+            # and certainly no merging of their self-reported summaries.
+            if client.dead or sid in self._dead:
                 continue
             try:
                 reply = await client.request({"t": "drain"})
@@ -650,6 +800,12 @@ class Gateway:
             re_dispatches=self._re_dispatches,
             final_members=self._members,
             drain_summaries=drain_summaries,
+            verify_enabled=self.verifier is not None,
+            proofs_checked=self._proofs_checked,
+            forgeries_detected=self._forgeries,
+            evictions=list(self._evicted),
+            proof_bytes=self._proof_bytes,
+            verify_seconds=self._verify_seconds,
         )
 
 

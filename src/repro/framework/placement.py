@@ -135,6 +135,14 @@ class PlacementManifest:
     balls: int = 0
     shard_dirs: dict[int, str] = field(default_factory=dict)
     shard_balls: dict[int, int] = field(default_factory=dict)
+    #: Merkle root of the source pack's auth block ("" for pre-PR8 cuts):
+    #: what the gateway's merge-time verifier checks certificates against.
+    auth_root: str = ""
+    #: The committed candidate catalog ({radius: {label: [ball ids]}})
+    #: and its owner-keyed digest; the verifier refuses the catalog when
+    #: the digest does not check out under the user's derived key.
+    catalog: dict = field(default_factory=dict)
+    catalog_digest: str = ""
 
     def ring(self) -> HashRing:
         return ring_for(self.members, vnodes=self.vnodes, salt=self.salt)
@@ -156,6 +164,11 @@ class PlacementManifest:
                          "balls": self.shard_balls.get(m, 0)}
                 for m in self.members
             },
+            "auth": {
+                "root": self.auth_root,
+                "catalog": self.catalog,
+                "catalog_digest": self.catalog_digest,
+            } if self.auth_root else None,
         }
 
     @classmethod
@@ -165,6 +178,7 @@ class PlacementManifest:
                 f"not a placement manifest (kind={payload.get('kind')!r})")
         shards = payload.get("shards", {})
         members = tuple(int(m) for m in payload["members"])
+        auth = payload.get("auth") or {}
         return cls(
             members=members,
             vnodes=int(payload["vnodes"]),
@@ -175,6 +189,9 @@ class PlacementManifest:
             shard_dirs={int(m): info["dir"] for m, info in shards.items()},
             shard_balls={int(m): int(info["balls"])
                          for m, info in shards.items()},
+            auth_root=auth.get("root", ""),
+            catalog=auth.get("catalog", {}),
+            catalog_digest=auth.get("catalog_digest", ""),
         )
 
     def write(self, root: str | Path) -> Path:

@@ -179,6 +179,13 @@ class PriloConfig:
     #: for A/B benchmarking (``KernelConfig.naive()``) and window tuning,
     #: and never changes answers.
     kernels: KernelConfig = field(default_factory=KernelConfig)
+    #: Untrusted-shard serving: shards attach per-query result
+    #: certificates (Merkle completeness proof + keyed soundness
+    #: digests, :mod:`repro.framework.verify`) to every verdict, and the
+    #: gateway verifies them before merging.  A scheduling/trust knob
+    #: like ``executor`` -- answers are identical either way -- so it is
+    #: deliberately *not* part of the journal config fingerprint.
+    verify_serving: bool = True
 
     def __post_init__(self) -> None:
         # Eager validation with actionable messages: a bad backend name or
@@ -239,6 +246,11 @@ class PriloConfig:
             raise ValueError(
                 f"ball_budget must be an int >= 1 or None (unbounded); "
                 f"got {self.ball_budget!r}")
+        if not isinstance(self.verify_serving, bool):
+            raise ValueError(
+                f"verify_serving must be a bool (attach result "
+                f"certificates to shard verdicts); "
+                f"got {self.verify_serving!r}")
 
     def paper_crypto(self) -> "PriloConfig":
         """The exact Sec. 6.1 CGBE parameters (slower in pure Python)."""

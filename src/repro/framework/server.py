@@ -242,6 +242,10 @@ class QueryStatus:
     DEADLINE_EXCEEDED = "deadline_exceeded"
     #: Never started: a graceful drain (SIGTERM/SIGINT) was requested.
     DRAINED = "drained"
+    #: Gateway-side verdict: every covering slice either failed its
+    #: result certificate or had no honest shard left to serve it, so
+    #: the (possibly forged) answer was withheld from the user.
+    FORGED = "forged(result)"
 
 
 @dataclass

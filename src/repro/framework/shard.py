@@ -28,6 +28,7 @@ because the *gateway* owns batch lifecycle.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import multiprocessing
 import time
@@ -35,6 +36,7 @@ import traceback
 from dataclasses import dataclass
 
 from repro.framework import wire
+from repro.framework.faults import ChaosPolicy, FaultKind, MALICIOUS_KINDS
 from repro.framework.placement import (
     DEFAULT_SALT,
     DEFAULT_VNODES,
@@ -43,6 +45,7 @@ from repro.framework.placement import (
 from repro.framework.prilo import Prilo, PriloConfig
 from repro.framework.prilo_star import PriloStar
 from repro.framework.server import QueryBatchEngine, QueryStream
+from repro.framework.verify import Certifier
 from repro.graph.labeled_graph import LabeledGraph
 from repro.storage import ArtifactStore, RunJournal, journal_key
 
@@ -81,6 +84,13 @@ class ShardSpec:
     salt: str = DEFAULT_SALT
     host: str = "127.0.0.1"
     port: int = 0
+    #: Malicious-SP injection: a seeded :class:`ChaosPolicy` over the
+    #: :data:`~repro.framework.faults.MALICIOUS_KINDS`.  The mutation
+    #: layer runs *after* the honest engine (and certifier) produced the
+    #: verdict, modeling an adversary who controls the shard's bytes but
+    #: holds no owner-derived key -- it can rebuild public Merkle proofs,
+    #: never the keyed binding/answer digests.
+    rogue: ChaosPolicy | None = None
 
 
 class ShardServer:
@@ -93,10 +103,14 @@ class ShardServer:
         self.spec = spec
         self.engine = None
         self.stream: QueryStream | None = None
+        self.certifier: Certifier | None = None
         self.port: int | None = None
         self._server: asyncio.base_events.Server | None = None
         self._lock = asyncio.Lock()
         self._drained = False
+        #: The last honest OK verdict, kept as replay ammunition for the
+        #: rogue layer's ``REPLAY_STALE`` mutation.
+        self._last_ok: dict | None = None
 
     # -- lifecycle ------------------------------------------------------
     def build_engine(self) -> None:
@@ -105,6 +119,16 @@ class ShardServer:
                  if spec.store_root else None)
         engine_cls = ENGINE_CLASSES[spec.engine]
         self.engine = engine_cls.setup(spec.graph, spec.config, store=store)
+        if (store is not None and store.auth is not None
+                and spec.config.verify_serving):
+            # Certify with the engine's *effective* config: engine
+            # classes override pruning flags in setup(), and the
+            # fingerprint must match what the gateway verifier derives
+            # for the same engine choice.
+            self.certifier = Certifier(
+                store.auth, seed=spec.config.seed,
+                config=self.engine.config,
+                graph_digest=store.manifest_graph_digest)
         journal = None
         if spec.journal_path:
             journal = RunJournal(spec.journal_path,
@@ -198,14 +222,91 @@ class ShardServer:
             outcome = self.stream.serve_one(
                 query, index=int(request.get("jindex", qid)))
             busy = time.process_time() - cpu_started
-            return wire.verdict_payload(qid, self.spec.shard_id, outcome,
-                                        busy=busy)
+            cert = None
+            if self.certifier is not None and outcome.result is not None:
+                cert = self.certifier.certify(
+                    qid=qid, shard_id=self.spec.shard_id, members=members,
+                    prev_members=prev, result=outcome.result)
+            payload = wire.verdict_payload(qid, self.spec.shard_id,
+                                           outcome, busy=busy, cert=cert)
+            if self.spec.rogue is not None:
+                payload = self._rogue_mutate(payload)
+            return payload
         except Exception:  # noqa: BLE001 -- report, don't kill the shard
             detail = traceback.format_exc(limit=8)
             logger.exception("shard %d: query %d failed",
                              self.spec.shard_id, qid)
             return {"t": "error", "qid": qid,
                     "shard": self.spec.shard_id, "detail": detail}
+
+    # -- malicious-SP injection -----------------------------------------
+    def _rogue_mutate(self, payload: dict) -> dict:
+        """Apply the first seeded malicious mutation that fires.
+
+        The honest verdict (certificate included) is already built; the
+        rogue layer tampers with it the way a key-less adversary could:
+        it may fabricate matches, drop candidates (and rebuild the
+        *public* Merkle proof over the survivors), or replay a stale
+        verdict verbatim -- but it cannot recompute the keyed binding or
+        answer digests, which is exactly what the merge-time verifier
+        checks.
+        """
+        if payload.get("t") != "verdict" or "candidates" not in payload:
+            return payload
+        stale, self._last_ok = self._last_ok, payload
+        rogue = self.spec.rogue
+        qid = payload["qid"]
+        key = f"shard{self.spec.shard_id}:q{qid}"
+        for kind in rogue.kinds:
+            if kind not in MALICIOUS_KINDS or not rogue.decides(kind, key):
+                continue
+            if kind == FaultKind.REPLAY_STALE:
+                if stale is None or stale.get("qid") == qid:
+                    continue  # nothing stale yet; try the other kinds
+                replayed = json.loads(json.dumps(stale))
+                replayed["qid"] = qid
+                logger.warning("shard %d: ROGUE replaying q%s's verdict "
+                               "as q%d", self.spec.shard_id,
+                               stale.get("qid"), qid)
+                return replayed
+            mutated = json.loads(json.dumps(payload))
+            if kind == FaultKind.DROP_BALL and mutated["candidates"]:
+                dropped = mutated["candidates"].pop()
+                mutated["pm_positive"] = [
+                    b for b in mutated.get("pm_positive", [])
+                    if b != dropped]
+                mutated["verified"] = [
+                    b for b in mutated.get("verified", []) if b != dropped]
+                mutated.get("matches", {}).pop(str(dropped), None)
+                cert = mutated.get("cert")
+                if cert is not None and self.certifier is not None:
+                    # Proofs are public: the lazy shard *can* re-prove
+                    # the shrunken set.  Completeness vs. the committed
+                    # catalog is what catches it.
+                    cert["proof"] = (
+                        self.certifier.tree.prove(mutated["candidates"])
+                        if mutated["candidates"] else None)
+                logger.warning("shard %d: ROGUE dropping ball %d from "
+                               "q%d", self.spec.shard_id, dropped, qid)
+                return mutated
+            # FORGE_RESULT -- also the fallback when there is nothing
+            # to drop or replay.
+            cands = mutated.get("candidates", [])
+            ball = cands[-1] if cands else qid + 1
+            if ball not in cands:
+                cands.append(ball)
+                mutated["candidates"] = cands
+            for field_name in ("pm_positive", "verified"):
+                ids = mutated.get(field_name, [])
+                if ball not in ids:
+                    ids.append(ball)
+                    mutated[field_name] = ids
+            mutated.setdefault("matches", {}).setdefault(
+                str(ball), []).append('"forged-by-rogue-shard"')
+            logger.warning("shard %d: ROGUE forging a match on ball %d "
+                           "of q%d", self.spec.shard_id, ball, qid)
+            return mutated
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -325,15 +426,27 @@ def make_shard_specs(graph: LabeledGraph, config: PriloConfig, shards: int,
                      journal_dir: str | None = None,
                      queue_bound: int | None = None,
                      vnodes: int = DEFAULT_VNODES,
-                     salt: str = DEFAULT_SALT) -> list[ShardSpec]:
+                     salt: str = DEFAULT_SALT,
+                     rogue_shards: tuple[int, ...] = (),
+                     rogue_policy: ChaosPolicy | None = None,
+                     ) -> list[ShardSpec]:
     """Specs for an N-shard loopback cluster over one graph/config.
 
     ``store_root`` names a ``store shard-split`` output directory; each
     shard gets its ``shard-<i>`` pack.  ``journal_dir`` gives each shard
-    its own write-ahead journal file.
+    its own write-ahead journal file.  ``rogue_shards`` names the
+    members that get the malicious-SP mutation layer (``rogue_policy``),
+    everyone else serves honestly.
     """
     from pathlib import Path
 
+    rogue_set = {int(s) for s in rogue_shards}
+    unknown = rogue_set - set(range(shards))
+    if unknown:
+        raise ShardError(f"rogue shard ids {sorted(unknown)} outside "
+                         f"0..{shards - 1}")
+    if rogue_set and rogue_policy is None:
+        raise ShardError("rogue_shards named without a rogue_policy")
     specs = []
     for shard_id in range(shards):
         store = None
@@ -345,7 +458,8 @@ def make_shard_specs(graph: LabeledGraph, config: PriloConfig, shards: int,
         specs.append(ShardSpec(
             shard_id=shard_id, graph=graph, config=config, engine=engine,
             store_root=store, journal_path=journal,
-            queue_bound=queue_bound, vnodes=vnodes, salt=salt))
+            queue_bound=queue_bound, vnodes=vnodes, salt=salt,
+            rogue=rogue_policy if shard_id in rogue_set else None))
     return specs
 
 

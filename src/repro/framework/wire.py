@@ -172,7 +172,8 @@ def answer_bytes(answer: dict) -> bytes:
 # Verdicts
 # ----------------------------------------------------------------------
 def verdict_payload(qid: int, shard_id: int, outcome, *,
-                    busy: float | None = None) -> dict:
+                    busy: float | None = None,
+                    cert: dict | None = None) -> dict:
     """One shard's reply for one query: its answer slice plus counters.
 
     ``outcome`` is the :class:`~repro.framework.server.QueryOutcome` of
@@ -181,6 +182,9 @@ def verdict_payload(qid: int, shard_id: int, outcome, *,
     per-query CPU time so the gateway's critical-path metric stays
     meaningful on hosts with fewer cores than shards (wall latency there
     includes scheduler wait, which grows with fleet size).
+    ``cert`` attaches the shard's result certificate
+    (:class:`repro.framework.verify.Certifier`) for untrusted-shard
+    gateways.
     """
     payload = {
         "t": "verdict",
@@ -201,6 +205,8 @@ def verdict_payload(qid: int, shard_id: int, outcome, *,
                              for name, stats in metrics.caches.items()}
         payload["ops"] = metrics.ops.as_dict()
         payload["journal"] = metrics.journal.as_dict()
+    if cert is not None:
+        payload["cert"] = cert
     if result is not None:
         payload.update({
             "candidates": sorted(int(b) for b in result.candidate_ids),

@@ -38,10 +38,12 @@ _LAZY = {
     "audit_spans": "repro.observability.audit",
     "LeakageAuditReport": "repro.observability.audit",
     "LeakageViolation": "repro.observability.audit",
+    "gateway_prometheus_text": "repro.observability.export",
     "prometheus_text": "repro.observability.export",
     "read_trace": "repro.observability.export",
     "render_summary": "repro.observability.export",
     "summarize_spans": "repro.observability.export",
+    "write_gateway_metrics": "repro.observability.export",
     "write_metrics": "repro.observability.export",
     "write_trace": "repro.observability.export",
 }

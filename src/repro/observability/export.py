@@ -177,6 +177,77 @@ def write_metrics(path: str | Path, report,
     return path
 
 
+def gateway_prometheus_text(report,
+                            spans: list[Span] | None = None) -> str:
+    """Prometheus text exposition of a
+    :class:`~repro.framework.gateway.GatewayReport`.
+
+    The headline family is ``repro_verify_total``: certificates checked,
+    forgeries detected, shards evicted, and answers withheld, so an
+    alert on ``result="forgery"`` fires the moment any shard lies --
+    long before an operator reads the exit code.
+    """
+    lines: list[str] = []
+
+    def metric(name: str, kind: str, help_text: str,
+               samples: list[tuple[dict, float]]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            lines.append(f"{name}{_labels(labels)} {_fmt_value(value)}")
+
+    summary = report.summary()
+    metric("repro_gateway_queries_total", "counter",
+           "Queries served through the scatter-gather gateway.",
+           [({}, summary["queries"])])
+    metric("repro_gateway_shards", "gauge",
+           "Shard fleet size at the start of the run.",
+           [({}, summary["shards"])])
+    metric("repro_gateway_makespan_seconds", "gauge",
+           "Wall-clock of the whole gateway run.",
+           [({}, summary["makespan_seconds"])])
+    statuses: dict[str, int] = {}
+    for status in summary["statuses"]:
+        statuses[str(status)] = statuses.get(str(status), 0) + 1
+    metric("repro_gateway_outcomes_total", "counter",
+           "Merged per-query outcomes by status.",
+           [({"status": status}, count)
+            for status, count in sorted(statuses.items())])
+    verify = summary.get("verify") or {}
+    metric("repro_verify_total", "counter",
+           "Answer-verification events: certificates checked, forgeries "
+           "detected, shards evicted, answers withheld (forged with no "
+           "honest member left).",
+           [({"result": "checked"}, verify.get("proofs_checked", 0)),
+            ({"result": "forgery"}, verify.get("forgeries_detected", 0)),
+            ({"result": "evicted"}, len(verify.get("evictions", []))),
+            ({"result": "withheld"}, verify.get("forged_answers", 0))])
+    metric("repro_verify_proof_bytes_total", "counter",
+           "Merkle multiproof bytes verified at the merge boundary.",
+           [({}, verify.get("proof_bytes", 0))])
+    metric("repro_verify_seconds_total", "counter",
+           "Wall seconds spent verifying certificates at the gateway.",
+           [({}, verify.get("verify_seconds", 0.0))])
+    if spans:
+        per_group: dict[tuple[str, str], int] = {}
+        for span in spans:
+            group = (role_class(span.role), span.name)
+            per_group[group] = per_group.get(group, 0) + 1
+        metric("repro_span_seconds_count", "counter",
+               "Traced spans by role class and phase.",
+               [({"role": role, "phase": name}, count)
+                for (role, name), count in sorted(per_group.items())])
+    return "\n".join(lines) + "\n"
+
+
+def write_gateway_metrics(path: str | Path, report,
+                          spans: list[Span] | None = None) -> Path:
+    path = Path(path)
+    path.write_text(gateway_prometheus_text(report, spans),
+                    encoding="utf-8")
+    return path
+
+
 # ---------------------------------------------------------------------------
 # per-role / per-phase latency histograms (``repro trace summarize``)
 # ---------------------------------------------------------------------------
@@ -271,10 +342,12 @@ def render_summary(groups: dict[tuple[str, str], PhaseStats]) -> str:
 __all__ = [
     "PhaseStats",
     "TRACE_FORMAT",
+    "gateway_prometheus_text",
     "prometheus_text",
     "read_trace",
     "render_summary",
     "summarize_spans",
+    "write_gateway_metrics",
     "write_metrics",
     "write_trace",
 ]

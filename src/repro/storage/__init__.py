@@ -24,6 +24,18 @@ shares.
 """
 
 from repro.storage.archive import ArchiveError, EncryptedBallArchive
+from repro.storage.authenticate import (
+    AUTH_SCHEME,
+    AuthError,
+    MerkleTree,
+    auth_key,
+    build_auth_block,
+    build_catalog,
+    catalog_digest,
+    leaf_digest,
+    verify_absent,
+    verify_multiproof,
+)
 from repro.storage.journal import (
     JournalError,
     JournalState,
@@ -49,6 +61,16 @@ from repro.storage.store import (
 __all__ = [
     "ArchiveError",
     "ArtifactStore",
+    "AUTH_SCHEME",
+    "AuthError",
+    "MerkleTree",
+    "auth_key",
+    "build_auth_block",
+    "build_catalog",
+    "catalog_digest",
+    "leaf_digest",
+    "verify_absent",
+    "verify_multiproof",
     "EncryptedBallArchive",
     "JournalError",
     "JournalState",

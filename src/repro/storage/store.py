@@ -53,6 +53,12 @@ from repro.core.twiglets import (
 )
 from repro.crypto.keys import DataOwnerKey
 from repro.crypto.stream_cipher import AuthenticationError
+from repro.storage.authenticate import (
+    auth_key,
+    build_auth_block,
+    build_catalog,
+    leaf_digest,
+)
 from repro.filters.bloom import BloomFilter
 from repro.framework.faults import FaultAction, FaultInjector, FaultKind
 from repro.framework.messages import EncryptedBallBlob
@@ -394,6 +400,16 @@ class ArtifactStore:
     def faults(self) -> FaultInjector:
         return self._faults
 
+    @property
+    def auth(self) -> dict | None:
+        """The manifest's Merkle auth block (root, committed leaf table,
+        candidate catalog), or ``None`` for packs built before PR 8."""
+        return self._manifest.get("auth")
+
+    @property
+    def manifest_graph_digest(self) -> str:
+        return self._manifest["graph_digest"]
+
     def is_quarantined(self, name: str) -> bool:
         return name in self._quarantined
 
@@ -451,7 +467,10 @@ class ArtifactStore:
         root.mkdir(parents=True, exist_ok=True)
         index = BallIndex(graph, radii)
         cipher = key.cipher()
+        vkey = auth_key(key)
         entries: list[dict] = []
+        leaves: dict[int, str] = {}
+        catalog_rows: list[tuple[int, int, object]] = []
         twiglets: dict[str, list] = {}
         trees: dict[str, dict] = {}
         codec = LabelCodec.from_alphabet(graph.alphabet)
@@ -475,6 +494,10 @@ class ArtifactStore:
                         "enc_offset": enc_offset,
                         "enc_length": len(blob),
                     })
+                    leaves[ball.ball_id] = leaf_digest(vkey, ball.ball_id,
+                                                       blob)
+                    catalog_rows.append((ball.ball_id, radius,
+                                         graph.label(center)))
                     offset += len(payload)
                     enc_offset += len(blob)
                     if twiglet_h is not None:
@@ -501,6 +524,8 @@ class ArtifactStore:
             "twiglet_h": twiglet_h,
             "bf": cls._bf_params(bf_config),
             "balls": entries,
+            "auth": build_auth_block(key, leaves,
+                                     build_catalog(catalog_rows)),
             "checksums": {
                 name: _file_digest(root / name)
                 for name in (_BALLS_PACK, _ENCRYPTED_PACK, _TWIGLETS, _TREES)
@@ -678,11 +703,21 @@ class ArtifactStore:
                      != "missing")
         if sweepable:
             cipher = key.cipher()
+            auth = self._manifest.get("auth")
+            vkey = auth_key(key) if auth is not None else None
             bad = 0
             first = ""
             for sl in self._slices.values():
                 blob = self._encrypted_pack.slice(sl.enc_offset,
                                                   sl.enc_length)
+                if auth is not None:
+                    committed = auth["leaves"].get(str(sl.ball_id))
+                    if committed != leaf_digest(vkey, sl.ball_id, blob):
+                        bad += 1
+                        first = first or (f"ball {sl.ball_id}: blob does "
+                                          f"not match its committed "
+                                          f"Merkle leaf")
+                        continue
                 try:
                     payload = cipher.decrypt(blob)
                 except AuthenticationError as exc:
@@ -884,6 +919,11 @@ def shard_split(root: str | Path, out_root: str | Path, shards: int, *,
             "twiglet_h": manifest.get("twiglet_h"),
             "bf": manifest.get("bf"),
             "balls": shard_entries,
+            # The *global* auth block, verbatim: a shard proves its
+            # slice against the owner's pack-wide root, and orphaned
+            # balls (served after a re-placement) still have committed
+            # leaves even though this shard's pack never held them.
+            "auth": manifest.get("auth"),
             "checksums": {
                 name: _file_digest(shard_dir / name)
                 for name in (_BALLS_PACK, _ENCRYPTED_PACK, _TWIGLETS,
@@ -896,12 +936,16 @@ def shard_split(root: str | Path, out_root: str | Path, shards: int, *,
         shard_dirs[shard_id] = shard_dir.name
         shard_balls[shard_id] = len(entries)
 
+    auth = manifest.get("auth") or {}
     placement = PlacementManifest(
         members=ring.members, vnodes=vnodes, salt=salt,
         graph_digest=manifest["graph_digest"],
         radii=tuple(manifest["radii"]),
         balls=len(manifest["balls"]),
-        shard_dirs=shard_dirs, shard_balls=shard_balls)
+        shard_dirs=shard_dirs, shard_balls=shard_balls,
+        auth_root=auth.get("root", ""),
+        catalog=auth.get("catalog", {}),
+        catalog_digest=auth.get("catalog_digest", ""))
     placement.write(out_root)
     src.close()
     return placement.to_jsonable()

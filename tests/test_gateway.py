@@ -110,6 +110,33 @@ class TestHashRing:
         # Exactly the dead member's balls move, nothing else.
         assert moved == {bid for bid, owner in before.items() if owner == 2}
 
+    @pytest.mark.parametrize("vnodes", [1, 16, 64])
+    def test_replacement_moves_only_orphans_across_vnode_counts(
+            self, vnodes):
+        """The minimal-movement property is a property of consistent
+        hashing itself, not of the default geometry: at 1, 16 and 64
+        vnodes per member, a shard death moves exactly the dead member's
+        balls, and the survivors' re-placement passes
+        (``orphan_predicate`` with ``prev_members``) cover exactly that
+        orphan set, disjointly."""
+        ids = range(500)
+        for dead in (0, 2, 3):
+            prev = (0, 1, 2, 3)
+            now = tuple(m for m in prev if m != dead)
+            before = _owners(HashRing(list(prev), vnodes=vnodes), ids)
+            after = _owners(HashRing(list(now), vnodes=vnodes), ids)
+            orphans = {b for b, owner in before.items() if owner == dead}
+            moved = {b for b in ids if before[b] != after[b]}
+            assert moved == orphans, \
+                f"vnodes={vnodes}, dead={dead}: non-orphans moved"
+            covered: set[int] = set()
+            for shard in now:
+                keep = orphan_predicate(shard, now, prev, vnodes=vnodes)
+                mine = {b for b in ids if keep(b)}
+                assert not covered & mine
+                covered |= mine
+            assert covered == orphans
+
     def test_salt_and_vnodes_change_placement(self):
         ids = range(200)
         base = _owners(HashRing([0, 1, 2]), ids)
@@ -199,6 +226,40 @@ class TestWire:
             assert [back.label(u) for u in back.vertex_order] == \
                 [query.label(u) for u in query.vertex_order]
 
+    def test_reader_rejects_an_oversized_announce_without_allocating(
+            self):
+        """A hostile length prefix beyond MAX_FRAME_BYTES must fail fast
+        -- before the reader tries to buffer what the prefix claims."""
+        async def main():
+            reader = asyncio.StreamReader()
+            huge = wire.MAX_FRAME_BYTES + 1
+            reader.feed_data(huge.to_bytes(4, "big"))
+            with pytest.raises(wire.WireError, match="announced"):
+                await wire.read_frame(reader)
+
+        asyncio.run(main())
+
+    def test_reader_distinguishes_clean_eof_from_torn_frames(self):
+        async def clean_eof():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        async def torn(prefix_only: bool):
+            reader = asyncio.StreamReader()
+            if prefix_only:
+                reader.feed_data(b"\x00\x01")  # half a length prefix
+            else:
+                frame = wire.encode_frame({"t": "ping"})
+                reader.feed_data(frame[:-3])  # body cut short
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        assert asyncio.run(clean_eof()) is None
+        for prefix_only in (True, False):
+            with pytest.raises(wire.WireError, match="mid-frame"):
+                asyncio.run(torn(prefix_only))
+
     def test_canonical_answer_is_form_insensitive(self, dataset):
         graph = dataset.graph
         sub = extract_ball(graph, next(iter(graph.vertices())), 1,
@@ -211,6 +272,57 @@ class TestWire:
             (1, 2), (1,), (1,), {"1": [graph_to_json(sub)]})
         assert wire.answer_bytes(engine_side) == wire.answer_bytes(wire_side)
         assert engine_side["num_matches"] == 1
+
+
+class TestDeadClientPool:
+    def test_mark_dead_fails_pending_and_tears_the_pool_down(self):
+        """A client that loses one connection must not leave its sibling
+        sockets as live pool entries: every pending request fails with
+        ShardDied, every reader task is cancelled, every writer is
+        closed, and the pool empties so no later request can round-robin
+        onto a dead socket."""
+        from repro.framework.gateway import ShardDied
+
+        closed: list[int] = []
+
+        class FakeWriter:
+            def __init__(self, i):
+                self.i = i
+
+            def close(self):
+                closed.append(self.i)
+
+        async def main():
+            client = ShardClient(3, "127.0.0.1", 1, pool=2)
+            deaths: list[int] = []
+            client.on_death = deaths.append
+            client._conns = [(None, FakeWriter(0)), (None, FakeWriter(1))]
+            client._readers = [
+                asyncio.ensure_future(asyncio.sleep(60))
+                for _ in range(2)]
+            future = asyncio.get_running_loop().create_future()
+            client._pending[0] = future
+            client._mark_dead()
+            assert client.dead
+            assert deaths == [3]
+            assert sorted(closed) == [0, 1]
+            assert client._conns == [], "dead pool entries left live"
+            assert not client._pending
+            with pytest.raises(ShardDied):
+                await future
+            # A request after death fails fast instead of touching the
+            # (now empty) pool.
+            with pytest.raises(ShardDied):
+                await client.request({"t": "ping"})
+            await asyncio.sleep(0)  # let cancellations land
+            assert all(t.cancelled() or t.done()
+                       for t in client._readers)
+            # Idempotent: a second connection-loss on the same client
+            # must not re-fire on_death or double-close.
+            client._mark_dead()
+            assert deaths == [3] and sorted(closed) == [0, 1]
+
+        asyncio.run(main())
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,497 @@
+"""Verifiable answers: Merkle-authenticated packs, per-query result
+certificates, and the malicious-SP chaos tier.
+
+The load-bearing assertions: (a) every mutation class a rogue shard can
+apply -- forged matches, dropped balls, replayed verdicts -- is caught
+by :class:`repro.framework.verify.AnswerVerifier` and attributed to the
+right fault kind; (b) a gateway with one rogue shard surfaces ZERO
+forged answers and recovers byte-identical answers from honest members,
+across all three semantics and both engines; (c) an all-rogue fleet
+withholds every answer (FORGED status, exit 6 through the CLI lattice)
+rather than surfacing anything unverified.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.crypto.keys import DataOwnerKey
+from repro.framework import wire
+from repro.framework.faults import (
+    INJECTABLE_KINDS,
+    MALICIOUS_KINDS,
+    VALID_KINDS,
+    ChaosPolicy,
+    FaultKind,
+)
+from repro.framework.gateway import Gateway
+from repro.framework.placement import PlacementManifest
+from repro.framework.prilo import Prilo, PriloConfig
+from repro.framework.prilo_star import PriloStar
+from repro.framework.server import QueryStatus
+from repro.framework.shard import LocalCluster, make_shard_specs
+from repro.framework.verify import (
+    CERT_SCHEME,
+    AnswerVerifier,
+    Certifier,
+    VerificationError,
+)
+from repro.graph.query import Semantics
+from repro.storage import ArtifactStore, shard_split
+from repro.storage.authenticate import (
+    AuthError,
+    MerkleTree,
+    auth_key,
+    catalog_digest,
+    leaf_digest,
+    verify_absent,
+    verify_multiproof,
+)
+from repro.workloads.datasets import tiny_dataset
+
+ENGINES = {"prilo": Prilo, "prilo-star": PriloStar}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=0, num_vertices=120, num_labels=8)
+
+
+@pytest.fixture(scope="module")
+def vconfig():
+    return PriloConfig(k_players=2, modulus_bits=1024, q_bits=24,
+                       r_bits=24, radii=(3,), seed=6)
+
+
+@pytest.fixture(scope="module")
+def stores(dataset, vconfig, tmp_path_factory):
+    """One authenticated store + 2-shard split per semantics, built
+    lazily and cached (ssim uses a different graph than hom/sub-iso)."""
+    cache: dict[Semantics, tuple] = {}
+
+    def build(semantics: Semantics):
+        if semantics not in cache:
+            graph = dataset.graph_for(semantics)
+            root = tmp_path_factory.mktemp(f"auth-{semantics.value}")
+            store = ArtifactStore.create(
+                root / "src", graph, vconfig.radii,
+                DataOwnerKey.generate(vconfig.seed))
+            shard_split(root / "src", root / "shards", 2)
+            cache[semantics] = (store, root / "shards")
+        return cache[semantics]
+
+    return build
+
+
+def _baseline(graph, config, queries, engine_cls):
+    engine = engine_cls.setup(graph, config)
+    try:
+        return [wire.canonical_answer_of_result(engine.run(q))
+                for q in queries]
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Merkle accumulator
+# ---------------------------------------------------------------------------
+class TestMerkle:
+    LEAVES = {i: leaf_digest(b"k" * 32, i, b"blob%d" % i)
+              for i in (1, 3, 5, 8, 13)}
+
+    def test_root_is_deterministic_and_leaf_sensitive(self):
+        a = MerkleTree(dict(self.LEAVES))
+        b = MerkleTree(dict(reversed(list(self.LEAVES.items()))))
+        assert a.root_hex == b.root_hex  # order-insensitive (sorted ids)
+        tampered = dict(self.LEAVES)
+        tampered[3] = leaf_digest(b"k" * 32, 3, b"other")
+        assert MerkleTree(tampered).root_hex != a.root_hex
+
+    def test_multiproof_round_trip_all_subsets(self):
+        tree = MerkleTree(self.LEAVES)
+        ids = sorted(self.LEAVES)
+        for take in range(1, len(ids) + 1):
+            subset = ids[:take]
+            proven = verify_multiproof(tree.root_hex, tree.prove(subset))
+            assert proven == {i: self.LEAVES[i] for i in subset}
+
+    def test_multiproof_rejects_wrong_root_and_padded_siblings(self):
+        tree = MerkleTree(self.LEAVES)
+        proof = tree.prove([1, 8])
+        with pytest.raises(AuthError):
+            verify_multiproof("00" * 32, proof)
+        padded = json.loads(json.dumps(proof))
+        padded["siblings"]["9:9"] = "ab" * 32  # unused junk sibling
+        with pytest.raises(AuthError):
+            verify_multiproof(tree.root_hex, padded)
+
+    def test_forged_leaf_fails_the_proof(self):
+        tree = MerkleTree(self.LEAVES)
+        proof = json.loads(json.dumps(tree.prove([5])))
+        proof["leaves"]["5"] = leaf_digest(b"k" * 32, 5, b"forged")
+        with pytest.raises(AuthError):
+            verify_multiproof(tree.root_hex, proof)
+
+    def test_absence_proofs(self):
+        tree = MerkleTree(self.LEAVES)
+        for absent in (0, 2, 4, 7, 21):
+            assert verify_absent(tree.root_hex,
+                                 tree.prove_absent(absent)) == absent
+        with pytest.raises(AuthError):
+            tree.prove_absent(5)  # present ball has no absence proof
+
+
+# ---------------------------------------------------------------------------
+# Store-side commitment (build time) and tamper sweep
+# ---------------------------------------------------------------------------
+class TestStoreAuth:
+    def test_create_commits_a_consistent_auth_block(self, stores,
+                                                    vconfig):
+        store, _ = stores(Semantics.HOM)
+        auth = store.auth
+        assert auth is not None
+        tree = MerkleTree.from_leaf_hexes(auth["leaves"])
+        assert tree.root_hex == auth["root"]
+        vkey = auth_key(DataOwnerKey.generate(vconfig.seed))
+        assert catalog_digest(vkey, auth["catalog"]) == \
+            auth["catalog_digest"]
+        # The catalog partitions the ball space per radius.
+        for radius in vconfig.radii:
+            listed = sorted(b for ids in auth["catalog"][str(radius)]
+                            .values() for b in ids)
+            assert len(listed) == len(set(listed))
+
+    def test_keyed_verify_catches_a_leaf_mismatch(self, stores, vconfig):
+        store, _ = stores(Semantics.HOM)
+        victim = next(iter(store.auth["leaves"]))
+        original = store.auth["leaves"][victim]
+        store.auth["leaves"][victim] = "0" * 64
+        try:
+            report = store.verify(DataOwnerKey.generate(vconfig.seed))
+            assert report.tampered, \
+                "a blob/leaf mismatch must count as tampering"
+        finally:
+            store.auth["leaves"][victim] = original
+
+    def test_split_propagates_the_global_auth_block(self, stores,
+                                                    vconfig):
+        store, shards_dir = stores(Semantics.HOM)
+        placement = PlacementManifest.read(shards_dir)
+        assert placement.auth_root == store.auth["root"]
+        assert placement.catalog_digest == store.auth["catalog_digest"]
+        for member in placement.members:
+            shard = ArtifactStore.open(shards_dir / f"shard-{member}")
+            # The full GLOBAL block: orphaned balls that migrate here
+            # after a death must still prove against committed leaves.
+            assert shard.auth == store.auth
+
+    def test_pre_pr8_placement_manifests_still_load(self, stores,
+                                                    tmp_path):
+        _, shards_dir = stores(Semantics.HOM)
+        payload = json.loads((shards_dir / "placement.json").read_text())
+        payload.pop("auth")
+        (tmp_path / "placement.json").write_text(json.dumps(payload))
+        legacy = PlacementManifest.read(tmp_path)
+        assert legacy.auth_root == ""
+        assert legacy.catalog == {}
+
+
+# ---------------------------------------------------------------------------
+# Certifier / AnswerVerifier units: every mutation class is caught
+# ---------------------------------------------------------------------------
+class TestCertificates:
+    @pytest.fixture(scope="class")
+    def served(self, dataset, vconfig, stores):
+        """One honestly-certified verdict plus its verification context."""
+        store, _ = stores(Semantics.HOM)
+        query = dataset.random_query(size=5, seed=4)
+        engine = Prilo.setup(dataset.graph, vconfig, store=store)
+        try:
+            result = engine.run(query)
+            certifier = Certifier(store.auth, seed=vconfig.seed,
+                                  config=engine.config,
+                                  graph_digest=store.manifest_graph_digest)
+            cert = certifier.certify(qid=7, shard_id=0, members=[0],
+                                     prev_members=None, result=result)
+            verifier = AnswerVerifier.from_store(store, seed=vconfig.seed,
+                                                 config=engine.config)
+        finally:
+            engine.close()
+        answer = wire.canonical_answer_of_result(result)
+        verdict = {"t": "verdict", "qid": 7, "shard": 0,
+                   "status": QueryStatus.OK, "cert": cert,
+                   "candidates": answer["candidates"],
+                   "pm_positive": answer["pm_positive"],
+                   "verified": answer["verified"],
+                   "matches": answer["matches"]}
+        return SimpleNamespace(query=query, verdict=verdict,
+                               verifier=verifier, certifier=certifier,
+                               result=result)
+
+    def _fresh(self, served):
+        return json.loads(json.dumps(served.verdict))
+
+    def _check(self, served, verdict, qid=7):
+        return served.verifier.verify_verdict(
+            qid=qid, shard_id=0, members=[0], prev_members=None,
+            query=served.query, verdict=verdict)
+
+    def test_honest_verdict_verifies(self, served):
+        assert served.result.candidate_ids, "fixture query must have balls"
+        proof_bytes = self._check(served, self._fresh(served))
+        assert proof_bytes > 0
+        assert served.verdict["cert"]["v"] == CERT_SCHEME
+
+    def test_forged_match_is_caught(self, served):
+        verdict = self._fresh(served)
+        ball = verdict["verified"][0] if verdict["verified"] else \
+            verdict["candidates"][0]
+        verdict.setdefault("matches", {})
+        if str(ball) not in verdict["verified"]:
+            verdict["verified"] = sorted(set(verdict["verified"])
+                                         | {ball})
+            verdict["pm_positive"] = sorted(set(verdict["pm_positive"])
+                                            | {ball})
+        verdict["matches"][str(ball)] = ['"forged"']
+        with pytest.raises(VerificationError) as err:
+            self._check(served, verdict)
+        assert err.value.kind == FaultKind.FORGE_RESULT
+
+    def test_dropped_ball_is_caught_even_with_a_rebuilt_proof(self,
+                                                              served):
+        verdict = self._fresh(served)
+        dropped = verdict["candidates"].pop()
+        verdict["pm_positive"] = [b for b in verdict["pm_positive"]
+                                  if b != dropped]
+        verdict["verified"] = [b for b in verdict["verified"]
+                               if b != dropped]
+        verdict["matches"].pop(str(dropped), None)
+        # The adversary CAN rebuild the (public) multiproof for the
+        # narrowed set -- completeness against the committed catalog is
+        # what catches the laziness.
+        verdict["cert"]["proof"] = (
+            served.certifier.tree.prove(verdict["candidates"])
+            if verdict["candidates"] else None)
+        with pytest.raises(VerificationError) as err:
+            self._check(served, verdict)
+        assert err.value.kind == FaultKind.DROP_BALL
+        assert str(dropped) in str(err.value)
+
+    def test_replayed_verdict_is_attributed_as_stale(self, served):
+        with pytest.raises(VerificationError) as err:
+            self._check(served, self._fresh(served), qid=8)
+        assert err.value.kind == FaultKind.REPLAY_STALE
+
+    def test_foreign_membership_is_attributed_as_stale(self, served):
+        verdict = self._fresh(served)
+        with pytest.raises(VerificationError) as err:
+            served.verifier.verify_verdict(
+                qid=7, shard_id=0, members=[0, 1], prev_members=None,
+                query=served.query, verdict=verdict)
+        assert err.value.kind == FaultKind.REPLAY_STALE
+
+    def test_config_fingerprint_mismatch_is_stale(self, served, stores,
+                                                  vconfig):
+        store, _ = stores(Semantics.HOM)
+        other = AnswerVerifier.from_store(
+            store, seed=vconfig.seed,
+            config=replace(vconfig, radii=(2,)))
+        with pytest.raises(VerificationError) as err:
+            other.verify_verdict(qid=7, shard_id=0, members=[0],
+                                 prev_members=None, query=served.query,
+                                 verdict=self._fresh(served))
+        assert err.value.kind == FaultKind.REPLAY_STALE
+
+    def test_missing_certificate_is_forgery(self, served):
+        verdict = self._fresh(served)
+        del verdict["cert"]
+        with pytest.raises(VerificationError) as err:
+            self._check(served, verdict)
+        assert err.value.kind == FaultKind.FORGE_RESULT
+
+    def test_containment_violation_is_forgery(self, served):
+        verdict = self._fresh(served)
+        alien = max(verdict["candidates"]) + 1000
+        verdict["verified"] = sorted(verdict["verified"] + [alien])
+        with pytest.raises(VerificationError) as err:
+            self._check(served, verdict)
+        assert err.value.kind == FaultKind.FORGE_RESULT
+
+    def test_tampered_catalog_is_refused_at_construction(self, stores,
+                                                         vconfig):
+        store, _ = stores(Semantics.HOM)
+        broken = json.loads(json.dumps(store.auth))
+        radius = next(iter(broken["catalog"]))
+        label = next(iter(broken["catalog"][radius]))
+        broken["catalog"][radius][label] = []
+        fake_store = SimpleNamespace(
+            auth=broken, manifest_graph_digest=store.manifest_graph_digest)
+        with pytest.raises(VerificationError) as err:
+            AnswerVerifier.from_store(fake_store, seed=vconfig.seed,
+                                      config=vconfig)
+        assert err.value.kind == FaultKind.FORGE_RESULT
+
+    def test_verifier_requires_an_auth_root(self):
+        with pytest.raises(VerificationError):
+            AnswerVerifier(root_hex="", catalog={}, vkey=b"k", jkey=b"j",
+                           fingerprint="f")
+
+
+# ---------------------------------------------------------------------------
+# Malicious-SP kinds in the chaos vocabulary
+# ---------------------------------------------------------------------------
+class TestMaliciousKinds:
+    def test_kinds_are_valid_but_not_injectable(self):
+        for kind in (FaultKind.FORGE_RESULT, FaultKind.DROP_BALL,
+                     FaultKind.REPLAY_STALE):
+            assert kind in MALICIOUS_KINDS
+            assert kind in VALID_KINDS
+            # Never part of the default engine-side schedule: a rogue
+            # shard is opt-in, like kill_process.
+            assert kind not in INJECTABLE_KINDS
+
+    def test_policy_accepts_malicious_kinds(self):
+        policy = ChaosPolicy(seed=3, fault_rate=1.0,
+                             kinds=MALICIOUS_KINDS)
+        assert policy.decides(FaultKind.FORGE_RESULT, "shard1:q0")
+
+
+# ---------------------------------------------------------------------------
+# Gateway matrix: one rogue shard across 3 semantics x pruning
+# ---------------------------------------------------------------------------
+class TestRogueGateway:
+    @pytest.mark.parametrize("semantics", list(Semantics))
+    @pytest.mark.parametrize("engine", ["prilo", "prilo-star"])
+    def test_one_rogue_shard_recovers_byte_identically(
+            self, dataset, vconfig, stores, semantics, engine):
+        _, shards_dir = stores(semantics)
+        graph = dataset.graph_for(semantics)
+        engine_cls = ENGINES[engine]
+        queries = dataset.random_queries(3, size=5, semantics=semantics,
+                                         seed=4)
+        expected = _baseline(graph, vconfig, queries, engine_cls)
+        placement = PlacementManifest.read(shards_dir)
+        verifier = AnswerVerifier.from_placement(
+            placement, seed=vconfig.seed,
+            config=replace(vconfig, **engine_cls._OVERRIDES))
+        specs = make_shard_specs(
+            graph, vconfig, 2, engine=engine,
+            store_root=str(shards_dir), rogue_shards=(1,),
+            rogue_policy=ChaosPolicy(seed=5, fault_rate=1.0,
+                                     kinds=MALICIOUS_KINDS))
+        with LocalCluster(specs) as cluster:
+            report = Gateway(cluster.handles, verifier=verifier).run(
+                queries)
+        assert report.verify_enabled
+        assert report.forgeries_detected > 0, \
+            "the rogue shard must have been caught lying"
+        assert report.evictions == [1]
+        assert report.forged == 0, "no forged answer may be surfaced"
+        assert [o.status for o in report.outcomes] == \
+            [QueryStatus.OK] * len(queries)
+        for i, answer in enumerate(report.answers):
+            assert wire.answer_bytes(answer) == \
+                wire.answer_bytes(expected[i]), \
+                f"query {i}: recovered answer diverges from baseline"
+
+    def test_all_rogue_fleet_withholds_every_answer(self, dataset,
+                                                    vconfig, stores):
+        _, shards_dir = stores(Semantics.HOM)
+        queries = dataset.random_queries(2, size=5, seed=4)
+        verifier = AnswerVerifier.from_placement(
+            PlacementManifest.read(shards_dir), seed=vconfig.seed,
+            config=replace(vconfig, **Prilo._OVERRIDES))
+        specs = make_shard_specs(
+            dataset.graph, vconfig, 2, engine="prilo",
+            store_root=str(shards_dir), rogue_shards=(0, 1),
+            rogue_policy=ChaosPolicy(seed=5, fault_rate=1.0,
+                                     kinds=(FaultKind.FORGE_RESULT,)))
+        with LocalCluster(specs) as cluster:
+            report = Gateway(cluster.handles, verifier=verifier).run(
+                queries)
+        assert report.forged == len(queries)
+        assert all(o.status == QueryStatus.FORGED
+                   for o in report.outcomes)
+        assert all(answer is None for answer in report.answers), \
+            "a forged answer leaked through the verifier"
+        assert report.completed == 0
+        assert len(report.outcomes) == len(queries), \
+            "withheld queries must still terminate the batch"
+
+    def test_honest_fleet_passes_verification_with_zero_forgeries(
+            self, dataset, vconfig, stores):
+        _, shards_dir = stores(Semantics.HOM)
+        queries = dataset.random_queries(2, size=5, seed=4)
+        expected = _baseline(dataset.graph, vconfig, queries, Prilo)
+        verifier = AnswerVerifier.from_placement(
+            PlacementManifest.read(shards_dir), seed=vconfig.seed,
+            config=replace(vconfig, **Prilo._OVERRIDES))
+        specs = make_shard_specs(dataset.graph, vconfig, 2,
+                                 engine="prilo",
+                                 store_root=str(shards_dir))
+        with LocalCluster(specs) as cluster:
+            report = Gateway(cluster.handles, verifier=verifier).run(
+                queries)
+        assert report.forgeries_detected == 0
+        assert report.proofs_checked >= len(queries)
+        assert report.proof_bytes > 0
+        for i, answer in enumerate(report.answers):
+            assert wire.answer_bytes(answer) == \
+                wire.answer_bytes(expected[i])
+
+
+# ---------------------------------------------------------------------------
+# Exit-code lattice and the Prometheus verify counters
+# ---------------------------------------------------------------------------
+class TestExitLattice:
+    def test_forged_ranks_between_leakage_and_integrity(self):
+        from repro.cli import (
+            EXIT_FORGED,
+            EXIT_INTEGRITY,
+            EXIT_LEAKAGE,
+            combine_exit,
+        )
+
+        assert EXIT_FORGED == 6
+        assert combine_exit(EXIT_LEAKAGE, EXIT_FORGED) == EXIT_FORGED
+        assert combine_exit(EXIT_FORGED, EXIT_INTEGRITY) == EXIT_INTEGRITY
+        assert combine_exit(0, EXIT_FORGED) == EXIT_FORGED
+        assert combine_exit(EXIT_FORGED, 1) == 1
+
+    def test_gateway_exit_code_folds_forged_over_deadline(self):
+        from repro.cli import EXIT_FORGED, _gateway_exit_code
+
+        report = SimpleNamespace(outcomes=[
+            SimpleNamespace(status=QueryStatus.FORGED),
+            SimpleNamespace(status=QueryStatus.DEADLINE_EXCEEDED),
+            SimpleNamespace(status=QueryStatus.OK),
+        ])
+        assert _gateway_exit_code(report) == EXIT_FORGED
+        honest = SimpleNamespace(outcomes=[
+            SimpleNamespace(status=QueryStatus.OK)])
+        assert _gateway_exit_code(honest) == 0
+
+
+class TestVerifyMetrics:
+    def test_gateway_prometheus_text_exports_verify_counters(self):
+        from repro.observability import gateway_prometheus_text
+
+        report = SimpleNamespace(summary=lambda: {
+            "queries": 4, "shards": 2, "makespan_seconds": 0.5,
+            "statuses": ["ok", "ok", "ok", "forged(result)"],
+            "verify": {"enabled": True, "proofs_checked": 9,
+                       "forgeries_detected": 2, "evictions": [1],
+                       "forged_answers": 1, "proof_bytes": 1234,
+                       "verify_seconds": 0.01}})
+        text = gateway_prometheus_text(report)
+        assert 'repro_verify_total{result="checked"} 9' in text
+        assert 'repro_verify_total{result="forgery"} 2' in text
+        assert 'repro_verify_total{result="evicted"} 1' in text
+        assert 'repro_verify_total{result="withheld"} 1' in text
+        assert 'repro_gateway_outcomes_total{status="forged(result)"} 1' \
+            in text
+        assert "repro_verify_proof_bytes_total 1234" in text
