@@ -117,6 +117,12 @@ SPAN_OBSERVABLE_KEYS = frozenset({
     # the access-pattern bound does not)
     "shard", "shards", "deaths", "re_dispatches", "epoch", "pool",
     "window",
+    # dynamic-update machinery (``delta_apply`` spans): dirty/re-encrypted
+    # ball counts are sizes of public ball-id sets the SP derives itself
+    # from the (public) delta's touched vertices; standing/notified are
+    # registration and change-flag cardinalities -- none is a function of
+    # query structure or match content
+    "dirty", "reencrypted", "standing", "notified",
 })
 
 #: The subset of :data:`SPAN_OBSERVABLE_KEYS` whose values may be strings

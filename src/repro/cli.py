@@ -10,6 +10,11 @@ Commands:
 * ``store build|inspect|verify``  -- the persistent offline artifact store.
 * ``store shard-split``           -- cut a store into consistent-hash shard
                                      packs plus a placement manifest.
+* ``store make-delta``            -- synthesize a seeded update stream into
+                                     an authenticated delta log.
+* ``store apply-delta``           -- replay a delta log into a store with
+                                     incremental dirty-ball maintenance
+                                     (exit 2 stale, 3 tampered).
 * ``gateway <dataset>``           -- serve zipf many-tenant traffic through
                                      a local N-shard scatter-gather cluster
                                      (``--kill-shard``/``--kill-seed`` for
@@ -29,7 +34,10 @@ consume it with the same global flags.  ``run`` and ``serve-batch``
 accept ``--trace [FILE]`` (role-scoped span trace as JSON lines) and
 ``--leakage-audit`` (diff the trace against the allowed-observation
 model); ``serve-batch`` additionally takes ``--metrics-out FILE`` for a
-Prometheus text snapshot.
+Prometheus text snapshot, ``--standing N`` (register the first N
+distinct queries as standing queries) and ``--apply-delta LOG`` (replay
+an update log through the live engine after the batch, re-notifying
+standing queries).
 
 Exit codes are scriptable triage (documented in ``docs/operations.md``):
 0 success, 1 usage/unexpected error, 2 stale artifacts (``store
@@ -59,9 +67,15 @@ from repro.framework.server import QueryBatchEngine, QueryStatus
 from repro.graph.query import Semantics
 from repro.storage import (
     ArtifactStore,
+    DeltaLog,
     JournalError,
     RunJournal,
+    StaleDeltaError,
     StoreError,
+    TamperedDeltaError,
+    apply_delta_log,
+    delta_key,
+    graph_digest,
     journal_key,
 )
 from repro.workloads.datasets import DATASET_SPECS, load_dataset
@@ -386,10 +400,18 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     engine = engine_cls.setup(dataset.graph_for(semantics),
                               _config(args, store), store=store,
                               tracer=tracer)
+    delta_code = 0
     try:
         with QueryBatchEngine(engine, journal=journal,
                               queue_bound=args.queue_bound) as server:
+            for position, query in enumerate(distinct[:args.standing]):
+                standing = server.register_standing(
+                    query, name=f"standing-{position}")
+                print(f"standing {standing.name}: "
+                      f"{standing.num_matches} baseline matches")
             report = server.serve(queries)
+            if args.apply_delta:
+                delta_code = _serve_batch_deltas(args, server)
     except JournalError as exc:
         print(f"JOURNAL ERROR: {exc}")
         return combine_exit(EXIT_INTEGRITY, _finish_trace(args, tracer))
@@ -417,8 +439,48 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         spans = tracer.spans if tracer is not None else None
         write_metrics(args.metrics_out, report, spans)
         print(f"metrics: Prometheus snapshot -> {args.metrics_out}")
-    return combine_exit(_batch_exit_code(report),
+    return combine_exit(_batch_exit_code(report), delta_code,
                         _finish_trace(args, tracer))
+
+
+def _serve_batch_deltas(args: argparse.Namespace, server) -> int:
+    """Replay a delta log through the live batch engine (standing queries
+    re-notify per delta).  Same exit split as ``store apply-delta``."""
+    log = DeltaLog(args.apply_delta, delta_key(args.seed))
+    state = log.replay(truncate=False)
+    if state.tampered_records:
+        print(f"FAILED: {state.tampered_records} tampered delta record(s)")
+        return EXIT_INTEGRITY
+    engine = server.engine
+    current = graph_digest(engine.graph)
+    for record in state.records:
+        if record.result == current:
+            continue
+        if record.parent != current:
+            print(f"STALE: delta seq={record.seq} chains from "
+                  f"{record.parent[:12]} but the engine is at "
+                  f"{current[:12]}")
+            return EXIT_STALE
+        try:
+            application = server.apply_delta(record.delta)
+        except (StoreError, TamperedDeltaError) as exc:
+            print(f"FAILED: {exc}")
+            return EXIT_INTEGRITY
+        current = graph_digest(engine.graph)
+        if current != record.result:
+            print(f"FAILED: delta seq={record.seq} promised "
+                  f"{record.result[:12]} but produced {current[:12]}")
+            return EXIT_INTEGRITY
+        summary = application.as_dict()
+        print(f"delta seq={record.seq}: dirty={summary['dirty']} "
+              f"added={summary['added']} removed={summary['removed']} "
+              f"cache_invalidated={summary['cache_invalidated']} "
+              f"notified={summary['notified']}/{summary['standing']}")
+        for notice in application.notices:
+            flag = "CHANGED" if notice.changed else "unchanged"
+            print(f"  {notice.name}: {flag}, "
+                  f"{notice.num_matches} matches")
+    return 0
 
 
 def cmd_journal_inspect(args: argparse.Namespace) -> int:
@@ -548,6 +610,101 @@ def cmd_store_shard_split(args: argparse.Namespace) -> int:
                       "salt": placement["salt"],
                       "balls": placement["balls"],
                       "balls_per_shard": counts}, indent=2))
+    return 0
+
+
+def cmd_store_make_delta(args: argparse.Namespace) -> int:
+    """Synthesize a seeded update stream and append it to a delta log.
+
+    Each delta chains on its predecessor's result digest, so the log is
+    a hash chain from the dataset's build-time graph state; ``store
+    apply-delta`` replays it against a store built with the same global
+    flags."""
+    from repro.graph.delta import random_delta
+
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    graph = dataset.graph_for(Semantics(args.semantics)).copy()
+    records = []
+    with DeltaLog(args.log, delta_key(args.seed)) as log:
+        for step in range(args.count):
+            parent = graph_digest(graph)
+            delta = random_delta(graph,
+                                 edge_fraction=args.edge_fraction,
+                                 remove_vertices=args.remove_vertices,
+                                 seed=args.delta_seed + step)
+            delta.apply(graph)
+            record = log.append(delta, parent=parent,
+                                result=graph_digest(graph))
+            records.append({"seq": record.seq, "delta": repr(delta),
+                            "parent": record.parent[:12],
+                            "result": record.result[:12]})
+        summary = log.inspect()
+    summary["appended"] = records
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def cmd_store_apply_delta(args: argparse.Namespace) -> int:
+    """Replay an authenticated delta log into a store.
+
+    Exit 0 when every record applied (or was already applied), 2 when the
+    log and the store/graph diverged (stale -- re-sync or rebuild), 3 on
+    any tampered record or a result-digest mismatch; tampered wins over
+    stale."""
+    log = DeltaLog(args.log, delta_key(args.seed))
+    if args.inspect:
+        print(json.dumps(log.inspect(), indent=2))
+        return EXIT_INTEGRITY if log.replay(
+            truncate=False).tampered_records else 0
+    try:
+        store = ArtifactStore.open(args.root)
+    except StoreError as exc:
+        print(f"FAILED: {exc}")
+        return EXIT_INTEGRITY
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    graph = dataset.graph_for(Semantics(args.semantics))
+    state = log.replay(truncate=False)
+    if state.tampered_records:
+        print(f"FAILED: {state.tampered_records} tampered delta record(s)")
+        return EXIT_INTEGRITY
+    # Fast-forward: a re-run loads the dataset at its build-time state
+    # while the store is already at the log's tip (or midway).  Walk the
+    # chain applying records to the *graph only* until it catches up with
+    # the store's pinned digest, then hand the remainder to the store.
+    current = graph_digest(graph)
+    position = 0
+    while (current != store.manifest_graph_digest
+           and position < len(state.records)):
+        record = state.records[position]
+        if record.parent != current:
+            break
+        record.delta.apply(graph)
+        current = graph_digest(graph)
+        position += 1
+    if current != store.manifest_graph_digest:
+        print(f"STALE: the delta log never reaches the store's graph "
+              f"state {store.manifest_graph_digest[:12]}")
+        return EXIT_STALE
+    remaining = type(state)(records=state.records[position:])
+    try:
+        reports = apply_delta_log(store, remaining, graph,
+                                  DataOwnerKey.generate(args.seed))
+    except TamperedDeltaError as exc:
+        print(f"FAILED: {exc}")
+        return EXIT_INTEGRITY
+    except StaleDeltaError as exc:
+        print(f"STALE: {exc}")
+        return EXIT_STALE
+    except StoreError as exc:
+        print(f"{'STALE' if 'stale' in str(exc).lower() else 'FAILED'}: "
+              f"{exc}")
+        return (EXIT_STALE if "stale" in str(exc).lower()
+                else EXIT_INTEGRITY)
+    for report in reports:
+        print(json.dumps(report.as_dict(), indent=2))
+    print(f"ok: {len(reports)} delta(s) applied, "
+          f"{position + len(remaining.records) - len(reports)} already "
+          f"applied; store at {store.manifest_graph_digest[:12]}")
     return 0
 
 
@@ -843,6 +1000,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Prometheus text-exposition "
                               "snapshot of the batch (for a textfile "
                               "collector)")
+    p_batch.add_argument("--standing", type=int, default=0, metavar="N",
+                         help="register the first N distinct queries as "
+                              "standing queries (re-notified per applied "
+                              "delta)")
+    p_batch.add_argument("--apply-delta", default=None, metavar="LOG",
+                         help="after the batch, replay this delta log "
+                              "through the live engine (exit 2 stale, "
+                              "3 tampered)")
     _add_execution_flags(p_batch)
     p_batch.set_defaults(func=cmd_serve_batch)
 
@@ -893,6 +1058,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_split.add_argument("--salt", default=None,
                          help="ring namespace salt (default prilo-ring)")
     p_split.set_defaults(func=cmd_store_shard_split)
+
+    p_mkdelta = store_sub.add_parser(
+        "make-delta",
+        help="synthesize a seeded update stream into an authenticated "
+             "delta log (input to apply-delta)")
+    p_mkdelta.add_argument("dataset", choices=datasets)
+    p_mkdelta.add_argument("log", help="delta log file (appended)")
+    p_mkdelta.add_argument("--semantics", default="hom",
+                           choices=[s.value for s in Semantics])
+    p_mkdelta.add_argument("--count", type=int, default=1,
+                           help="deltas to chain onto the log")
+    p_mkdelta.add_argument("--edge-fraction", type=float, default=0.01,
+                           help="fraction of edges each delta rewires")
+    p_mkdelta.add_argument("--remove-vertices", type=int, default=0,
+                           help="vertices each delta removes")
+    p_mkdelta.add_argument("--delta-seed", type=int, default=7,
+                           help="seed of the synthetic update stream "
+                                "(distinct from --seed, which keys the "
+                                "log)")
+    p_mkdelta.set_defaults(func=cmd_store_make_delta)
+
+    p_apply = store_sub.add_parser(
+        "apply-delta",
+        help="replay a delta log into a store: incremental dirty-ball "
+             "maintenance (exit 2 stale, 3 tampered)")
+    p_apply.add_argument("root", help="store directory to update")
+    p_apply.add_argument("dataset", choices=datasets)
+    p_apply.add_argument("log", help="delta log file to replay")
+    p_apply.add_argument("--semantics", default="hom",
+                         choices=[s.value for s in Semantics])
+    p_apply.add_argument("--inspect", action="store_true",
+                         help="only summarize the log (non-destructive; "
+                              "exits 3 if any record is tampered)")
+    p_apply.set_defaults(func=cmd_store_apply_delta)
 
     p_journal = sub.add_parser("journal",
                                help="write-ahead run journal tools")

@@ -408,6 +408,31 @@ class Prilo:
         enough."""
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
+    def refresh(self, index=None) -> None:
+        """Rebind every role to the (mutated) live graph after a delta.
+
+        ``ArtifactStore.apply_delta`` updates the store and mutates
+        ``self.graph`` in place, which moves the graph's mutation epoch
+        and correctly strands the old ball index
+        (:class:`repro.graph.ball.StaleIndexError`).  This rebuilds the
+        owner/index/players/dealer stack against the new graph state --
+        a store-backed owner re-checks the (now updated) manifest, a
+        no-store caller passes ``index`` carrying the delta-stable id
+        assignment.  The user keyring, executor, tracer and ball filter
+        survive: none of them depend on ball contents.
+        """
+        self.owner = DataOwner(self.graph, self.config.radii,
+                               seed=self.config.seed, store=self.store,
+                               index=index)
+        if self.store is not None:
+            self.store.quarantine_enabled = (
+                self.config.recovery.quarantine_store)
+        self.owner.grant_key(self.user)
+        self.index = self.owner.player_store()
+        self.players = [Player(i, self.index)
+                        for i in range(self.config.k_players)]
+        self.dealer = Dealer(self.owner.dealer_store())
+
     def close(self) -> None:
         """Shut down the evaluation backend (idempotent)."""
         self.executor.close()

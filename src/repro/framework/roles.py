@@ -90,12 +90,16 @@ class DataOwner:
     """
 
     def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
-                 seed: int = 0, store=None) -> None:
+                 seed: int = 0, store=None,
+                 index: BallIndex | None = None) -> None:
         self.key = DataOwnerKey.generate(seed)
         self._graph = graph
         self._radii = radii
         self._store = store
-        self._index: BallIndex | None = None
+        # An explicit index override carries delta-stable ball ids for
+        # dynamic no-store engines (see ``Prilo.refresh``); otherwise the
+        # index is lazily built or store-loaded on first access.
+        self._index: BallIndex | None = index
         self._dealer_store = None
         if store is not None:
             store.check(graph=graph, radii=radii, key=self.key)

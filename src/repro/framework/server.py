@@ -51,13 +51,19 @@ from repro.core.enumeration import count_cmm_upper_bound, iter_cmms
 from repro.framework.executor import PreparedBall
 from repro.crypto.ops import OpCounter
 from repro.framework.metrics import CacheStats, JournalCounters, RunMetrics
+from repro.framework.wire import canonical_answer_of_result
 from repro.framework.prilo import (
     BallBudgetExceeded,
     DeadlineExceeded,
     Prilo,
     QueryResult,
 )
-from repro.graph.ball import Ball
+from repro.graph.ball import Ball, BallIndex
+from repro.graph.delta import (
+    GraphDelta,
+    dirty_ball_keys,
+    touched_min_distances,
+)
 from repro.graph.matrix import ProjectionCache
 from repro.graph.query import Query, QueryLabelView, Semantics
 from repro.observability.spans import ROLE_SP
@@ -228,6 +234,23 @@ class CMMCache:
         self.stats.entries = len(self._entries)
         self.stats.weight = self._weight
 
+    def invalidate_balls(self, ball_ids) -> int:
+        """Drop every cached prepared form of the given balls (all
+        signatures).  Called after a delta: a dirty ball's adjacency
+        changed, so its enumerations -- cached under *every* signature --
+        describe a ball that no longer exists.  Returns the number of
+        entries dropped (counted as evictions)."""
+        targets = set(ball_ids)
+        dropped = 0
+        for key in [k for k in self._entries if k[0] in targets]:
+            entry = self._entries.pop(key)
+            self._weight -= entry.weight
+            self.stats.evictions += 1
+            dropped += 1
+        if dropped:
+            self._update_fill()
+        return dropped
+
 
 class QueryStatus:
     """Admission-control vocabulary for one submitted query."""
@@ -353,6 +376,77 @@ class BatchReport:
         return report
 
 
+@dataclass
+class StandingQuery:
+    """One registered continuous query and its last known match set.
+
+    ``matches`` is the canonical per-ball match map (ball id string ->
+    sorted canonical match JSON) of :func:`canonical_answer` -- the
+    merge-stable form the gateway already compares answers in.  After a
+    delta, only the affected balls are re-evaluated and their slice of
+    this map is replaced; the query *re-notifies* exactly when the merged
+    map differs from the previous one.
+    """
+
+    name: str
+    query: Query
+    matches: dict[str, list[str]] = field(default_factory=dict)
+    #: Times the match set changed (registration does not count).
+    notifications: int = 0
+    #: Delta-driven partial re-evaluations performed.
+    evaluations: int = 0
+
+    @property
+    def num_matches(self) -> int:
+        return sum(len(v) for v in self.matches.values())
+
+
+@dataclass(frozen=True)
+class StandingNotice:
+    """What one delta did to one standing query."""
+
+    name: str
+    changed: bool
+    num_matches: int
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "changed": self.changed,
+                "num_matches": self.num_matches}
+
+
+@dataclass
+class DeltaApplication:
+    """The outcome of one :meth:`QueryBatchEngine.apply_delta`."""
+
+    #: Ball ids whose content changed (survivors re-encrypted).
+    dirty_ball_ids: tuple[int, ...]
+    added_ball_ids: tuple[int, ...]
+    removed_ball_ids: tuple[int, ...]
+    #: CMM cache entries dropped by the invalidation sweep.
+    cache_invalidated: int
+    #: The store-side report, or None for a no-store engine.
+    store_report: object | None = None
+    notices: list[StandingNotice] = field(default_factory=list)
+
+    @property
+    def notified(self) -> int:
+        return sum(1 for n in self.notices if n.changed)
+
+    def as_dict(self) -> dict:
+        payload = {
+            "dirty": len(self.dirty_ball_ids),
+            "added": len(self.added_ball_ids),
+            "removed": len(self.removed_ball_ids),
+            "cache_invalidated": self.cache_invalidated,
+            "standing": len(self.notices),
+            "notified": self.notified,
+            "notices": [n.as_dict() for n in self.notices],
+        }
+        if self.store_report is not None:
+            payload["store"] = self.store_report.as_dict()
+        return payload
+
+
 class QueryBatchEngine:
     """Serves query batches over one :class:`Prilo` engine.
 
@@ -386,6 +480,9 @@ class QueryBatchEngine:
         #: wait, so overload can't stall the queries that were admitted).
         self.queue_bound = queue_bound
         self._drain = threading.Event()
+        #: Registered standing queries, partially re-evaluated (dirty
+        #: balls only) after every applied delta.
+        self._standing: list[StandingQuery] = []
 
     def close(self) -> None:
         """Shut down the underlying engine's executor (idempotent) -- a
@@ -599,6 +696,136 @@ class QueryBatchEngine:
         self.engine.tracer.event("query_commit", ROLE_SP,
                                  index=index, replayed=False)
 
+    # -- standing queries & dynamic updates -----------------------------
+    @property
+    def standing(self) -> tuple[StandingQuery, ...]:
+        return tuple(self._standing)
+
+    def register_standing(self, query: Query,
+                          name: str | None = None) -> StandingQuery:
+        """Register ``query`` for continuous evaluation across deltas.
+
+        The query is evaluated once, in full, to seed the baseline match
+        set; registration itself never counts as a notification.  After
+        every :meth:`apply_delta` the query is re-evaluated against only
+        the dirty/added balls and a notice is raised iff the merged match
+        set actually changed."""
+        if name is None:
+            name = f"standing-{len(self._standing)}"
+        result = self.engine.run(query, cmm_cache=self.cache)
+        sq = StandingQuery(
+            name=name, query=query,
+            matches=dict(canonical_answer_of_result(result)["matches"]))
+        self._standing.append(sq)
+        return sq
+
+    def apply_delta(self, delta: GraphDelta) -> DeltaApplication:
+        """Apply a graph delta to the live engine and its artifacts.
+
+        Store-backed engines delegate the artifact surgery to
+        :meth:`repro.storage.ArtifactStore.apply_delta` (dirty-ball
+        re-encryption, Merkle/catalog patching); in-memory engines mutate
+        the graph and rebuild a ball index that keeps the surviving
+        balls' ids stable.  Either way the CMM cache entries of every
+        affected ball are invalidated and each standing query is
+        re-evaluated over only the dirty/added balls.
+
+        The emitted ``delta_apply`` trace span carries counts only
+        (balls, dirty, reencrypted, standing, notified) -- never vertex
+        names, labels or match content, per the leakage model.
+        """
+        engine = self.engine
+        graph = engine.graph
+        radii = tuple(sorted(set(engine.config.radii)))
+        store_report = None
+        if engine.store is not None:
+            store_report = engine.store.apply_delta(delta, graph,
+                                                    engine.owner.key)
+            engine.refresh()
+            dirty = tuple(store_report.dirty_ball_ids)
+            added = tuple(store_report.added_ball_ids)
+            removed = tuple(store_report.removed_ball_ids)
+        else:
+            old_ids = engine.index.id_map()
+            cutoff = max(radii)
+            touched = delta.touched_vertices()
+            # Distances on both the pre- and post-delta graph: a ball is
+            # dirty if a touched vertex is within reach before OR after.
+            dists = touched_min_distances(graph, touched, cutoff)
+            delta.apply(graph)
+            dists = touched_min_distances(graph, touched, cutoff,
+                                          into=dists)
+            removed_set = set(delta.removed_vertices)
+            added_centers = [v for v, _ in delta.added_vertices]
+            dirty_keys = dirty_ball_keys(
+                dists, radii, exclude=removed_set.union(added_centers))
+            removed = tuple(sorted(old_ids[(v, r)]
+                                   for v in removed_set for r in radii))
+            # Surviving balls keep their ids; new centers extend the id
+            # space past the historical maximum so ids never get reused.
+            new_ids = {k: i for k, i in old_ids.items()
+                       if k[0] not in removed_set}
+            next_id = max(old_ids.values(), default=-1) + 1
+            added_list = []
+            for v in added_centers:
+                for r in radii:
+                    new_ids[(v, r)] = next_id
+                    added_list.append(next_id)
+                    next_id += 1
+            added = tuple(added_list)
+            dirty = tuple(sorted(old_ids[k] for k in dirty_keys))
+            engine.refresh(index=BallIndex(graph, radii, ids=new_ids))
+        affected = set(dirty) | set(added) | set(removed)
+        invalidated = self.cache.invalidate_balls(affected)
+        restrict = set(dirty) | set(added)
+        notices = [self._renotify(sq, restrict, set(removed))
+                   for sq in self._standing]
+        application = DeltaApplication(
+            dirty_ball_ids=dirty, added_ball_ids=added,
+            removed_ball_ids=removed, cache_invalidated=invalidated,
+            store_report=store_report, notices=notices)
+        engine.tracer.event(
+            "delta_apply", ROLE_SP,
+            balls=len(engine.index.id_map()),
+            dirty=len(dirty),
+            reencrypted=(store_report.reencrypted
+                         if store_report is not None else len(restrict)),
+            standing=len(self._standing),
+            notified=application.notified)
+        return application
+
+    def _renotify(self, sq: StandingQuery, restrict: set,
+                  removed: set) -> StandingNotice:
+        """Re-evaluate one standing query against only ``restrict`` balls
+        and merge into its retained match set."""
+        engine = self.engine
+        fresh: dict[str, list[str]] = {}
+        if restrict:
+            previous = engine.ball_filter
+            if previous is None:
+                predicate = restrict.__contains__
+            else:
+                def predicate(ball_id, _keep=previous):
+                    return ball_id in restrict and _keep(ball_id)
+            engine.install_ball_filter(predicate)
+            try:
+                result = engine.run(sq.query, cmm_cache=self.cache)
+            finally:
+                engine.install_ball_filter(previous)
+            fresh = canonical_answer_of_result(result)["matches"]
+        stale_keys = {str(b) for b in restrict | removed}
+        merged = {bid: match for bid, match in sq.matches.items()
+                  if bid not in stale_keys}
+        merged.update(fresh)
+        merged = {bid: merged[bid] for bid in sorted(merged, key=int)}
+        changed = merged != sq.matches
+        sq.evaluations += 1
+        if changed:
+            sq.matches = merged
+            sq.notifications += 1
+        return StandingNotice(name=sq.name, changed=changed,
+                              num_matches=sq.num_matches)
+
 
 class QueryStream:
     """Incremental serving over a :class:`QueryBatchEngine`: one query at
@@ -688,10 +915,13 @@ __all__ = [
     "AdmissionStats",
     "BatchReport",
     "CMMCache",
+    "DeltaApplication",
     "QueryBatchEngine",
     "QueryOutcome",
     "QueryStatus",
     "QueryStream",
+    "StandingNotice",
+    "StandingQuery",
     "enumeration_signature",
     "prepare_ball",
     "signature_of_view",

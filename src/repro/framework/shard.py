@@ -31,8 +31,8 @@ import asyncio
 import json
 import logging
 import multiprocessing
+import re
 import time
-import traceback
 from dataclasses import dataclass
 
 from repro.framework import wire
@@ -59,6 +59,28 @@ SPAWN_TIMEOUT_SECONDS = 120.0
 
 class ShardError(RuntimeError):
     """A shard failed to start or received an unservable request."""
+
+
+_PATH_RE = re.compile(r"(?:/|[A-Za-z]:\\)[^\s'\",;)\]]*")
+_REDACT_MAX_CHARS = 160
+
+
+def redact_error(exc: BaseException) -> str:
+    """Collapse an exception to a wire-safe ``Type: message`` line.
+
+    Error frames cross the trust boundary to the gateway (and, through
+    it, the querying user), so they must leak no SP-host detail: no
+    stack frames, no filesystem paths (store roots, journal files,
+    Python install layout), and no unbounded message payloads.  The full
+    traceback stays in the shard-local log, where the operator -- and
+    only the operator -- can read it.
+    """
+    first_line = str(exc).splitlines()[0] if str(exc) else ""
+    first_line = _PATH_RE.sub("<path>", first_line)
+    if len(first_line) > _REDACT_MAX_CHARS:
+        first_line = first_line[:_REDACT_MAX_CHARS] + "..."
+    name = type(exc).__name__
+    return f"{name}: {first_line}" if first_line else name
 
 
 @dataclass
@@ -232,12 +254,13 @@ class ShardServer:
             if self.spec.rogue is not None:
                 payload = self._rogue_mutate(payload)
             return payload
-        except Exception:  # noqa: BLE001 -- report, don't kill the shard
-            detail = traceback.format_exc(limit=8)
+        except Exception as exc:  # noqa: BLE001 -- report, don't kill the shard
+            # Full traceback to the shard-local log only; the frame that
+            # leaves the process carries a redacted one-liner.
             logger.exception("shard %d: query %d failed",
                              self.spec.shard_id, qid)
             return {"t": "error", "qid": qid,
-                    "shard": self.spec.shard_id, "detail": detail}
+                    "shard": self.spec.shard_id, "detail": redact_error(exc)}
 
     # -- malicious-SP injection -----------------------------------------
     def _rogue_mutate(self, payload: dict) -> dict:
@@ -471,5 +494,6 @@ __all__ = [
     "ShardServer",
     "ShardSpec",
     "make_shard_specs",
+    "redact_error",
     "run_shard",
 ]

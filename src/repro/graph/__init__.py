@@ -14,7 +14,8 @@ graph side:
   business-intelligence workload patterns of Table 5.
 """
 
-from repro.graph.ball import Ball, BallIndex, extract_ball
+from repro.graph.ball import Ball, BallIndex, StaleIndexError, extract_ball
+from repro.graph.delta import GraphDelta, dirty_ball_keys, touched_min_distances
 from repro.graph.generators import (
     fig3_graph,
     fig3_query,
@@ -30,14 +31,18 @@ __all__ = [
     "Ball",
     "BallIndex",
     "CandidateMappingMatrix",
+    "GraphDelta",
     "LabeledGraph",
     "QGen",
     "Query",
     "Semantics",
+    "StaleIndexError",
     "adjacency_matrix",
+    "dirty_ball_keys",
     "extract_ball",
     "fig3_graph",
     "fig3_query",
     "power_law_graph",
+    "touched_min_distances",
     "uniform_random_graph",
 ]

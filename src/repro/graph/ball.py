@@ -15,6 +15,17 @@ from typing import Iterator
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
 
 
+class StaleIndexError(RuntimeError):
+    """The graph mutated after this index memoized its balls.
+
+    :class:`BallIndex` captures ``graph.mutation_epoch`` at construction;
+    every accessor that can serve a (possibly memoized) ball re-checks it.
+    A moved epoch means the cached balls and deterministic ids no longer
+    describe the graph -- callers must rebuild the index (or, for stores,
+    run ``apply_delta``) rather than silently serve stale state.
+    """
+
+
 @dataclass(frozen=True)
 class Ball:
     """A ball ``G[center, radius]``.
@@ -69,21 +80,47 @@ class BallIndex:
     behaviour.
     """
 
-    def __init__(self, graph: LabeledGraph, radii: tuple[int, ...]) -> None:
+    def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
+                 ids: dict[tuple[Vertex, int], int] | None = None) -> None:
         if not radii:
             raise ValueError("at least one radius is required")
         if any(r < 0 for r in radii):
             raise ValueError("radii must be non-negative")
         self._graph = graph
         self._radii = tuple(sorted(set(radii)))
+        self._epoch = graph.mutation_epoch
         self._cache: dict[tuple[Vertex, int], Ball] = {}
-        # Deterministic ball ids: (vertex order) x (radius order).
-        self._ids: dict[tuple[Vertex, int], int] = {}
-        next_id = 0
-        for v in graph.vertices():
-            for r in self._radii:
-                self._ids[(v, r)] = next_id
-                next_id += 1
+        if ids is None:
+            # Deterministic ball ids: (vertex order) x (radius order).
+            self._ids: dict[tuple[Vertex, int], int] = {}
+            next_id = 0
+            for v in graph.vertices():
+                for r in self._radii:
+                    self._ids[(v, r)] = next_id
+                    next_id += 1
+        else:
+            # Explicit ids survive deltas: an incrementally maintained
+            # store keeps surviving balls' ids stable instead of the
+            # positional renumbering a rebuild would impose.
+            expected = graph.num_vertices * len(self._radii)
+            if len(ids) != expected:
+                raise ValueError(f"id map has {len(ids)} entries, expected "
+                                 f"{expected} (|V| x |radii|)")
+            if len(set(ids.values())) != len(ids):
+                raise ValueError("id map assigns duplicate ball ids")
+            for (v, r) in ids:
+                if v not in graph:
+                    raise ValueError(f"id map names unknown vertex {v!r}")
+                if r not in self._radii:
+                    raise ValueError(f"id map names unindexed radius {r}")
+            self._ids = dict(ids)
+
+    def _check_epoch(self) -> None:
+        if self._graph.mutation_epoch != self._epoch:
+            raise StaleIndexError(
+                f"graph mutated since index construction (epoch "
+                f"{self._graph.mutation_epoch} != {self._epoch}); "
+                f"rebuild the index or apply the delta to the store")
 
     @property
     def graph(self) -> LabeledGraph:
@@ -96,11 +133,17 @@ class BallIndex:
     def __len__(self) -> int:
         return len(self._ids)
 
+    def id_map(self) -> dict[tuple[Vertex, int], int]:
+        """Copy of the ``(center, radius) -> ball id`` assignment."""
+        return dict(self._ids)
+
     def ball_id(self, center: Vertex, radius: int) -> int:
+        self._check_epoch()
         return self._ids[(center, radius)]
 
     def ball(self, center: Vertex, radius: int) -> Ball:
         """The ball ``G[center, radius]`` (memoized)."""
+        self._check_epoch()
         key = (center, radius)
         if key not in self._ids:
             raise KeyError(f"no ball for center={center!r} radius={radius}")
@@ -112,6 +155,7 @@ class BallIndex:
         return cached
 
     def ball_by_id(self, ball_id: int) -> Ball:
+        self._check_epoch()
         for key, bid in self._ids.items():
             if bid == ball_id:
                 return self.ball(*key)
@@ -120,12 +164,19 @@ class BallIndex:
     def candidate_balls(self, label: Label, radius: int) -> Iterator[Ball]:
         """Prop. 1: the balls with centers labeled ``label`` and the given
         radius -- the only balls a query with that label must inspect."""
+        self._check_epoch()
         if radius not in self._radii:
             raise KeyError(f"radius {radius} not indexed (have {self._radii})")
-        for v in sorted(self._graph.vertices_with_label(label), key=repr):
-            yield self.ball(v, radius)
+        centers = sorted(self._graph.vertices_with_label(label), key=repr)
+
+        def _iter() -> Iterator[Ball]:
+            for v in centers:
+                yield self.ball(v, radius)
+
+        return _iter()
 
     def candidate_count(self, label: Label, radius: int) -> int:
+        self._check_epoch()
         if radius not in self._radii:
             raise KeyError(f"radius {radius} not indexed (have {self._radii})")
         return len(self._graph.vertices_with_label(label))

@@ -1,0 +1,258 @@
+"""Graph deltas: the value type of one dynamic-graph update.
+
+A :class:`GraphDelta` is a batch of mutations against a specific parent
+graph -- edge insertions/deletions plus vertex additions (with labels)
+and removals.  It is deliberately *strict*: applying it to any graph
+other than the one it was built against raises (``remove_edge`` on a
+missing edge, ``add_vertex`` on a colliding label), which is what lets
+the delta log pin every record to a parent graph digest and detect a
+merely-unapplied log as stale rather than silently diverging.
+
+Application order is fixed -- removed edges, removed vertices, added
+vertices, added edges -- so a delta can relabel a vertex (remove + re-add
+under the new label) and wire new vertices into the surviving graph in
+one record.
+
+:func:`touched_min_distances` / :func:`dirty_ball_keys` implement the
+incremental-maintenance core: the set of balls ``G[w, r]`` whose content
+a delta can change is exactly the set of centers within undirected
+distance ``r`` of a *touched* vertex in the pre- or post-delta graph
+(any vertex entering/leaving a ball, or any changed induced edge, routes
+through a touched vertex inside the ball) -- so bounded BFS from the
+touched set on both sides yields a sound dirty set whose size is
+proportional to the delta, not the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import random
+from dataclasses import dataclass
+
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+
+#: Versioned wire tag of a serialized delta.
+DELTA_FORMAT = "prilo-graph-delta/1"
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of graph mutations (see module docstring for ordering).
+
+    Vertices and labels round-trip through JSON by ``repr`` /
+    ``ast.literal_eval`` -- the same canonical encoding the ball packs
+    and candidate catalogs use -- so any literal-representable vertex
+    type (the datasets use ``int``) survives the delta log.
+    """
+
+    added_vertices: tuple[tuple[Vertex, Label], ...] = ()
+    removed_vertices: tuple[Vertex, ...] = ()
+    added_edges: tuple[tuple[Vertex, Vertex], ...] = ()
+    removed_edges: tuple[tuple[Vertex, Vertex], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "added_vertices",
+                           tuple((v, label)
+                                 for v, label in self.added_vertices))
+        object.__setattr__(self, "removed_vertices",
+                           tuple(self.removed_vertices))
+        object.__setattr__(self, "added_edges",
+                           tuple((u, v) for u, v in self.added_edges))
+        object.__setattr__(self, "removed_edges",
+                           tuple((u, v) for u, v in self.removed_edges))
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added_vertices or self.removed_vertices
+                    or self.added_edges or self.removed_edges)
+
+    @property
+    def size(self) -> int:
+        """Total mutation count -- what update cost must be proportional to."""
+        return (len(self.added_vertices) + len(self.removed_vertices)
+                + len(self.added_edges) + len(self.removed_edges))
+
+    def touched_vertices(self) -> frozenset[Vertex]:
+        """Every vertex the delta names: the BFS seeds of the dirty set."""
+        touched: set[Vertex] = set(self.removed_vertices)
+        touched.update(v for v, _ in self.added_vertices)
+        for u, v in self.added_edges:
+            touched.add(u)
+            touched.add(v)
+        for u, v in self.removed_edges:
+            touched.add(u)
+            touched.add(v)
+        return frozenset(touched)
+
+    def apply(self, graph: LabeledGraph) -> LabeledGraph:
+        """Mutate ``graph`` in place (fixed order, strict); returns it."""
+        for u, v in self.removed_edges:
+            graph.remove_edge(u, v)
+        for v in self.removed_vertices:
+            graph.remove_vertex(v)
+        for v, label in self.added_vertices:
+            if v in graph:
+                raise ValueError(
+                    f"delta re-adds existing vertex {v!r}; remove it first")
+            graph.add_vertex(v, label)
+        for u, v in self.added_edges:
+            if graph.has_edge(u, v):
+                raise ValueError(f"delta re-adds existing edge "
+                                 f"{u!r} -> {v!r}")
+            graph.add_edge(u, v)
+        return graph
+
+    # ------------------------------------------------------------------
+    # serialization (delta-log payload)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "v": DELTA_FORMAT,
+            "added_vertices": [[repr(v), repr(label)]
+                               for v, label in self.added_vertices],
+            "removed_vertices": [repr(v) for v in self.removed_vertices],
+            "added_edges": [[repr(u), repr(v)]
+                            for u, v in self.added_edges],
+            "removed_edges": [[repr(u), repr(v)]
+                              for u, v in self.removed_edges],
+        }
+
+    def to_bytes(self) -> bytes:
+        """Canonical bytes -- what the delta log's keyed digest covers."""
+        return json.dumps(self.to_jsonable(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "GraphDelta":
+        if payload.get("v") != DELTA_FORMAT:
+            raise ValueError(
+                f"not a graph delta (v={payload.get('v')!r})")
+        parse = ast.literal_eval
+        return cls(
+            added_vertices=tuple((parse(v), parse(label)) for v, label
+                                 in payload.get("added_vertices", ())),
+            removed_vertices=tuple(parse(v) for v
+                                   in payload.get("removed_vertices", ())),
+            added_edges=tuple((parse(u), parse(v)) for u, v
+                              in payload.get("added_edges", ())),
+            removed_edges=tuple((parse(u), parse(v)) for u, v
+                                in payload.get("removed_edges", ())),
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "GraphDelta":
+        return cls.from_jsonable(json.loads(blob.decode("utf-8")))
+
+    def __repr__(self) -> str:
+        return (f"GraphDelta(+V={len(self.added_vertices)}, "
+                f"-V={len(self.removed_vertices)}, "
+                f"+E={len(self.added_edges)}, "
+                f"-E={len(self.removed_edges)})")
+
+
+def touched_min_distances(graph: LabeledGraph, touched, cutoff: int,
+                          into: dict | None = None) -> dict[Vertex, int]:
+    """Min undirected distance from any touched vertex, bounded by
+    ``cutoff``, folded into ``into``.
+
+    Called once on the pre-delta graph and once on the post-delta graph
+    (the delta mutates in place, so the two sides are two calls on the
+    same object around ``delta.apply``): removals only widen distances
+    visible pre-side, additions only post-side, and the dirty set needs
+    the union.
+    """
+    dists: dict[Vertex, int] = {} if into is None else into
+    for seed in touched:
+        if seed not in graph:
+            continue
+        for v, d in graph.undirected_distances(seed, cutoff=cutoff).items():
+            if d < dists.get(v, cutoff + 1):
+                dists[v] = d
+    return dists
+
+
+def dirty_ball_keys(min_dists: dict[Vertex, int], radii, *,
+                    exclude=()) -> set[tuple[Vertex, int]]:
+    """The ``(center, radius)`` pairs whose balls a delta may have
+    changed: centers within radius of a touched vertex on either side.
+
+    ``exclude`` drops centers handled separately (removed vertices lose
+    their balls outright, added vertices get fresh ones).
+    """
+    skip = set(exclude)
+    radii = tuple(sorted(set(radii)))
+    keys: set[tuple[Vertex, int]] = set()
+    for center, dist in min_dists.items():
+        if center in skip:
+            continue
+        for radius in radii:
+            if radius >= dist:
+                keys.add((center, radius))
+    return keys
+
+
+def random_delta(graph: LabeledGraph, *, edge_fraction: float = 0.01,
+                 remove_vertices: int = 0, seed: int = 0) -> GraphDelta:
+    """Synthesize a deterministic churn delta against ``graph``.
+
+    Removes ``edge_fraction`` of the edges, adds the same number of
+    fresh edges between surviving vertices, and optionally removes
+    ``remove_vertices`` vertices outright -- the update mix the dynamic
+    benchmarks and the ``store make-delta`` command exercise.  The delta
+    is valid against the *current* state of ``graph`` (it is not
+    applied here).
+    """
+    if not 0.0 <= edge_fraction <= 1.0:
+        raise ValueError("edge_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    edges = sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    vertices = sorted(graph.vertices(), key=repr)
+    num_edge_ops = int(len(edges) * edge_fraction)
+
+    removed_vertex_set: set[Vertex] = set()
+    if remove_vertices:
+        if remove_vertices > len(vertices):
+            raise ValueError("cannot remove more vertices than exist")
+        removed_vertex_set = set(rng.sample(vertices, remove_vertices))
+    survivors = [v for v in vertices if v not in removed_vertex_set]
+
+    # Edge removals must not name edges the vertex removals already take
+    # with them (apply() removes edges first, so both naming an incident
+    # edge would double-remove).
+    removable = [e for e in edges
+                 if e[0] not in removed_vertex_set
+                 and e[1] not in removed_vertex_set]
+    removed_edges = tuple(
+        rng.sample(removable, min(num_edge_ops, len(removable))))
+    removed_edge_set = set(removed_edges)
+
+    added_edges: list[tuple[Vertex, Vertex]] = []
+    if len(survivors) >= 2:
+        seen: set[tuple[Vertex, Vertex]] = set()
+        attempts = 0
+        while len(added_edges) < num_edge_ops and attempts < 50 * (
+                num_edge_ops + 1):
+            attempts += 1
+            u, v = rng.sample(survivors, 2)
+            edge = (u, v)
+            if edge in seen or edge in removed_edge_set:
+                continue
+            if graph.has_edge(u, v):
+                continue
+            seen.add(edge)
+            added_edges.append(edge)
+
+    return GraphDelta(removed_vertices=tuple(sorted(removed_vertex_set,
+                                                    key=repr)),
+                      added_edges=tuple(added_edges),
+                      removed_edges=removed_edges)
+
+
+__all__ = [
+    "DELTA_FORMAT",
+    "GraphDelta",
+    "dirty_ball_keys",
+    "random_delta",
+    "touched_min_distances",
+]

@@ -12,6 +12,7 @@ the worked examples use single-letter strings).
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Hashable, Iterable, Iterator, Mapping
 
@@ -34,13 +35,26 @@ class LabeledGraph:
         self._labels: dict[Vertex, Label] = {}
         self._label_index: dict[Label, set[Vertex]] = {}
         self._num_edges = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
-    # construction
+    # construction / mutation
     # ------------------------------------------------------------------
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter bumped by every *effective* mutation.
+
+        Derived structures that memoize against the graph (ball indexes,
+        artifact stores) capture the epoch at build time and can detect
+        that the graph moved under them instead of silently serving
+        stale state.  No-op calls (re-adding an existing vertex with the
+        same label, re-adding an existing edge) do not bump it.
+        """
+        return self._epoch
+
     def add_vertex(self, v: Vertex, label: Label) -> None:
         """Add vertex ``v`` with ``label``; relabeling an existing vertex is
-        an error (the paper's graphs are static)."""
+        an error (remove and re-add to relabel)."""
         if v in self._labels:
             if self._labels[v] != label:
                 raise ValueError(f"vertex {v!r} already exists with label "
@@ -50,6 +64,7 @@ class LabeledGraph:
         self._succ[v] = set()
         self._pred[v] = set()
         self._label_index.setdefault(label, set()).add(v)
+        self._epoch += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the directed edge ``(u, v)``.  Both endpoints must exist.
@@ -67,6 +82,48 @@ class LabeledGraph:
             self._succ[u].add(v)
             self._pred[v].add(u)
             self._num_edges += 1
+            self._epoch += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the directed edge ``(u, v)``.
+
+        Removing an edge that does not exist is an error, so a delta that
+        was already applied (or was built against another graph) fails
+        loudly instead of silently diverging.
+        """
+        if u not in self._labels:
+            raise KeyError(f"unknown vertex {u!r}")
+        if v not in self._labels:
+            raise KeyError(f"unknown vertex {v!r}")
+        if v not in self._succ[u]:
+            raise KeyError(f"no edge {u!r} -> {v!r}")
+        self._succ[u].remove(v)
+        self._pred[v].remove(u)
+        self._num_edges -= 1
+        self._epoch += 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and every incident edge (both directions).
+
+        The label index entry is dropped (and its bucket deleted when it
+        empties, so ``alphabet`` shrinks exactly when the last carrier of
+        a label disappears) and ``num_edges`` accounts for every removed
+        incident edge.
+        """
+        if v not in self._labels:
+            raise KeyError(f"unknown vertex {v!r}")
+        for w in self._succ.pop(v):
+            self._pred[w].remove(v)
+            self._num_edges -= 1
+        for w in self._pred.pop(v):
+            self._succ[w].remove(v)
+            self._num_edges -= 1
+        label = self._labels.pop(v)
+        bucket = self._label_index[label]
+        bucket.remove(v)
+        if not bucket:
+            del self._label_index[label]
+        self._epoch += 1
 
     @classmethod
     def from_edges(
@@ -240,6 +297,25 @@ class LabeledGraph:
             return NotImplemented
         return (self._labels == other._labels
                 and self._succ == other._succ)
+
+    def __hash__(self) -> int:
+        """Digest-backed hash consistent with ``__eq__``.
+
+        Defining ``__eq__`` alone sets ``__hash__ = None``, making graphs
+        unusable as set members or dict keys.  The hash digests the same
+        canonical ``repr``-sorted (labels, edges) view ``__eq__`` compares,
+        so equal graphs always hash equal.  Like any mutable container
+        used as a key, a graph must not be mutated while it lives in a
+        hash-based collection.
+        """
+        h = hashlib.sha256()
+        for v, label in sorted(self._labels.items(),
+                               key=lambda kv: repr(kv[0])):
+            h.update(f"{v!r}={label!r};".encode("utf-8"))
+        for u, v in sorted(self.edges(),
+                           key=lambda e: (repr(e[0]), repr(e[1]))):
+            h.update(f"{u!r}>{v!r};".encode("utf-8"))
+        return int.from_bytes(h.digest()[:8], "big")
 
     def __repr__(self) -> str:
         return (f"LabeledGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "

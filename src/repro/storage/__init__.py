@@ -33,8 +33,19 @@ from repro.storage.authenticate import (
     build_catalog,
     catalog_digest,
     leaf_digest,
+    updated_auth_block,
     verify_absent,
     verify_multiproof,
+)
+from repro.storage.delta import (
+    DeltaError,
+    DeltaLog,
+    DeltaLogState,
+    DeltaRecord,
+    StaleDeltaError,
+    TamperedDeltaError,
+    apply_delta_log,
+    delta_key,
 )
 from repro.storage.journal import (
     JournalError,
@@ -47,6 +58,7 @@ from repro.storage.journal import (
 )
 from repro.storage.store import (
     ArtifactStore,
+    DeltaApplyReport,
     PackReport,
     StoreBallIndex,
     StoreEncryptedBalls,
@@ -69,8 +81,18 @@ __all__ = [
     "build_catalog",
     "catalog_digest",
     "leaf_digest",
+    "updated_auth_block",
     "verify_absent",
     "verify_multiproof",
+    "DeltaApplyReport",
+    "DeltaError",
+    "DeltaLog",
+    "DeltaLogState",
+    "DeltaRecord",
+    "StaleDeltaError",
+    "TamperedDeltaError",
+    "apply_delta_log",
+    "delta_key",
     "EncryptedBallArchive",
     "JournalError",
     "JournalState",

@@ -301,6 +301,35 @@ def build_auth_block(key: DataOwnerKey, leaves: dict[int, str],
     }
 
 
+def updated_auth_block(key: DataOwnerKey, auth: dict, *,
+                       replaced: dict[int, str] | None = None,
+                       removed=(), catalog: dict | None = None) -> dict:
+    """Incrementally update a committed auth block after a delta.
+
+    ``replaced`` maps ball ids to their fresh leaf digests (dirty balls
+    re-encrypted, plus newly added balls); ``removed`` lists ball ids
+    whose leaves drop.  Clean balls keep their committed leaves verbatim
+    -- their pack bytes were copied, so the build-time digests still
+    match -- which is what makes the accumulator update proportional to
+    the delta: only the leaf *table* mutation and the O(n) tree re-fold
+    happen here, never a re-digest of clean ciphertext.
+
+    ``catalog`` replaces the candidate catalog (label churn cannot be
+    patched locally: a relabeled or removed center moves ids between
+    per-(radius, label) lists), and its keyed digest is recomputed.
+    """
+    if auth is None:
+        raise AuthError("no auth block to update; rebuild the store")
+    leaves = {int(b): str(h) for b, h in auth.get("leaves", {}).items()}
+    for ball_id in removed:
+        leaves.pop(int(ball_id), None)
+    for ball_id, leaf_hex in (replaced or {}).items():
+        leaves[int(ball_id)] = str(leaf_hex)
+    if catalog is None:
+        catalog = auth.get("catalog", {})
+    return build_auth_block(key, leaves, catalog)
+
+
 __all__ = [
     "AUTH_SCHEME",
     "AuthError",
@@ -310,6 +339,7 @@ __all__ = [
     "build_catalog",
     "catalog_digest",
     "leaf_digest",
+    "updated_auth_block",
     "verify_absent",
     "verify_multiproof",
 ]

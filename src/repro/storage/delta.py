@@ -1,0 +1,340 @@
+"""The durable delta log -- dynamic updates as an authenticated journal.
+
+A dynamic graph's update stream gets the same durability discipline the
+run journal (PR 4) gives queries: every :class:`~repro.graph.delta.GraphDelta`
+is appended as one CRC-framed, fsync'd record riding the journal's frame
+layout, and every record carries a **keyed** sha256 digest binding the
+delta bytes to the graph digests it chains between::
+
+    +----+------+---------+----------------------+-----------+
+    | A5 | 0x07 | len:u32 | payload              | crc32:u32 |
+    +----+------+---------+----------------------+-----------+
+
+    payload = meta_len:u32 | meta (canonical JSON) | blob (delta JSON)
+    meta    = {v, seq, parent, result, digest}
+
+``parent``/``result`` are the whole-graph digests before/after the delta
+(the same :func:`~repro.storage.store.graph_digest` the artifact-store
+manifest pins), so the log is a hash chain over graph states.  The keyed
+digest covers ``seq | parent | result | blob``: flipping any of them
+without the owner key is detected and the record is **tampered** (exit 3
+at the CLI), while a structurally intact record whose parent digest does
+not match the graph at hand is merely **stale**/out-of-order (exit 2) --
+the same severity split the store's ``verify`` applies, where tampered
+wins over stale.
+
+The log leaks exactly what an SP applying updates must observe anyway:
+update cardinalities and which graph states chain to which.  Vertex and
+label payloads inside the blob are the *plaintext owner-side* delta --
+the log lives with the data owner next to the edge lists, not on the SP;
+what the SP sees is the re-encrypted dirty packs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.graph.delta import GraphDelta
+from repro.storage.journal import (
+    MAX_PAYLOAD_BYTES,
+    _CRC,
+    _HEADER,
+    _META_LEN,
+    _REC_MAGIC,
+)
+
+#: Versioned scheme tag every record's meta carries.
+DELTA_SCHEME = "prilo-delta/1"
+
+#: Frame record type -- outside the run journal's vocabulary, so neither
+#: log can replay the other's frames.
+DELTA_RECORD = 0x07
+
+
+class DeltaError(RuntimeError):
+    """The delta log cannot be used (bad key, malformed frame stream)."""
+
+
+class StaleDeltaError(DeltaError):
+    """A structurally intact record does not chain onto the graph at hand
+    (its parent digest mismatches).  The log and the graph have diverged:
+    re-sync or rebuild.  CLI exit 2."""
+
+
+class TamperedDeltaError(DeltaError):
+    """A record's keyed digest fails, or an applied delta does not
+    reproduce its recorded result digest.  Hostile or corrupt -- never
+    apply.  CLI exit 3."""
+
+
+def delta_key(seed: int) -> bytes:
+    """Keyed-digest key for a delta log, derived from the owner seed like
+    :func:`~repro.storage.journal.journal_key` (no key material on disk)."""
+    return hashlib.sha256(f"prilo-delta-key:{seed}"
+                          .encode("utf-8")).digest()
+
+
+def delta_digest(key: bytes, seq: int, parent: str, result: str,
+                 blob: bytes) -> str:
+    """Keyed digest over everything a record asserts: its chain position
+    (``seq``), both graph digests, and the delta bytes."""
+    h = hashlib.sha256()
+    h.update(b"prilo-delta-rec:")
+    h.update(key)
+    h.update(seq.to_bytes(8, "big"))
+    h.update(parent.encode("utf-8"))
+    h.update(result.encode("utf-8"))
+    h.update(blob)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One replayed, digest-verified record."""
+
+    seq: int
+    parent: str
+    result: str
+    delta: GraphDelta
+
+
+@dataclass
+class DeltaLogState:
+    """The replayed picture of one delta log file."""
+
+    records: list[DeltaRecord] = field(default_factory=list)
+    #: Records whose keyed digest failed or whose blob is undecodable.
+    tampered_records: int = 0
+    #: Bytes discarded from the tail (torn final write), 0 when clean.
+    truncated_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": DELTA_SCHEME,
+            "records": len(self.records),
+            "mutations": sum(rec.delta.size for rec in self.records),
+            "tampered_records": self.tampered_records,
+            "truncated_bytes": self.truncated_bytes,
+            "head": self.records[0].parent if self.records else "",
+            "tip": self.records[-1].result if self.records else "",
+        }
+
+
+class DeltaLog:
+    """Append-only, fsync'd, CRC-framed, keyed-digest delta log."""
+
+    def __init__(self, path: str | Path, key: bytes, *,
+                 fsync: bool = True) -> None:
+        if not isinstance(key, bytes) or not key:
+            raise DeltaError("delta log key must be non-empty bytes")
+        self.path = Path(path)
+        self.key = key
+        self.fsync = fsync
+        self._fh: io.BufferedWriter | None = None
+        self._next_seq: int | None = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _handle(self) -> io.BufferedWriter:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("ab")
+        return self._fh
+
+    def append(self, delta: GraphDelta, *, parent: str,
+               result: str) -> DeltaRecord:
+        """Durably append one delta chaining ``parent -> result``."""
+        if self._next_seq is None:
+            state = self.replay(truncate=False)
+            self._next_seq = (state.records[-1].seq + 1
+                              if state.records else 0)
+        seq = self._next_seq
+        blob = delta.to_bytes()
+        meta = {
+            "v": DELTA_SCHEME,
+            "seq": seq,
+            "parent": parent,
+            "result": result,
+            "digest": delta_digest(self.key, seq, parent, result, blob),
+        }
+        meta_bytes = json.dumps(meta, sort_keys=True,
+                                separators=(",", ":")).encode("utf-8")
+        payload = _META_LEN.pack(len(meta_bytes)) + meta_bytes + blob
+        header = _HEADER.pack(_REC_MAGIC, DELTA_RECORD, len(payload))
+        crc = zlib.crc32(header + payload) & 0xFFFFFFFF
+        fh = self._handle()
+        fh.write(header + payload + _CRC.pack(crc))
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        self._next_seq = seq + 1
+        return DeltaRecord(seq=seq, parent=parent, result=result,
+                           delta=delta)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "DeltaLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self, *, truncate: bool = True) -> DeltaLogState:
+        """Rebuild the record list from disk.
+
+        Framing mirrors the run journal: replay stops at the first torn
+        frame and (with ``truncate``) cuts the file back to the last
+        intact record.  Records that frame correctly but fail the keyed
+        digest -- or whose blob does not decode as a delta -- are hostile,
+        not torn: dropped and counted in ``tampered_records``.
+        """
+        state = DeltaLogState()
+        if not self.path.is_file():
+            return state
+        data = self.path.read_bytes()
+        offset = 0
+        good_end = 0
+        while offset < len(data):
+            frame = self._read_frame(data, offset)
+            if frame is None:
+                break
+            payload, next_offset = frame
+            record = self._decode(payload, state)
+            if record is not None:
+                state.records.append(record)
+            offset = good_end = next_offset
+        state.truncated_bytes = len(data) - good_end
+        if truncate and state.truncated_bytes:
+            self.close()
+            with self.path.open("r+b") as fh:
+                fh.truncate(good_end)
+        return state
+
+    @staticmethod
+    def _read_frame(data: bytes, offset: int):
+        end = offset + _HEADER.size
+        if end > len(data):
+            return None
+        magic, rtype, length = _HEADER.unpack_from(data, offset)
+        if magic != _REC_MAGIC or rtype != DELTA_RECORD:
+            return None
+        if length > MAX_PAYLOAD_BYTES:
+            return None
+        payload_end = end + length
+        crc_end = payload_end + _CRC.size
+        if crc_end > len(data):
+            return None
+        expected = _CRC.unpack_from(data, payload_end)[0]
+        if zlib.crc32(data[offset:payload_end]) & 0xFFFFFFFF != expected:
+            return None
+        return data[end:payload_end], crc_end
+
+    def _decode(self, payload: bytes,
+                state: DeltaLogState) -> DeltaRecord | None:
+        try:
+            meta_len = _META_LEN.unpack_from(payload, 0)[0]
+            meta_end = _META_LEN.size + meta_len
+            meta = json.loads(payload[_META_LEN.size:meta_end]
+                              .decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError,
+                IndexError):
+            state.tampered_records += 1
+            return None
+        blob = payload[meta_end:]
+        seq = meta.get("seq", -1)
+        parent = meta.get("parent", "")
+        result = meta.get("result", "")
+        if (meta.get("v") != DELTA_SCHEME or not isinstance(seq, int)
+                or meta.get("digest") != delta_digest(
+                    self.key, seq, parent, result, blob)):
+            state.tampered_records += 1
+            return None
+        try:
+            delta = GraphDelta.from_bytes(blob)
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError,
+                SyntaxError):
+            # An authenticated-yet-undecodable blob cannot happen under
+            # an honest key; treat it as tamper, never as torn tail.
+            state.tampered_records += 1
+            return None
+        return DeltaRecord(seq=seq, parent=parent, result=result,
+                           delta=delta)
+
+    # ------------------------------------------------------------------
+    # inspection (``repro store apply-delta --inspect`` style summaries)
+    # ------------------------------------------------------------------
+    def inspect(self) -> dict:
+        """Non-destructive summary (torn bytes left in place)."""
+        summary = self.replay(truncate=False).as_dict()
+        summary["path"] = str(self.path)
+        summary["file_bytes"] = (self.path.stat().st_size
+                                 if self.path.is_file() else 0)
+        return summary
+
+
+def apply_delta_log(store, state: DeltaLogState, graph, key) -> list:
+    """Chain every applicable record of ``state`` into ``store``/``graph``.
+
+    Records whose ``result`` already equals the current graph digest are
+    skipped as applied (idempotent re-runs); a record whose ``parent``
+    matches is applied via :meth:`ArtifactStore.apply_delta`; anything
+    else means the log and the graph diverged -> :class:`StaleDeltaError`.
+    Any tampered record in the replayed state -- and any applied delta
+    that fails to reproduce its recorded result digest -- raises
+    :class:`TamperedDeltaError`; tampered wins over stale.
+
+    Returns the list of per-record
+    :class:`~repro.storage.store.DeltaApplyReport` objects.
+    """
+    from repro.storage.store import graph_digest
+
+    if state.tampered_records:
+        raise TamperedDeltaError(
+            f"delta log carries {state.tampered_records} tampered "
+            f"record(s); refusing to apply any of it")
+    reports = []
+    current = graph_digest(graph)
+    for record in state.records:
+        if record.result == current:
+            continue
+        if record.parent != current:
+            raise StaleDeltaError(
+                f"delta record seq={record.seq} chains from "
+                f"{record.parent[:12]} but the graph is at "
+                f"{current[:12]}; log and graph diverged")
+        reports.append(store.apply_delta(record.delta, graph, key))
+        current = graph_digest(graph)
+        if current != record.result:
+            raise TamperedDeltaError(
+                f"delta record seq={record.seq} promised result "
+                f"{record.result[:12]} but applying it produced "
+                f"{current[:12]}")
+    return reports
+
+
+__all__ = [
+    "DELTA_RECORD",
+    "DELTA_SCHEME",
+    "DeltaError",
+    "DeltaLog",
+    "DeltaLogState",
+    "DeltaRecord",
+    "StaleDeltaError",
+    "TamperedDeltaError",
+    "apply_delta_log",
+    "delta_digest",
+    "delta_key",
+]

@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import mmap
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -58,11 +59,13 @@ from repro.storage.authenticate import (
     build_auth_block,
     build_catalog,
     leaf_digest,
+    updated_auth_block,
 )
 from repro.filters.bloom import BloomFilter
 from repro.framework.faults import FaultAction, FaultInjector, FaultKind
 from repro.framework.messages import EncryptedBallBlob
 from repro.graph.ball import Ball, BallIndex, extract_ball
+from repro.graph.delta import GraphDelta, dirty_ball_keys, touched_min_distances
 from repro.graph.io import ball_from_bytes, ball_to_bytes, graph_to_json
 from repro.graph.labeled_graph import LabeledGraph
 from repro.observability.spans import NULL_TRACER
@@ -138,6 +141,52 @@ class VerifyReport:
                 "balls": self.balls,
                 "decrypted": self.decrypted,
                 "packs": [p.as_dict() for p in self.packs]}
+
+
+@dataclass(frozen=True)
+class DeltaApplyReport:
+    """What one :meth:`ArtifactStore.apply_delta` actually touched.
+
+    The incremental-maintenance contract in one record: ``reused`` balls
+    had their pack bytes (and Merkle leaves) copied verbatim, only
+    ``reencrypted`` (= dirty + added) balls paid extraction + encryption
+    -- the cost the dynamic-update benchmark gates against full rebuild.
+    """
+
+    balls_before: int
+    balls_after: int
+    reused: int
+    reencrypted: int
+    dirty_ball_ids: tuple[int, ...]
+    added_ball_ids: tuple[int, ...]
+    removed_ball_ids: tuple[int, ...]
+    auth_root: str
+    graph_digest: str
+
+    @property
+    def dirty(self) -> int:
+        return len(self.dirty_ball_ids)
+
+    @property
+    def added(self) -> int:
+        return len(self.added_ball_ids)
+
+    @property
+    def removed(self) -> int:
+        return len(self.removed_ball_ids)
+
+    def as_dict(self) -> dict:
+        return {
+            "balls_before": self.balls_before,
+            "balls_after": self.balls_after,
+            "reused": self.reused,
+            "reencrypted": self.reencrypted,
+            "dirty": self.dirty,
+            "added": self.added,
+            "removed": self.removed,
+            "auth_root": self.auth_root,
+            "graph_digest": self.graph_digest,
+        }
 
 
 def graph_digest(graph: LabeledGraph) -> str:
@@ -220,10 +269,15 @@ class StoreBallIndex(BallIndex):
 
     def __init__(self, graph: LabeledGraph, radii: tuple[int, ...],
                  store: "ArtifactStore") -> None:
-        super().__init__(graph, radii)
+        # Stores that survived deltas pin their surviving balls to the
+        # originally assigned ids via the manifest's ball-id table; a
+        # freshly built (or pre-table) store falls back to the positional
+        # assignment, which the table reproduces exactly at create time.
+        super().__init__(graph, radii, ids=store.ball_id_map(graph))
         self._store = store
 
     def ball(self, center, radius) -> Ball:
+        self._check_epoch()
         key = (center, radius)
         if key not in self._ids:
             raise KeyError(f"no ball for center={center!r} radius={radius}")
@@ -516,6 +570,9 @@ class ArtifactStore:
             json.dumps({"bf": cls._bf_params(bf_config), "balls": trees},
                        separators=(",", ":"), sort_keys=True),
             encoding="utf-8")
+        ball_ids: dict[str, dict[str, int]] = {}
+        for (center, radius), ball_id in index.id_map().items():
+            ball_ids.setdefault(repr(center), {})[str(radius)] = ball_id
         manifest = {
             "version": _VERSION,
             "graph_digest": graph_digest(graph),
@@ -524,6 +581,10 @@ class ArtifactStore:
             "twiglet_h": twiglet_h,
             "bf": cls._bf_params(bf_config),
             "balls": entries,
+            # (center, radius) -> ball id, durable across deltas: an
+            # incrementally maintained store keeps surviving balls' ids
+            # stable instead of the positional renumbering of a rebuild.
+            "ball_ids": ball_ids,
             "auth": build_auth_block(key, leaves,
                                      build_catalog(catalog_rows)),
             "checksums": {
@@ -747,6 +808,252 @@ class ArtifactStore:
         return report
 
     # ------------------------------------------------------------------
+    # incremental maintenance (dynamic graphs)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta, graph: LabeledGraph,
+                    key: DataOwnerKey) -> DeltaApplyReport:
+        """Apply one :class:`~repro.graph.delta.GraphDelta` to the live
+        graph *and* this store, re-encrypting only the dirty balls.
+
+        ``graph`` must be the store's parent graph (checked against the
+        manifest digest before anything mutates) and is updated in
+        place.  The dirty set is the sound overapproximation of
+        :func:`~repro.graph.delta.dirty_ball_keys`: every ball whose
+        center lies within its radius of a touched vertex on either side
+        of the delta.  Clean balls keep their pack bytes, ball ids and
+        Merkle leaves verbatim; dirty balls are re-extracted and
+        re-encrypted; removed vertices drop their balls; added vertices
+        get fresh ids past the historical maximum.  The auth block is
+        patched by leaf replacement (:func:`updated_auth_block`) and the
+        candidate catalog recommitted, so verified serving keeps working
+        across updates under the new root.
+
+        All artifact files are rewritten via temp-file + rename with the
+        manifest last, so a crash mid-apply leaves either the parent or
+        the child store, never a hybrid.
+        """
+        self.check(graph=graph, key=key)
+        radii = self.radii
+        if delta.is_empty:
+            auth = self.auth or {}
+            n = len(self._slices)
+            return DeltaApplyReport(
+                balls_before=n, balls_after=n, reused=n, reencrypted=0,
+                dirty_ball_ids=(), added_ball_ids=(), removed_ball_ids=(),
+                auth_root=auth.get("root", ""),
+                graph_digest=self._manifest["graph_digest"])
+
+        ids = self.ball_id_map(graph)
+        if ids is None:
+            ids = BallIndex(graph, radii).id_map()
+        max_radius = max(radii)
+        pre_alphabet = graph.alphabet
+        touched = delta.touched_vertices()
+        min_dists = touched_min_distances(graph, touched, max_radius)
+        delta.apply(graph)
+        touched_min_distances(graph, touched, max_radius, into=min_dists)
+
+        removed_set = set(delta.removed_vertices)
+        added_centers = [v for v, _ in delta.added_vertices]
+        dirty_keys = dirty_ball_keys(
+            min_dists, radii, exclude=removed_set | set(added_centers))
+        removed_ids = sorted(ids[(v, r)] for v in removed_set
+                             for r in radii)
+        removed_id_set = set(removed_ids)
+        next_id = max(ids.values(), default=-1) + 1
+        new_ids = {k: v for k, v in ids.items() if k[0] not in removed_set}
+        added_ball_ids: list[int] = []
+        for v in added_centers:
+            for r in radii:
+                new_ids[(v, r)] = next_id
+                added_ball_ids.append(next_id)
+                next_id += 1
+        key_by_id = {ball_id: k for k, ball_id in ids.items()}
+
+        cipher = key.cipher()
+        vkey = auth_key(key)
+        old_auth = self.auth
+        twiglet_h = self.twiglet_h
+        bf_params = self._manifest.get("bf")
+        bf_config = BFConfig(**bf_params) if bf_params else None
+        codec = (LabelCodec.from_alphabet(graph.alphabet)
+                 if bf_config is not None else None)
+        # The tree artifacts encode under the graph-wide codec; label
+        # churn in the alphabet invalidates every encoding, so only then
+        # are clean balls' trees recomputed (plaintext work -- their
+        # ciphertext still copies verbatim).
+        recode_all_trees = (bf_config is not None
+                            and graph.alphabet != pre_alphabet)
+
+        twiglets_doc = json.loads(
+            (self._root / _TWIGLETS).read_text(encoding="utf-8"))
+        trees_doc = json.loads(
+            (self._root / _TREES).read_text(encoding="utf-8"))
+        twiglet_balls: dict[str, list] = dict(twiglets_doc.get("balls", {}))
+        tree_balls: dict[str, dict] = dict(trees_doc.get("balls", {}))
+
+        entries: list[dict] = []
+        catalog_rows: list[tuple[int, int, object]] = []
+        replaced_leaves: dict[int, str] = {}
+        all_leaves: dict[int, str] = {}
+        dirty_ball_ids: list[int] = []
+        reused = 0
+
+        def _refresh_artifacts(ball: Ball) -> None:
+            sid = str(ball.ball_id)
+            if twiglet_h is not None:
+                features = twiglets_from(ball.graph, ball.center, twiglet_h)
+                twiglet_balls[sid] = sorted(
+                    twiglet_to_jsonable(t) for t in features)
+            if bf_config is not None:
+                tree_balls[sid] = self._tree_artifact(ball, codec, bf_config)
+
+        tmp_plain = self._root / (_BALLS_PACK + ".tmp")
+        tmp_enc = self._root / (_ENCRYPTED_PACK + ".tmp")
+        with tmp_plain.open("wb") as plain, tmp_enc.open("wb") as enc:
+            offset = enc_offset = 0
+
+            def _emit(entry: dict, payload: bytes, blob: bytes) -> None:
+                nonlocal offset, enc_offset
+                plain.write(payload)
+                enc.write(blob)
+                entry["offset"] = offset
+                entry["length"] = len(payload)
+                entry["enc_offset"] = enc_offset
+                entry["enc_length"] = len(blob)
+                offset += len(payload)
+                enc_offset += len(blob)
+                entries.append(entry)
+
+            for old in self._manifest["balls"]:
+                ball_id = old["ball_id"]
+                if ball_id in removed_id_set:
+                    twiglet_balls.pop(str(ball_id), None)
+                    tree_balls.pop(str(ball_id), None)
+                    continue
+                center, radius = key_by_id[ball_id]
+                catalog_rows.append((ball_id, radius, graph.label(center)))
+                if (center, radius) in dirty_keys:
+                    ball = extract_ball(graph, center, radius,
+                                        ball_id=ball_id)
+                    payload = ball_to_bytes(ball)
+                    blob = cipher.encrypt(payload)
+                    leaf = leaf_digest(vkey, ball_id, blob)
+                    replaced_leaves[ball_id] = leaf
+                    all_leaves[ball_id] = leaf
+                    dirty_ball_ids.append(ball_id)
+                    _refresh_artifacts(ball)
+                    _emit({"ball_id": ball_id, "center": old["center"],
+                           "radius": radius, "vertices": ball.size},
+                          payload, blob)
+                else:
+                    sl = self._slices[ball_id]
+                    payload = self._balls_pack.slice(sl.offset, sl.length)
+                    blob = self._encrypted_pack.slice(sl.enc_offset,
+                                                      sl.enc_length)
+                    if old_auth is None:
+                        # Pre-auth store: no committed leaf table to
+                        # patch, so digest the (unchanged) blob afresh.
+                        all_leaves[ball_id] = leaf_digest(vkey, ball_id,
+                                                          blob)
+                    reused += 1
+                    if recode_all_trees:
+                        _ball = ball_from_bytes(payload)
+                        tree_balls[str(ball_id)] = self._tree_artifact(
+                            _ball, codec, bf_config)
+                    _emit(dict(old), payload, blob)
+            for center in added_centers:
+                for radius in radii:
+                    ball_id = new_ids[(center, radius)]
+                    ball = extract_ball(graph, center, radius,
+                                        ball_id=ball_id)
+                    payload = ball_to_bytes(ball)
+                    blob = cipher.encrypt(payload)
+                    leaf = leaf_digest(vkey, ball_id, blob)
+                    replaced_leaves[ball_id] = leaf
+                    all_leaves[ball_id] = leaf
+                    catalog_rows.append((ball_id, radius,
+                                         graph.label(center)))
+                    _refresh_artifacts(ball)
+                    _emit({"ball_id": ball_id, "center": repr(center),
+                           "radius": radius, "vertices": ball.size},
+                          payload, blob)
+
+        catalog = build_catalog(catalog_rows)
+        if old_auth is not None:
+            auth = updated_auth_block(key, old_auth,
+                                      replaced=replaced_leaves,
+                                      removed=removed_ids,
+                                      catalog=catalog)
+        else:
+            auth = build_auth_block(key, all_leaves, catalog)
+
+        ball_ids_table: dict[str, dict[str, int]] = {}
+        for (center, radius), ball_id in new_ids.items():
+            ball_ids_table.setdefault(repr(center), {})[str(radius)] = ball_id
+
+        tmp_twiglets = self._root / (_TWIGLETS + ".tmp")
+        tmp_trees = self._root / (_TREES + ".tmp")
+        tmp_twiglets.write_text(
+            json.dumps({"h": twiglets_doc.get("h"), "balls": twiglet_balls},
+                       separators=(",", ":"), sort_keys=True),
+            encoding="utf-8")
+        tmp_trees.write_text(
+            json.dumps({"bf": trees_doc.get("bf"), "balls": tree_balls},
+                       separators=(",", ":"), sort_keys=True),
+            encoding="utf-8")
+
+        # Atomic turnover: packs/artifacts first, manifest (the commit
+        # point) last.  Close the mmaps before replacing their files.
+        self._balls_pack.close()
+        self._encrypted_pack.close()
+        os.replace(tmp_plain, self._root / _BALLS_PACK)
+        os.replace(tmp_enc, self._root / _ENCRYPTED_PACK)
+        os.replace(tmp_twiglets, self._root / _TWIGLETS)
+        os.replace(tmp_trees, self._root / _TREES)
+
+        manifest = dict(self._manifest)
+        manifest["graph_digest"] = graph_digest(graph)
+        manifest["balls"] = entries
+        manifest["ball_ids"] = ball_ids_table
+        manifest["auth"] = auth
+        manifest["checksums"] = {
+            name: _file_digest(self._root / name)
+            for name in (_BALLS_PACK, _ENCRYPTED_PACK, _TWIGLETS, _TREES)
+        }
+        tmp_manifest = self._root / (_MANIFEST + ".tmp")
+        tmp_manifest.write_text(
+            json.dumps(manifest, indent=1, sort_keys=True),
+            encoding="utf-8")
+        os.replace(tmp_manifest, self._root / _MANIFEST)
+
+        balls_before = len(self._slices)
+        self._manifest = manifest
+        self._slices = {entry["ball_id"]: PackSlice(**entry)
+                        for entry in entries}
+        self._balls_pack = _Pack(self._root / _BALLS_PACK)
+        self._encrypted_pack = _Pack(self._root / _ENCRYPTED_PACK)
+        self._twiglets = None
+        self._trees = None
+
+        report = DeltaApplyReport(
+            balls_before=balls_before,
+            balls_after=len(entries),
+            reused=reused,
+            reencrypted=len(dirty_ball_ids) + len(added_ball_ids),
+            dirty_ball_ids=tuple(sorted(dirty_ball_ids)),
+            added_ball_ids=tuple(added_ball_ids),
+            removed_ball_ids=tuple(removed_ids),
+            auth_root=auth["root"],
+            graph_digest=manifest["graph_digest"])
+        if self._tracer.enabled:
+            self._tracer.event("delta_apply", "sp",
+                               balls=report.balls_after,
+                               dirty=report.dirty,
+                               reencrypted=report.reencrypted)
+        return report
+
+    # ------------------------------------------------------------------
     # artifact access
     # ------------------------------------------------------------------
     def load_ball(self, ball_id: int) -> Ball:
@@ -765,6 +1072,27 @@ class ArtifactStore:
         return self._served_bytes(
             f"store:enc:{ball_id}",
             self._encrypted_pack.slice(sl.enc_offset, sl.enc_length))
+
+    def ball_id_map(self, graph: LabeledGraph
+                    ) -> dict[tuple, int] | None:
+        """The manifest's ``(center, radius) -> ball id`` table, keyed by
+        live vertex objects; ``None`` for stores built before the table
+        existed (callers then use the positional assignment, which is
+        what the table recorded at create time anyway)."""
+        table = self._manifest.get("ball_ids")
+        if table is None:
+            return None
+        by_repr = {repr(v): v for v in graph.vertices()}
+        ids: dict[tuple, int] = {}
+        for center_repr, per_radius in table.items():
+            center = by_repr.get(center_repr)
+            if center is None:
+                raise StoreError(
+                    f"store is stale: ball-id table names vertex "
+                    f"{center_repr} which the live graph does not have")
+            for radius, ball_id in per_radius.items():
+                ids[(center, int(radius))] = int(ball_id)
+        return ids
 
     def ball_index(self, graph: LabeledGraph) -> StoreBallIndex:
         """The Players' ball index, loading from the pack (cold-start
@@ -924,6 +1252,9 @@ def shard_split(root: str | Path, out_root: str | Path, shards: int, *,
             # balls (served after a re-placement) still have committed
             # leaves even though this shard's pack never held them.
             "auth": manifest.get("auth"),
+            # Likewise the global ball-id table: shard engines keep
+            # global ids, including ids for balls outside their slice.
+            "ball_ids": manifest.get("ball_ids"),
             "checksums": {
                 name: _file_digest(shard_dir / name)
                 for name in (_BALLS_PACK, _ENCRYPTED_PACK, _TWIGLETS,
@@ -953,6 +1284,7 @@ def shard_split(root: str | Path, out_root: str | Path, shards: int, *,
 
 __all__ = [
     "ArtifactStore",
+    "DeltaApplyReport",
     "PackReport",
     "PackSlice",
     "StoreBallIndex",

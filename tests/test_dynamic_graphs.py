@@ -1,0 +1,371 @@
+"""Dynamic-graph primitives: mutation, deltas, and the delta log.
+
+Contract under test: mutations keep every index (labels, degrees, edge
+count) exact and bump the mutation epoch so memoized structures fail
+loudly (:class:`~repro.graph.ball.StaleIndexError`) instead of serving
+stale balls; :class:`~repro.graph.delta.GraphDelta` is a strict,
+serializable value type; the delta log is CRC-framed and keyed-digest
+authenticated, splitting torn tails from hostile records the way the run
+journal does.
+"""
+
+import pytest
+
+from repro.graph.ball import BallIndex, StaleIndexError
+from repro.graph.delta import (
+    GraphDelta,
+    dirty_ball_keys,
+    random_delta,
+    touched_min_distances,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.storage import StoreError
+from repro.storage.delta import (
+    DeltaLog,
+    StaleDeltaError,
+    TamperedDeltaError,
+    delta_key,
+)
+
+
+def _line_graph():
+    """a -> b -> c -> d with two labels."""
+    labels = {"a": "X", "b": "Y", "c": "X", "d": "Y"}
+    edges = [("a", "b"), ("b", "c"), ("c", "d")]
+    return LabeledGraph.from_edges(labels, edges)
+
+
+# ---------------------------------------------------------------------------
+# mutation API
+# ---------------------------------------------------------------------------
+class TestMutation:
+    def test_remove_edge_bookkeeping(self):
+        graph = _line_graph()
+        graph.remove_edge("b", "c")
+        assert not graph.has_edge("b", "c")
+        assert graph.num_edges == 2
+        assert graph.out_degree("b") == 0
+        assert graph.in_degree("c") == 0
+
+    def test_remove_missing_edge_raises(self):
+        graph = _line_graph()
+        with pytest.raises(KeyError):
+            graph.remove_edge("a", "c")
+        with pytest.raises(KeyError):
+            graph.remove_edge("zz", "a")
+
+    def test_remove_vertex_drops_incident_edges(self):
+        graph = _line_graph()
+        graph.remove_vertex("b")
+        assert "b" not in graph
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 1  # only c -> d survives
+        assert graph.successors("a") == frozenset()
+        assert graph.predecessors("c") == frozenset()
+
+    def test_remove_vertex_updates_label_index(self):
+        graph = _line_graph()
+        graph.remove_vertex("a")
+        assert graph.vertices_with_label("X") == frozenset({"c"})
+        # Removing the last carrier of a label shrinks the alphabet.
+        graph.remove_vertex("c")
+        assert "X" not in graph.alphabet
+        assert graph.vertices_with_label("X") == frozenset()
+
+    def test_remove_unknown_vertex_raises(self):
+        graph = _line_graph()
+        with pytest.raises(KeyError):
+            graph.remove_vertex("zz")
+
+    def test_remove_then_readd_roundtrips(self):
+        graph = _line_graph()
+        reference = _line_graph()
+        graph.remove_vertex("b")
+        graph.add_vertex("b", "Y")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert graph == reference
+
+
+# ---------------------------------------------------------------------------
+# satellite bugfix: __hash__ consistent with __eq__
+# ---------------------------------------------------------------------------
+class TestGraphHash:
+    def test_equal_graphs_equal_hash(self):
+        a, b = _line_graph(), _line_graph()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_insertion_order_irrelevant(self):
+        labels = {"a": "X", "b": "Y"}
+        forward = LabeledGraph.from_edges(labels, [("a", "b")])
+        backward = LabeledGraph()
+        backward.add_vertex("b", "Y")
+        backward.add_vertex("a", "X")
+        backward.add_edge("a", "b")
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_usable_in_sets(self):
+        distinct = _line_graph()
+        distinct.remove_edge("a", "b")
+        pool = {_line_graph(), _line_graph(), distinct}
+        assert len(pool) == 2
+        assert _line_graph() in pool
+
+    def test_mutation_changes_hash(self):
+        graph = _line_graph()
+        before = hash(graph)
+        graph.remove_edge("a", "b")
+        assert hash(graph) != before
+
+
+# ---------------------------------------------------------------------------
+# satellite bugfix: mutation epoch strands stale ball indexes
+# ---------------------------------------------------------------------------
+class TestEpoch:
+    def test_effective_mutations_bump(self):
+        graph = _line_graph()
+        epoch = graph.mutation_epoch
+        graph.add_vertex("e", "X")
+        graph.add_edge("d", "e")
+        graph.remove_edge("d", "e")
+        graph.remove_vertex("e")
+        assert graph.mutation_epoch == epoch + 4
+
+    def test_noop_mutations_do_not_bump(self):
+        graph = _line_graph()
+        epoch = graph.mutation_epoch
+        graph.add_vertex("a", "X")  # already present, same label
+        graph.add_edge("a", "b")    # already present
+        assert graph.mutation_epoch == epoch
+
+    def test_stale_index_raises(self):
+        graph = _line_graph()
+        index = BallIndex(graph, (1,))
+        assert index.ball("a", 1) is not None
+        graph.remove_edge("a", "b")
+        with pytest.raises(StaleIndexError):
+            index.ball("a", 1)
+        with pytest.raises(StaleIndexError):
+            index.ball_id("a", 1)
+        with pytest.raises(StaleIndexError):
+            list(index.candidate_balls("X", 1))
+
+    def test_fresh_index_after_mutation(self):
+        graph = _line_graph()
+        graph.remove_edge("a", "b")
+        index = BallIndex(graph, (1,))
+        ball = index.ball("a", 1)
+        assert set(ball.graph.vertices()) == {"a"}
+
+    def test_explicit_id_assignment(self):
+        graph = _line_graph()
+        base = BallIndex(graph, (1,)).id_map()
+        shifted = {key: ball_id + 100 for key, ball_id in base.items()}
+        index = BallIndex(graph, (1,), ids=shifted)
+        assert index.ball_id("a", 1) == base[("a", 1)] + 100
+        assert index.ball("a", 1).ball_id == base[("a", 1)] + 100
+
+    def test_bad_id_assignment_rejected(self):
+        graph = _line_graph()
+        base = BallIndex(graph, (1,)).id_map()
+        with pytest.raises(ValueError):
+            BallIndex(graph, (1,), ids=dict(list(base.items())[:-1]))
+        clash = dict(base)
+        clash[("a", 1)] = clash[("b", 1)]
+        with pytest.raises(ValueError):
+            BallIndex(graph, (1,), ids=clash)
+
+
+# ---------------------------------------------------------------------------
+# GraphDelta value type
+# ---------------------------------------------------------------------------
+class TestGraphDelta:
+    def test_apply_and_roundtrip(self):
+        graph = _line_graph()
+        delta = GraphDelta(added_vertices=(("e", "Z"),),
+                           removed_vertices=("d",),
+                           added_edges=(("c", "e"),),
+                           removed_edges=(("a", "b"),))
+        delta.apply(graph)
+        assert "e" in graph and "d" not in graph
+        assert graph.has_edge("c", "e") and not graph.has_edge("a", "b")
+        clone = GraphDelta.from_bytes(delta.to_bytes())
+        assert clone == delta
+        assert clone.size == delta.size == 4
+
+    def test_double_apply_raises(self):
+        graph = _line_graph()
+        delta = GraphDelta(removed_edges=(("a", "b"),))
+        delta.apply(graph)
+        with pytest.raises(KeyError):
+            delta.apply(graph)
+
+    def test_foreign_delta_raises(self):
+        graph = _line_graph()
+        delta = GraphDelta(removed_edges=(("a", "d"),))
+        with pytest.raises(KeyError):
+            delta.apply(graph)
+
+    def test_readding_existing_vertex_raises(self):
+        graph = _line_graph()
+        delta = GraphDelta(added_vertices=(("a", "X"),))
+        with pytest.raises(ValueError):
+            delta.apply(graph)
+
+    def test_touched_and_dirty(self):
+        graph = _line_graph()
+        delta = GraphDelta(removed_edges=(("b", "c"),))
+        touched = delta.touched_vertices()
+        assert touched == {"b", "c"}
+        dists = touched_min_distances(graph, touched, 2)
+        delta.apply(graph)
+        dists = touched_min_distances(graph, touched, 2, into=dists)
+        dirty = dirty_ball_keys(dists, (1, 2))
+        # Radius-1 balls of a..d all reach b or c on the pre-delta graph.
+        assert ("a", 1) in dirty and ("d", 1) in dirty
+        assert ("a", 2) in dirty and ("d", 2) in dirty
+
+    def test_random_delta_deterministic(self):
+        graph = _line_graph()
+        first = random_delta(graph, edge_fraction=0.5, seed=11)
+        second = random_delta(_line_graph(), edge_fraction=0.5, seed=11)
+        assert first == second
+        assert not first.is_empty
+        first.apply(graph)  # applies cleanly to the graph it was cut from
+
+
+# ---------------------------------------------------------------------------
+# the authenticated delta log
+# ---------------------------------------------------------------------------
+class TestDeltaLog:
+    KEY = delta_key(3)
+
+    def _populated(self, path):
+        log = DeltaLog(path, self.KEY)
+        graph = _line_graph()
+        for seed in (1, 2):
+            parent = f"digest-{seed}"
+            delta = random_delta(graph, edge_fraction=0.5, seed=seed)
+            delta.apply(graph)
+            log.append(delta, parent=parent, result=f"digest-{seed + 1}")
+        log.close()
+        return log
+
+    def test_append_replay_roundtrip(self, tmp_path):
+        log = self._populated(tmp_path / "updates.log")
+        state = log.replay()
+        assert [rec.seq for rec in state.records] == [0, 1]
+        assert state.tampered_records == 0
+        assert state.truncated_bytes == 0
+        assert state.records[0].parent == "digest-1"
+        assert all(isinstance(rec.delta, GraphDelta)
+                   for rec in state.records)
+
+    def test_append_continues_sequence(self, tmp_path):
+        path = tmp_path / "updates.log"
+        self._populated(path)
+        log = DeltaLog(path, self.KEY)
+        record = log.append(GraphDelta(removed_edges=(("a", "b"),)),
+                            parent="p", result="r")
+        log.close()
+        assert record.seq == 2
+        assert len(log.replay().records) == 3
+
+    def test_torn_tail_truncated_not_tampered(self, tmp_path):
+        path = tmp_path / "updates.log"
+        self._populated(path)
+        intact = path.stat().st_size
+        with path.open("ab") as fh:
+            fh.write(b"\xa5\x07garbage-torn-write")
+        log = DeltaLog(path, self.KEY)
+        state = log.replay()
+        assert len(state.records) == 2
+        assert state.tampered_records == 0
+        assert state.truncated_bytes > 0
+        assert path.stat().st_size == intact  # tail cut back
+
+    def test_bitflip_is_tamper_not_torn(self, tmp_path):
+        path = tmp_path / "updates.log"
+        self._populated(path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        state = DeltaLog(path, self.KEY).replay(truncate=False)
+        # A mid-file flip breaks a CRC frame: everything from there on is
+        # unreadable (torn), never silently reinterpreted.
+        assert len(state.records) < 2
+        assert state.truncated_bytes > 0 or state.tampered_records > 0
+
+    def test_wrong_key_is_tampered(self, tmp_path):
+        path = tmp_path / "updates.log"
+        self._populated(path)
+        state = DeltaLog(path, delta_key(999)).replay(truncate=False)
+        assert len(state.records) == 0
+        assert state.tampered_records == 2
+
+    def test_reframed_meta_fails_digest(self, tmp_path):
+        """Re-framing a record with edited meta (valid CRC!) must still be
+        tampered: the keyed digest covers seq/parent/result."""
+        import json
+        import struct
+        import zlib
+
+        path = tmp_path / "updates.log"
+        self._populated(path)
+        log = DeltaLog(path, self.KEY)
+        data = path.read_bytes()
+        header = struct.Struct("<BBI")
+        magic, rtype, length = header.unpack_from(data, 0)
+        payload = data[header.size:header.size + length]
+        meta_len = struct.unpack_from("<I", payload, 0)[0]
+        meta = json.loads(payload[4:4 + meta_len])
+        meta["result"] = "0" * 64  # forge the chain target
+        meta_bytes = json.dumps(meta, sort_keys=True,
+                                separators=(",", ":")).encode()
+        blob = payload[4 + meta_len:]
+        forged_payload = struct.pack("<I", len(meta_bytes)) + meta_bytes + blob
+        forged_header = header.pack(magic, rtype, len(forged_payload))
+        crc = zlib.crc32(forged_header + forged_payload) & 0xFFFFFFFF
+        path.write_bytes(forged_header + forged_payload
+                         + struct.pack("<I", crc))
+        state = log.replay(truncate=False)
+        assert state.tampered_records == 1
+        assert len(state.records) == 0
+
+    def test_error_taxonomy(self):
+        assert issubclass(StaleDeltaError, Exception)
+        assert issubclass(TamperedDeltaError, Exception)
+        assert not issubclass(StaleDeltaError, TamperedDeltaError)
+
+
+# ---------------------------------------------------------------------------
+# satellite bugfix: shard error frames are redacted
+# ---------------------------------------------------------------------------
+class TestShardRedaction:
+    def test_paths_and_frames_scrubbed(self):
+        from repro.framework.shard import redact_error
+
+        try:
+            raise StoreError("pack /var/lib/prilo/store/balls.pack is "
+                             "tampered near offset 123")
+        except StoreError as exc:
+            detail = redact_error(exc)
+        assert detail.startswith("StoreError: ")
+        assert "/var/lib" not in detail
+        assert "<path>" in detail
+        assert "\n" not in detail
+        assert "Traceback" not in detail
+
+    def test_long_messages_truncated(self):
+        from repro.framework.shard import redact_error
+
+        detail = redact_error(ValueError("x" * 1000))
+        assert len(detail) < 200
+        assert detail.endswith("...")
+
+    def test_empty_message(self):
+        from repro.framework.shard import redact_error
+
+        assert redact_error(RuntimeError()) == "RuntimeError"

@@ -1,0 +1,316 @@
+"""Incremental ball maintenance and standing queries over dynamic graphs.
+
+Contract under test: ``ArtifactStore.apply_delta`` followed by a query
+answers exactly like a from-scratch rebuild on the post-delta graph --
+across all three semantics and both engines -- while re-encrypting only
+the dirty balls; the updated Merkle root certifies post-delta serving
+(including absence proofs once a delete empties a candidate catalog);
+``QueryBatchEngine`` standing queries re-notify exactly when their match
+set changes.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.bf_pruning import BFConfig
+from repro.crypto.keys import DataOwnerKey
+from repro.framework.prilo import Prilo
+from repro.framework.prilo_star import PriloStar
+from repro.framework.server import CMMCache, QueryBatchEngine
+from repro.framework.wire import canonical_answer_of_result
+from repro.graph.delta import GraphDelta, random_delta
+from repro.graph.query import Semantics
+from repro.storage import (
+    ArtifactStore,
+    MerkleTree,
+    verify_absent,
+)
+
+RADII = (2,)
+SEED = 3  # matches test_config so store key == engine owner key
+BF = BFConfig(eta=16, expected_trees=200)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return DataOwnerKey.generate(SEED)
+
+
+def _build(root, graph, key):
+    return ArtifactStore.create(root, graph, RADII, key, twiglet_h=3,
+                                bf_config=BF)
+
+
+def _config(test_config, pruning=False):
+    config = replace(test_config, radii=RADII)
+    if pruning:
+        config = replace(config, use_twiglet=True, use_bf=True, bf=BF)
+    return config
+
+
+def _flat_answers(engine, queries):
+    """Canonical answers with ball ids erased: the user-visible match
+    multiset plus the match count, per query.  Incremental and rebuilt
+    stores legitimately number balls differently (survivors keep their
+    historical ids), so equality is over content, not coordinates."""
+    out = []
+    for query in queries:
+        answer = canonical_answer_of_result(engine.run(query))
+        out.append((sorted(m for ms in answer["matches"].values()
+                           for m in ms),
+                    answer["num_matches"]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the differential: apply_delta + query == rebuild + query
+# ---------------------------------------------------------------------------
+class TestDifferential:
+    @pytest.mark.parametrize("semantics", [Semantics.HOM,
+                                           Semantics.SUB_ISO,
+                                           Semantics.SSIM])
+    @pytest.mark.parametrize("engine_cls,pruning", [(Prilo, False),
+                                                    (PriloStar, True)])
+    def test_incremental_equals_rebuild(self, tmp_path, dataset,
+                                        test_config, key, semantics,
+                                        engine_cls, pruning):
+        graph = dataset.graph_for(semantics).copy()
+        store = _build(tmp_path / "incremental", graph, key)
+        balls_before = len(store._manifest["balls"])
+
+        delta = random_delta(graph, edge_fraction=0.02,
+                             remove_vertices=1, seed=5)
+        report = store.apply_delta(delta, graph, key)
+        assert report.reencrypted + report.reused == balls_before \
+            - report.removed
+        assert report.graph_digest == store.manifest_graph_digest
+        store.check(graph=graph, key=key)
+
+        rebuilt = _build(tmp_path / "rebuilt", graph, key)
+        config = _config(test_config, pruning)
+        queries = dataset.random_queries(2, size=4, diameter=RADII[0],
+                                         semantics=semantics, seed=13)
+        incremental_engine = engine_cls.setup(graph, config, store=store)
+        rebuilt_engine = engine_cls.setup(graph, config, store=rebuilt)
+        try:
+            assert _flat_answers(incremental_engine, queries) == \
+                _flat_answers(rebuilt_engine, queries)
+        finally:
+            incremental_engine.close()
+            rebuilt_engine.close()
+
+    def test_repeated_deltas_stay_consistent(self, tmp_path, dataset,
+                                             test_config, key):
+        graph = dataset.graph.copy()
+        store = _build(tmp_path / "store", graph, key)
+        for seed in (21, 22):
+            delta = random_delta(graph, edge_fraction=0.01, seed=seed)
+            store.apply_delta(delta, graph, key)
+        store.check(graph=graph, key=key)
+        rebuilt = _build(tmp_path / "rebuilt", graph, key)
+        queries = dataset.random_queries(1, size=4, diameter=RADII[0],
+                                         seed=13)
+        config = _config(test_config)
+        incremental_engine = Prilo.setup(graph, config, store=store)
+        rebuilt_engine = Prilo.setup(graph, config, store=rebuilt)
+        try:
+            assert _flat_answers(incremental_engine, queries) == \
+                _flat_answers(rebuilt_engine, queries)
+        finally:
+            incremental_engine.close()
+            rebuilt_engine.close()
+
+    def test_empty_delta_touches_nothing(self, tmp_path, dataset, key):
+        graph = dataset.graph.copy()
+        store = _build(tmp_path / "store", graph, key)
+        root_before = store.auth["root"]
+        report = store.apply_delta(GraphDelta(), graph, key)
+        assert report.dirty == report.added == report.removed == 0
+        assert report.reencrypted == 0
+        assert store.auth["root"] == root_before
+
+
+# ---------------------------------------------------------------------------
+# verified serving under the updated Merkle root
+# ---------------------------------------------------------------------------
+class TestUpdatedAuth:
+    def test_certified_serving_after_delta(self, tmp_path, dataset,
+                                           test_config, key):
+        from repro.framework import wire
+        from repro.framework.server import QueryStatus
+        from repro.framework.verify import AnswerVerifier, Certifier
+
+        graph = dataset.graph.copy()
+        store = _build(tmp_path / "store", graph, key)
+        root_before = store.auth["root"]
+        delta = random_delta(graph, edge_fraction=0.02, seed=5)
+        store.apply_delta(delta, graph, key)
+        assert store.auth["root"] != root_before
+
+        config = _config(test_config)
+        query = dataset.random_queries(1, size=4, diameter=RADII[0],
+                                       seed=13)[0]
+        engine = Prilo.setup(graph, config, store=store)
+        try:
+            result = engine.run(query)
+            certifier = Certifier(store.auth, seed=config.seed,
+                                  config=engine.config,
+                                  graph_digest=store.manifest_graph_digest)
+            cert = certifier.certify(qid=1, shard_id=0, members=[0],
+                                     prev_members=None, result=result)
+            verifier = AnswerVerifier.from_store(store, seed=config.seed,
+                                                 config=engine.config)
+        finally:
+            engine.close()
+        answer = wire.canonical_answer_of_result(result)
+        verdict = {"t": "verdict", "qid": 1, "shard": 0,
+                   "status": QueryStatus.OK, "cert": cert,
+                   "candidates": answer["candidates"],
+                   "pm_positive": answer["pm_positive"],
+                   "verified": answer["verified"],
+                   "matches": answer["matches"]}
+        assert verifier.verify_verdict(
+            qid=1, shard_id=0, members=[0], prev_members=None,
+            query=query, verdict=verdict) >= 0
+
+    def test_emptied_catalog_and_absence_proofs(self, tmp_path, dataset,
+                                                key):
+        """Deleting every carrier of a label empties its candidate rows,
+        and the removed balls get verifiable absence proofs under the
+        updated root."""
+        graph = dataset.graph.copy()
+        store = _build(tmp_path / "store", graph, key)
+        label = min(graph.alphabet,
+                    key=lambda lab: (graph.label_frequency(lab),
+                                     repr(lab)))
+        victims = sorted(graph.vertices_with_label(label), key=repr)
+        ids = store.ball_id_map(graph)
+        removed_ids = sorted(ids[(v, RADII[0])] for v in victims)
+        delta = GraphDelta(removed_vertices=tuple(victims))
+        report = store.apply_delta(delta, graph, key)
+        assert sorted(report.removed_ball_ids) == removed_ids
+
+        assert label not in graph.alphabet
+        catalog = store.auth["catalog"][str(RADII[0])]
+        assert repr(label) not in catalog
+        for rows in catalog.values():
+            assert not set(rows) & set(removed_ids)
+        # No candidates for the dead label through the store-backed index.
+        index = store.ball_index(graph)
+        assert list(index.candidate_balls(label, RADII[0])) == []
+        # The updated accumulator proves the removed balls absent.
+        tree = MerkleTree.from_leaf_hexes(store.auth["leaves"])
+        assert tree.root_hex == store.auth["root"]
+        for ball_id in removed_ids:
+            assert ball_id not in tree
+            proof = tree.prove_absent(ball_id)
+            assert verify_absent(tree.root_hex, proof) == ball_id
+
+
+# ---------------------------------------------------------------------------
+# standing queries through QueryBatchEngine.apply_delta
+# ---------------------------------------------------------------------------
+class TestStandingQueries:
+    @pytest.fixture()
+    def served(self, dataset, test_config):
+        graph = dataset.graph.copy()
+        engine = Prilo(graph, _config(test_config))
+        server = QueryBatchEngine(engine, cache=CMMCache())
+        query = dataset.random_queries(1, size=4, diameter=RADII[0],
+                                       seed=13)[0]
+        yield server, query
+        engine.close()
+
+    def test_registration_is_not_a_notification(self, served):
+        server, query = served
+        standing = server.register_standing(query, name="watch")
+        assert standing.notifications == 0
+        assert standing.evaluations == 0
+        assert server.standing == (standing,)
+
+    def test_empty_delta_does_not_notify(self, served):
+        server, query = served
+        standing = server.register_standing(query)
+        application = server.apply_delta(GraphDelta())
+        assert application.notified == 0
+        assert [n.changed for n in application.notices] == [False]
+        assert standing.evaluations == 1
+        assert standing.notifications == 0
+
+    def test_isolated_vertex_does_not_notify(self, served):
+        """A delta whose affected balls cannot host a match re-evaluates
+        the standing query but must not re-notify."""
+        server, query = served
+        engine = server.engine
+        label = next(iter(engine.graph.alphabet))
+        standing = server.register_standing(query)
+        before = dict(standing.matches)
+        application = server.apply_delta(GraphDelta(
+            added_vertices=(("dyn-isolated", label),)))
+        assert len(application.added_ball_ids) == len(RADII)
+        assert application.dirty_ball_ids == ()
+        assert application.notified == 0
+        assert standing.matches == before
+        assert standing.evaluations == 1
+
+    def test_destroying_a_match_notifies(self, served):
+        server, query = served
+        engine = server.engine
+        standing = server.register_standing(query)
+        assert standing.matches, "fixture query must match somewhere"
+        matched_id = int(next(iter(standing.matches)))
+        center = next(ctr for (ctr, radius), ball_id
+                      in engine.index.id_map().items()
+                      if ball_id == matched_id)
+        application = server.apply_delta(GraphDelta(
+            removed_vertices=(center,)))
+        assert application.notified == 1
+        assert standing.notifications == 1
+        assert str(matched_id) not in standing.matches
+        # The retained state equals a from-scratch evaluation.
+        fresh = Prilo(engine.graph.copy(), engine.config)
+        try:
+            answer = canonical_answer_of_result(fresh.run(query))
+        finally:
+            fresh.close()
+        assert sorted(m for ms in standing.matches.values()
+                      for m in ms) == \
+            sorted(m for ms in answer["matches"].values() for m in ms)
+
+    def test_cache_invalidation_on_delta(self, served):
+        server, query = served
+        server.serve([query, query])  # warm the CMM cache
+        assert len(server.cache) > 0
+        entries_before = len(server.cache)
+        evictions_before = server.cache.stats.evictions
+        delta = random_delta(server.engine.graph, edge_fraction=0.05,
+                             seed=9)
+        application = server.apply_delta(delta)
+        assert application.cache_invalidated > 0
+        assert len(server.cache) < entries_before
+        assert server.cache.stats.evictions > evictions_before
+
+    def test_store_backed_apply_delta(self, tmp_path, dataset,
+                                      test_config, key):
+        graph = dataset.graph.copy()
+        store = _build(tmp_path / "store", graph, key)
+        engine = Prilo(graph, _config(test_config), store=store)
+        server = QueryBatchEngine(engine, cache=CMMCache())
+        query = dataset.random_queries(1, size=4, diameter=RADII[0],
+                                       seed=13)[0]
+        try:
+            standing = server.register_standing(query)
+            delta = random_delta(graph, edge_fraction=0.02, seed=5)
+            application = server.apply_delta(delta)
+            assert application.store_report is not None
+            assert application.store_report.reused >= 0
+            store.check(graph=engine.graph, key=key)
+            # The engine serves correctly from the updated store.
+            report = server.serve([query])
+            flat = sorted(m for ms in canonical_answer_of_result(
+                report.results[0])["matches"].values() for m in ms)
+            assert flat == sorted(m for ms in standing.matches.values()
+                                  for m in ms)
+        finally:
+            engine.close()
